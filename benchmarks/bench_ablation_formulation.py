@@ -1,0 +1,65 @@
+"""Ablation: stream-function vs Hess-Smith panel formulation.
+
+Both formulations discretize the same continuous problem; their
+agreement (and their agreement with the exact Joukowski lift) bounds
+the formulation error of the paper's inner solver independent of any
+reference software.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.report import TextTable
+from repro.geometry import naca
+from repro.panel import Freestream, solve_airfoil, solve_hess_smith
+from repro.validation import JoukowskiAirfoil
+
+
+def compare():
+    rows = []
+    for designation in ("0012", "2412", "4412"):
+        foil = naca(designation, 200)
+        for alpha in (0.0, 4.0, 8.0):
+            stream = solve_airfoil(foil, alpha).lift_coefficient
+            hess = solve_hess_smith(
+                foil, Freestream.from_degrees(alpha)
+            ).lift_coefficient
+            rows.append({
+                "section": f"NACA {designation}", "alpha": alpha,
+                "stream": stream, "hess": hess, "exact": None,
+            })
+    section = JoukowskiAirfoil(0.08, 0.05)
+    foil = section.airfoil(300)
+    for alpha in (0.0, 4.0):
+        rows.append({
+            "section": "Joukowski", "alpha": alpha,
+            "stream": solve_airfoil(foil, alpha).lift_coefficient,
+            "hess": solve_hess_smith(
+                foil, Freestream.from_degrees(alpha)
+            ).lift_coefficient,
+            "exact": section.exact_lift_coefficient(np.radians(alpha)),
+        })
+    return rows
+
+
+def test_formulation_ablation(benchmark):
+    rows = run_once(benchmark, compare)
+    table = TextTable(
+        headers=("section", "alpha", "stream-fn cl", "hess-smith cl", "exact"),
+        title="Ablation: panel formulation cross-check",
+    )
+    for row in rows:
+        exact = f"{row['exact']:.4f}" if row["exact"] is not None else "-"
+        table.add_row(row["section"], f"{row['alpha']:.0f}",
+                      f"{row['stream']:.4f}", f"{row['hess']:.4f}", exact)
+    print("\n" + table.render())
+
+    for row in rows:
+        # The two formulations agree to ~1 % of a typical cl on blunt
+        # NACA trailing edges; the cusped Joukowski edge is the known
+        # hard case for Hess-Smith and gets a 2 % allowance.
+        allowance = 0.02 if row["section"] == "Joukowski" else 0.012
+        assert abs(row["stream"] - row["hess"]) < allowance
+        if row["exact"] is not None:
+            assert abs(row["stream"] - row["exact"]) < 0.01
+            assert abs(row["hess"] - row["exact"]) < 0.025

@@ -1,0 +1,48 @@
+"""Ablation: slice-count sensitivity beyond the paper's grid.
+
+The paper samples slices in {1, 5, 10, 20} and reports that "between 10
+and 20 slices seems to yield near optimal performance in most
+circumstances".  This sweep extends the grid to 64 and verifies the
+U-shape: falling overhead first, per-slice setup costs later.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import TextTable
+from repro.hardware import paper_workstation
+from repro.pipeline import Workload, evaluate, hybrid, simulate, tune_slices
+
+GRID = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 48, 64)
+
+
+def sweep(precision="double", sockets=2, accelerator="k80-half"):
+    workload = Workload.paper_reference(precision)
+    station = paper_workstation(sockets=sockets, accelerator=accelerator,
+                                precision=precision)
+    walls = {}
+    for n_slices in GRID:
+        walls[n_slices] = evaluate(
+            simulate(hybrid(workload, station, n_slices))
+        ).wall_time
+    tuned = tune_slices(workload, station, candidates=GRID)
+    return walls, tuned.best_parameter
+
+
+def test_slice_sensitivity(benchmark):
+    walls, best = run_once(benchmark, sweep)
+    table = TextTable(headers=("slices", "W"),
+                      title="Ablation: slice sweep (GPU, double, 2x CPU)")
+    for n_slices, wall in walls.items():
+        marker = "  <- optimum" if n_slices == best else ""
+        table.add_row(n_slices, f"{wall:.3f}{marker}")
+    print("\n" + table.render())
+
+    # The paper's observation: the optimum sits in the 5-32 band, the
+    # curve falls steeply from 1 slice and rises again past the optimum.
+    assert 5 <= best <= 32
+    assert walls[1] > 1.3 * walls[int(best)]
+    assert walls[64] > walls[int(best)]
+
+    # Monotone descent from 1 slice to the optimum region.
+    descending = [walls[s] for s in GRID if s <= best]
+    assert all(b <= a + 1e-9 for a, b in zip(descending, descending[1:]))

@@ -1,0 +1,54 @@
+"""Benchmark: energy to solution per configuration (beyond the paper).
+
+The paper compares time only; pricing the same simulated runs with a
+TDP-based power model adds the performance-per-watt axis and changes
+one conclusion: the Xeon Phi, while 2.3x faster than the CPUs, costs
+*more* energy, whereas the K80 wins on both axes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import TextTable
+from repro.hardware import configuration_energy
+
+
+def sweep():
+    rows = []
+    for precision in ("single", "double"):
+        for accel in ("none", "phi", "k80-half", "k80-dual"):
+            estimate = configuration_energy(accelerator=accel,
+                                            precision=precision)
+            rows.append({
+                "precision": precision,
+                "configuration": accel,
+                "wall": estimate.wall_time,
+                "joules": estimate.total_joules,
+                "watts": estimate.average_watts,
+            })
+    return rows
+
+
+def test_energy(benchmark):
+    rows = run_once(benchmark, sweep)
+    table = TextTable(
+        headers=("prec", "configuration", "W [s]", "E [J]", "avg power [W]"),
+        title="Energy to solution (TDP model, 2x CPU host, 10 slices)",
+    )
+    for row in rows:
+        table.add_row(row["precision"][:2], row["configuration"],
+                      f"{row['wall']:.2f}", f"{row['joules']:.0f}",
+                      f"{row['watts']:.0f}")
+    print("\n" + table.render())
+
+    for precision in ("single", "double"):
+        block = {row["configuration"]: row for row in rows
+                 if row["precision"] == precision}
+        # K80 half: faster AND cheaper than the CPU baseline.
+        assert block["k80-half"]["wall"] < block["none"]["wall"]
+        assert block["k80-half"]["joules"] < block["none"]["joules"]
+        # Phi: faster but more energy (high idle draw over the run).
+        assert block["phi"]["wall"] < block["none"]["wall"]
+        assert block["phi"]["joules"] > block["none"]["joules"]
+        # Both GPUs: fastest, but the second board costs extra joules.
+        assert block["k80-dual"]["wall"] < block["k80-half"]["wall"]
+        assert block["k80-dual"]["joules"] > block["k80-half"]["joules"]

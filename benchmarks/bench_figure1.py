@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 1 (coarse NACA 2412 discretization)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark):
+    result = run_once(benchmark, figure1.run)
+    print("\n" + result.text)
+    geometry = result.rows[0]
+    assert geometry["n_panels"] == 10
+    assert geometry["designation"] == "2412"
+    # The coarse discretization still resembles the section: unit chord,
+    # roughly 12 % thickness, 10 control points.
+    assert abs(geometry["chord"] - 1.0) < 0.05
+    assert abs(geometry["max_thickness"] - 0.12) < 0.04
+    assert len(geometry["control_points"]) == 10
+    # Control points straddle the chord line (both surfaces sampled).
+    heights = np.array(geometry["control_points"])[:, 1]
+    assert heights.max() > 0 and heights.min() < 0
+    assert "<svg" in result.artifacts["figure1.svg"]

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 2 (GA airfoil evolution).
+
+Runs the scaled-down GA (a real optimization, not a canned curve) and
+checks the figure's qualitative content: per-generation champions whose
+lift-to-drag ratio improves across the columns.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark):
+    result = run_once(benchmark, figure2.run, seed=2016)
+    print("\n" + result.text)
+    best = [row["best_fitness"] for row in result.rows]
+    # "confirm that our implementation generates successively better
+    # airfoils": champions never regress (elitism) and improve overall.
+    assert all(b2 >= b1 - 1e-9 for b1, b2 in zip(best, best[1:]))
+    assert best[-1] > 1.3 * best[0]
+    # The gallery SVG holds one outline per generation.
+    assert result.artifacts["figure2.svg"].count("<path") == len(result.rows)

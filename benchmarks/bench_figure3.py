@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 3 (GPU communication-hiding trace)."""
+
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark):
+    result = run_once(benchmark, figure3.run)
+    print("\n" + result.text)
+    rows = {row["resource"]: row["segments"] for row in result.rows}
+    assert set(rows) == {"accel", "cpu"}
+
+    # Assembly and copy alternate on the GPU queue (Figure 3's layout).
+    kinds = [segment["kind"] for segment in rows["accel"]]
+    assert kinds == ["assemble", "transfer"] * (len(kinds) // 2)
+
+    # Overlap actually happens: some copy finishes while a solve runs.
+    solves = [s for s in rows["cpu"] if s["kind"] == "solve"]
+    copies = [s for s in rows["accel"] if s["kind"] == "transfer"]
+    overlapping = any(
+        copy["start"] < solve["end"] and solve["start"] < copy["end"]
+        for copy in copies for solve in solves
+    )
+    assert overlapping
+    assert "<svg" in result.artifacts["figure3.svg"]

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 4 (Xeon Phi three-way interleave)."""
+
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark):
+    result = run_once(benchmark, figure4.run)
+    print("\n" + result.text)
+    rows = {row["resource"]: row["segments"] for row in result.rows}
+    # Three resources: the defining difference from Figure 3.
+    assert set(rows) == {"accel", "link", "cpu"}
+
+    # All three operations overlap at some instant (the Phi scheme).
+    def covers(segments, t):
+        return any(s["start"] <= t < s["end"] for s in segments)
+
+    makespan = max(s["end"] for segments in rows.values() for s in segments)
+    grid = [makespan * i / 400.0 for i in range(400)]
+    triple_overlap = any(
+        covers(rows["accel"], t) and covers(rows["link"], t)
+        and covers(rows["cpu"], t)
+        for t in grid
+    )
+    assert triple_overlap
+    assert "<svg" in result.artifacts["figure4.svg"]

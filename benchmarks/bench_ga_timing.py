@@ -1,0 +1,65 @@
+"""Benchmark: end-to-end GA optimization time per platform.
+
+Goes one step beyond the paper's flat-batch tables: a GA runs in
+generations with a synchronization barrier each time, so its
+end-to-end speedup is *below* the flat Table 3 number — and recovers as
+the population (per-generation batch) grows.  This is the library's
+prediction for the paper's actual application workload.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import TextTable
+from repro.optimize import ga_speedup, time_ga_run
+
+
+def sweep():
+    rows = []
+    for accelerator in ("none", "phi", "k80-half", "k80-dual"):
+        run = time_ga_run(population=400, generations=10,
+                          precision="double", accelerator=accelerator)
+        rows.append({
+            "accelerator": accelerator,
+            "total": run.total_seconds,
+            "per_generation": run.per_generation_seconds[0],
+        })
+    population_sweep = {
+        population: ga_speedup("k80-half", population=population,
+                               generations=4000 // population,
+                               precision="double")
+        for population in (100, 400, 1000, 2000)
+    }
+    return rows, population_sweep
+
+
+def test_ga_timing(benchmark):
+    rows, population_sweep = run_once(benchmark, sweep)
+    table = TextTable(
+        headers=("configuration", "total [s]", "per generation [s]", "speedup"),
+        title="GA optimization (population 400 x 10 generations, double)",
+    )
+    baseline = next(r["total"] for r in rows if r["accelerator"] == "none")
+    for row in rows:
+        table.add_row(row["accelerator"], f"{row['total']:.2f}",
+                      f"{row['per_generation']:.3f}",
+                      f"{baseline / row['total']:.2f}")
+    print("\n" + table.render())
+
+    sweep_table = TextTable(
+        headers=("population", "end-to-end GPU speedup"),
+        title="Generation-sync cost vs population size (4000 candidates total)",
+    )
+    for population, speedup in population_sweep.items():
+        sweep_table.add_row(population, f"{speedup:.2f}")
+    print("\n" + sweep_table.render())
+
+    by_accel = {row["accelerator"]: row["total"] for row in rows}
+    # Ordering matches the paper: dual GPU < single GPU < Phi < CPU.
+    assert by_accel["k80-dual"] < by_accel["k80-half"]
+    assert by_accel["k80-half"] < by_accel["phi"]
+    assert by_accel["phi"] < by_accel["none"]
+    # The barrier costs real speedup relative to the flat batch...
+    assert population_sweep[400] < 3.1
+    # ... and bigger per-generation batches claw it back monotonically.
+    speedups = list(population_sweep.values())
+    assert all(b >= a for a, b in zip(speedups, speedups[1:]))

@@ -1,0 +1,59 @@
+"""Real-compute micro-benchmarks of the library's numerical kernels.
+
+Unlike the table/figure benches (which report *simulated* seconds),
+these measure the actual NumPy kernels on the host running the test
+suite: influence-matrix assembly and the batched LU solve.  They give
+pytest-benchmark something physically meaningful to time and document
+the real (interpreter-bound) throughput of the reproduction — the
+reason the paper's wall-clock numbers are simulated rather than
+measured (see DESIGN.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import naca
+from repro.linalg import batched_lu_factor, batched_lu_solve
+from repro.panel import Freestream, assemble, assemble_batch
+
+
+@pytest.fixture(scope="module")
+def foil200():
+    return naca("2412", 200)
+
+
+@pytest.fixture(scope="module")
+def batch_systems():
+    foils = [naca("2412", 100), naca("0012", 100), naca("4412", 100),
+             naca("2212", 100)] * 4
+    matrices, rhs, _ = assemble_batch(foils, Freestream.from_degrees(2.0))
+    return matrices, rhs
+
+
+def test_assembly_n200_double(benchmark, foil200):
+    """One 200-panel system assembly (the paper's per-candidate unit)."""
+    system = benchmark(assemble, foil200, Freestream.from_degrees(2.0))
+    assert system.matrix.shape == (200, 200)
+
+
+def test_assembly_n200_single(benchmark, foil200):
+    """Single-precision assembly of the same system."""
+    system = benchmark(assemble, foil200, Freestream.from_degrees(2.0),
+                       dtype=np.float32)
+    assert system.matrix.dtype == np.float32
+
+
+def test_batched_lu_factor_16x100(benchmark, batch_systems):
+    """Batched factorization of 16 systems of dimension 100."""
+    matrices, _ = batch_systems
+    factors = benchmark(batched_lu_factor, matrices)
+    assert factors.batch == 16
+
+
+def test_batched_lu_solve_16x100(benchmark, batch_systems):
+    """Batched triangular solves for 16 systems of dimension 100."""
+    matrices, rhs = batch_systems
+    factors = batched_lu_factor(matrices)
+    solution = benchmark(batched_lu_solve, factors, rhs)
+    residual = np.einsum("bij,bj->bi", matrices, solution) - rhs
+    assert np.max(np.abs(residual)) < 1e-8

@@ -1,0 +1,36 @@
+"""Benchmark: robustness of the conclusions to the calibration fits.
+
+Four model parameters are fitted rather than published (effective PCIe
+bandwidth, link latency, solve-call setup, per-offload host cost).
+This sweep perturbs each by 0.5-2x and re-derives the paper's
+conclusions, printing which survive.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import TextTable
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_sensitivity(benchmark):
+    rows = run_once(benchmark, run_sensitivity)
+    table = TextTable(
+        headers=("fitted parameter", "factor", "gpu x", "phi x", "gpu s*",
+                 "conclusions"),
+        title="Sensitivity of the reproduction to its fitted parameters "
+              "(double, 2x CPU, autotuned slices)",
+    )
+    for row in rows:
+        table.add_row(
+            row.parameter, f"{row.factor:.2f}", f"{row.gpu_speedup:.2f}",
+            f"{row.phi_speedup:.2f}", row.gpu_optimal_slices,
+            "hold" if row.conclusions_hold else "STRAINED",
+        )
+    print("\n" + table.render())
+
+    assert all(row.conclusions_hold for row in rows)
+    # The nominal (factor 1.0) rows reproduce the Table 3/4 speedups.
+    nominal = [row for row in rows if row.factor == 1.0]
+    for row in nominal:
+        assert 2.9 < row.gpu_speedup < 3.4
+        assert 2.1 < row.phi_speedup < 2.6

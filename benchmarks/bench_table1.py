@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 1 (hardware characteristics)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    print("\n" + result.text)
+    assert len(result.rows) == 5
+    # Table 1 orderings: each accelerator out-peaks the dual CPU.
+    by_name = {row["device"]: row for row in result.rows}
+    dual_cpu = by_name["2x E5-2630 v3"]
+    for accelerator in ("Phi 7120", "0.5x K80", "1x K80"):
+        assert by_name[accelerator]["tflops_double"] > dual_cpu["tflops_double"]
+        assert (by_name[accelerator]["memory_bandwidth_gbs"]
+                > dual_cpu["memory_bandwidth_gbs"])

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 2 (per-device assembly/solve seconds)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, table2.run)
+    print("\n" + result.text)
+    assert len(result.rows) == 8
+    by_key = {(row["device"], row["precision"]): row for row in result.rows}
+
+    for precision in ("single", "double"):
+        cpu = by_key[("E5-2630 v3", precision)]
+        dual = by_key[("2x E5-2630 v3", precision)]
+        phi = by_key[("Phi 7120", precision)]
+        gpu = by_key[("0.5x K80", precision)]
+
+        # Paper Section 3: CPU assembly is 2.5-3.5x its solve.
+        ratio = cpu["assembly_seconds"] / cpu["solve_seconds"]
+        assert 2.5 <= ratio <= 3.5
+
+        # Accelerators reverse the balance.
+        assert phi["solve_seconds"] > phi["assembly_seconds"]
+        assert gpu["solve_seconds"] > gpu["assembly_seconds"]
+
+        # Phi assembles ~2x faster than two CPUs; GPU ~5x.
+        assert 1.6 < dual["assembly_seconds"] / phi["assembly_seconds"] < 2.6
+        assert 4.0 < dual["assembly_seconds"] / gpu["assembly_seconds"] < 7.5
+
+        # CPUs solve faster than either accelerator.
+        assert dual["solve_seconds"] < phi["solve_seconds"]
+        assert dual["solve_seconds"] < gpu["solve_seconds"]

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 3 (GPU+CPU hybrid slice sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+from repro.experiments.paper_data import TABLE3
+from repro.precision import Precision
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, table3.run)
+    print("\n" + result.text)
+    assert len(result.rows) == 16
+
+    for row in result.rows:
+        precision = Precision.parse(row["precision"])
+        paper = TABLE3[(precision, row["sockets"])][row["slices"]]
+        # Shape: every simulated wall time within 10 % of the paper's.
+        assert abs(row["wall"] / paper.wall - 1.0) < 0.10
+        # Every hybrid row beats the CPU baseline.
+        assert row["speedup"] > 1.5
+
+    # Interleaving matters: 10 slices clearly beat 1 slice in every block.
+    for precision in ("single", "double"):
+        for sockets in (1, 2):
+            block = {row["slices"]: row for row in result.rows
+                     if row["precision"] == precision
+                     and row["sockets"] == sockets}
+            assert block[10]["wall"] < 0.85 * block[1]["wall"]

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 4 (Xeon Phi+CPU hybrid slice sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import table3, table4
+from repro.experiments.paper_data import TABLE4
+from repro.precision import Precision
+
+
+def test_table4(benchmark):
+    result = run_once(benchmark, table4.run)
+    print("\n" + result.text)
+    assert len(result.rows) == 16
+
+    for row in result.rows:
+        precision = Precision.parse(row["precision"])
+        paper = TABLE4[(precision, row["sockets"])][row["slices"]]
+        assert abs(row["wall"] / paper.wall - 1.0) < 0.12
+
+    # Cross-table claim (Section 5): the GPU hybrid beats the Phi hybrid.
+    gpu_rows = table3.run().rows
+    for precision in ("single", "double"):
+        for sockets in (1, 2):
+            phi_best = min(row["wall"] for row in result.rows
+                           if row["precision"] == precision
+                           and row["sockets"] == sockets)
+            gpu_best = min(row["wall"] for row in gpu_rows
+                           if row["precision"] == precision
+                           and row["sockets"] == sockets)
+            assert gpu_best < phi_best

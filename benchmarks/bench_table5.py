@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 5 (dual-GPU distribution sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import table5
+from repro.experiments.paper_data import TABLE5
+from repro.precision import Precision
+
+
+def test_table5(benchmark):
+    result = run_once(benchmark, table5.run)
+    print("\n" + result.text)
+    assert len(result.rows) == 12
+
+    for row in result.rows:
+        precision = Precision.parse(row["precision"])
+        paper = TABLE5[(precision, row["sockets"])][row["distr"]]
+        assert abs(row["wall"] / paper.wall - 1.0) < 0.15
+
+    # Section 6 claim: the best dual-GPU speedup on a single socket is ~5.
+    single_socket = [row["speedup"] for row in result.rows
+                     if row["sockets"] == 1 and row["precision"] == "double"]
+    assert max(single_socket) > 4.5
+
+    # Optimal distribution sits in the paper's 0.70-0.80 band.
+    for precision in ("single", "double"):
+        for sockets in (1, 2):
+            block = [row for row in result.rows
+                     if row["precision"] == precision
+                     and row["sockets"] == sockets]
+            best = min(block, key=lambda row: row["wall"])
+            assert 0.70 <= best["distr"] <= 0.80

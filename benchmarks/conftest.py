@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it, so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+paper's entire evaluation section in one run.  Timing numbers reported
+by pytest-benchmark measure the *harness* (simulation + rendering) —
+the scientific content is the printed simulated seconds.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock.
+
+    Experiment regenerations are deterministic, so a single round is
+    enough; pedantic mode keeps pytest-benchmark from looping a slow GA
+    run dozens of times.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,94 @@
+"""Visualize the potential flow around an airfoil.
+
+Solves a NACA section with the panel method, then samples the velocity
+and stream-function fields on a grid and renders an ASCII picture of
+the flow speed, plus the surface pressure distribution.
+
+Usage::
+
+    python examples/flow_field.py [--designation 2412] [--alpha 6]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.geometry import naca
+from repro.panel import Freestream, PanelSolver
+from repro.viz import plot_series
+
+
+def speed_field_art(solution, *, width=78, height=24, margin=0.6) -> str:
+    """ASCII art of |V| around the airfoil ('#' = body, darker = slower)."""
+    foil = solution.airfoil
+    low = foil.points.min(axis=0) - margin
+    high = foil.points.max(axis=0) + margin
+    xs = np.linspace(low[0], high[0], width)
+    ys = np.linspace(low[1], high[1], height)
+    grid = np.array([[x, y] for y in ys for x in xs])
+    speeds = np.linalg.norm(solution.velocity_at(grid), axis=1)
+    psi = solution.stream_function_at(grid)
+
+    # Points inside the body have stream function ~ C (stagnant interior).
+    inside = np.abs(psi - solution.constant) < 1e-3
+    ramp = " .:-=+*%@"
+    v_inf = solution.freestream.speed
+    lines = []
+    for row in range(height - 1, -1, -1):
+        cells = []
+        for col in range(width):
+            index = row * width + col
+            if inside[index]:
+                cells.append("#")
+                continue
+            level = min(speeds[index] / (1.8 * v_inf), 0.999)
+            cells.append(ramp[int(level * len(ramp))])
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--designation", default="2412")
+    parser.add_argument("--alpha", type=float, default=6.0)
+    parser.add_argument("--panels", type=int, default=160)
+    parser.add_argument("--svg", metavar="PATH", default=None,
+                        help="write a streamline SVG figure to PATH")
+    arguments = parser.parse_args()
+
+    foil = naca(arguments.designation, arguments.panels)
+    solution = PanelSolver().solve(foil, Freestream.from_degrees(arguments.alpha))
+    print(f"{foil.name} at alpha = {arguments.alpha:.1f} deg: "
+          f"cl = {solution.lift_coefficient:.3f}, "
+          f"cm(c/4) = {solution.moment_coefficient():.4f}")
+    print()
+    print("flow speed (brighter = faster; '#' = airfoil):")
+    print(speed_field_art(solution))
+    print()
+
+    # Surface pressure distribution (suction peak on the upper surface).
+    upper_mask = solution.airfoil.control_points[:, 1] > 0
+    x = solution.airfoil.control_points[:, 0]
+    cp = solution.pressure_coefficients
+    order = np.argsort(x[upper_mask])
+    print(plot_series(
+        x[upper_mask][order], -cp[upper_mask][order],
+        title="upper-surface -Cp vs x/c", height=12,
+    ))
+    stagnation_cp = cp.max()
+    print(f"\nstagnation Cp = {stagnation_cp:.4f} (ideal: 1.0), "
+          f"suction peak Cp = {cp.min():.3f}")
+
+    if arguments.svg:
+        from repro.panel import trace_streamlines
+        from repro.viz import flow_svg
+
+        lines = trace_streamlines(solution, n_lines=13, spread=1.2,
+                                  step=0.03, n_steps=160)
+        with open(arguments.svg, "w", encoding="utf-8") as handle:
+            handle.write(flow_svg(foil, lines))
+        print(f"wrote streamline figure to {arguments.svg}")
+
+
+if __name__ == "__main__":
+    main()

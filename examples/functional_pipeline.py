@@ -1,0 +1,78 @@
+"""End-to-end functional run: GA candidates through the hybrid pipeline.
+
+This example connects every layer of the library the way the paper's
+system does: a genetic algorithm produces a generation of candidate
+airfoils, the simulated accelerator assembles their panel systems
+(real NumPy math at device precision), the host's batched LU solves
+them — and the virtual clock prices the whole thing on each hardware
+configuration, including energy.
+
+Usage::
+
+    python examples/functional_pipeline.py [--candidates 48] [--panels 100]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.geometry import naca
+from repro.hardware import configuration_energy, paper_workstation
+from repro.optimize import GenomeLayout
+from repro.panel import Freestream, PanelSolver
+from repro.pipeline import execute_hybrid
+
+
+def make_candidates(count: int, panels: int, seed: int):
+    """A population of B-spline candidates plus a few NACA classics."""
+    layout = GenomeLayout()
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for index in range(count - 3):
+        genome = layout.random_genome(rng)
+        parametrization = layout.to_parametrization(genome, name=f"cand {index}")
+        if parametrization.is_feasible(min_thickness=0.01):
+            candidates.append(parametrization.to_airfoil(panels))
+    candidates.extend(naca(code, panels) for code in ("2412", "0012", "4412"))
+    return candidates
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--candidates", type=int, default=48)
+    parser.add_argument("--panels", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=7)
+    arguments = parser.parse_args()
+
+    candidates = make_candidates(arguments.candidates, arguments.panels,
+                                 arguments.seed)
+    fs = Freestream.from_degrees(3.0)
+    print(f"{len(candidates)} candidate geometries, {arguments.panels} panels each\n")
+
+    reference = PanelSolver().solve_batch(candidates, fs)
+    reference_cl = np.array([s.lift_coefficient for s in reference])
+
+    print(f"{'configuration':>22}  {'W [s]':>8}  {'max |dcl|':>10}  {'E [J]':>8}")
+    for accel, precision in (("phi", "double"), ("k80-half", "double"),
+                             ("k80-half", "single")):
+        station = paper_workstation(sockets=2, accelerator=accel,
+                                    precision=precision)
+        result = execute_hybrid(candidates, station, n_slices=6, freestream=fs)
+        deviation = np.max(np.abs(result.lift_coefficients() - reference_cl))
+        energy = configuration_energy(
+            accelerator=accel, precision=precision,
+            batch=len(candidates), n=arguments.panels, n_slices=6,
+        )
+        label = f"{accel} ({precision})"
+        print(f"{label:>22}  {result.wall_time:8.4f}  {deviation:10.2e}  "
+              f"{energy.total_joules:8.1f}")
+
+    best = int(np.argmax(reference_cl))
+    print(f"\nbest candidate by cl: {candidates[best].name} "
+          f"(cl = {reference_cl[best]:.3f})")
+    print("double-precision offload reproduces the host solver exactly;")
+    print("single precision differs in the last ~3 digits, as in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Multi-element (high-lift) configurations with the panel method.
+
+Builds a main element plus a deflected flap, sweeps the flap angle,
+and shows the classic high-lift physics: the flap's circulation
+supercharges the *main* element far beyond its isolated lift.
+
+Usage::
+
+    python examples/high_lift.py [--alpha 4]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.geometry import Airfoil, naca
+from repro.geometry.transforms import rotate, scale, translate
+from repro.panel import Freestream, solve_airfoil, solve_multielement
+from repro.viz import plot_points
+
+
+def flapped(deflection_degrees, *, gap=0.02, drop=0.03):
+    main = naca("2412", 140)
+    flap_points = scale(naca("2412", 80).points, 0.3)
+    flap_points = rotate(flap_points, -np.radians(deflection_degrees),
+                         center=(0.0, 0.0))
+    flap_points = translate(flap_points, (1.0 + gap, -drop))
+    return main, Airfoil.from_points(flap_points, name="flap")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--alpha", type=float, default=4.0)
+    arguments = parser.parse_args()
+    fs = Freestream.from_degrees(arguments.alpha)
+
+    single = solve_airfoil(naca("2412", 140), arguments.alpha)
+    print(f"single NACA 2412 at {arguments.alpha:g} deg: "
+          f"cl = {single.lift_coefficient:.3f}\n")
+
+    print(f"{'flap defl':>9}  {'system cl':>9}  {'main cl':>8}  {'flap cl':>8}"
+          f"  {'vs single':>9}")
+    for deflection in (0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0):
+        main_el, flap = flapped(deflection)
+        solution = solve_multielement([main_el, flap], fs)
+        print(f"{deflection:9.0f}  {solution.lift_coefficient():9.3f}  "
+              f"{solution.element_lift_coefficient(0):8.3f}  "
+              f"{solution.element_lift_coefficient(1):8.3f}  "
+              f"{solution.lift_coefficient() / single.lift_coefficient:8.2f}x")
+
+    main_el, flap = flapped(25.0)
+    outline = np.vstack([main_el.points, flap.points])
+    print("\nconfiguration (25 deg flap):")
+    print(plot_points(outline, width=72, height=12, marker="#", connect=False))
+    print("\nNote how most of the extra lift lands on the *main* element —")
+    print("the flap's bound vortex raises the velocity over the main")
+    print("surface (the 'circulation effect' of Smith's classic analysis).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Explore the hybrid accelerator pipeline on the simulated workstation.
+
+Reproduces the paper's Section 4-6 story interactively: baseline CPU
+runs, slice sweeps for the GPU and Xeon Phi interleaves, autotuned
+optima, and Gantt traces of the winning schedules.
+
+Usage::
+
+    python examples/hybrid_acceleration.py [--precision double] [--sockets 2]
+"""
+
+import argparse
+
+from repro.hardware import paper_workstation
+from repro.pipeline import (
+    Workload,
+    build_trace,
+    cpu_only,
+    evaluate,
+    hybrid,
+    lower_bound_gap,
+    render_ascii,
+    simulate,
+    tune_distribution,
+    tune_slices,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--precision", default="double", choices=["single", "double"])
+    parser.add_argument("--sockets", type=int, default=2, choices=[1, 2])
+    parser.add_argument("--batch", type=int, default=4000)
+    parser.add_argument("--n", type=int, default=200)
+    arguments = parser.parse_args()
+
+    workload = Workload(batch=arguments.batch, n=arguments.n,
+                        precision=arguments.precision)
+    host = paper_workstation(sockets=arguments.sockets,
+                             precision=arguments.precision)
+    baseline = evaluate(simulate(cpu_only(workload, host.cpu)))
+    print(f"workload: {workload.batch} systems of {workload.n}x{workload.n} "
+          f"({workload.precision}), {workload.total_bytes / 1e6:.0f} MB assembled")
+    print(f"baseline ({host.cpu.name}): W = {baseline.wall_time:.2f} s "
+          f"(assembly {baseline.assembly_busy:.2f} + solve {baseline.solve_busy:.2f})")
+    print()
+
+    for accelerator in ("phi", "k80-half"):
+        workstation = paper_workstation(
+            sockets=arguments.sockets, accelerator=accelerator,
+            precision=arguments.precision,
+        )
+        print(f"--- {workstation.describe()} ---")
+        print(f"{'slices':>7}  {'W':>6}  {'L':>6}  {'O':>6}  {'speedup':>7}")
+        for n_slices in (1, 5, 10, 20, 40):
+            metrics = evaluate(
+                simulate(hybrid(workload, workstation, n_slices))
+            ).with_baseline(baseline.wall_time)
+            print(f"{n_slices:7d}  {metrics.wall_time:6.2f}  "
+                  f"{metrics.solve_busy:6.2f}  {metrics.overhead:6.2f}  "
+                  f"{metrics.speedup:7.2f}")
+        tuned = tune_slices(workload, workstation)
+        best = tuned.best_metrics.with_baseline(baseline.wall_time)
+        print(f"autotuned: {tuned.best_parameter:.0f} slices -> "
+              f"W = {best.wall_time:.2f} s, speedup = {best.speedup:.2f}x, "
+              f"{lower_bound_gap(best):.0%} above the solve-time lower bound")
+        timeline = simulate(
+            hybrid(workload, workstation, int(tuned.best_parameter))
+        )
+        print(render_ascii(build_trace(timeline), width=70))
+        print()
+
+    dual = paper_workstation(sockets=arguments.sockets, accelerator="k80-dual",
+                             precision=arguments.precision)
+    tuned = tune_distribution(workload, dual)
+    best = tuned.best_metrics.with_baseline(baseline.wall_time)
+    print(f"--- {dual.describe()} (both K80 GPUs) ---")
+    print(f"autotuned distribution: {tuned.best_parameter:.2f} of the batch on "
+          f"the hybrid path -> W = {best.wall_time:.2f} s, "
+          f"speedup = {best.speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Single vs double precision, and getting both at once.
+
+The paper runs its entire evaluation twice because single precision is
+~2x faster on every device.  This example quantifies what single
+precision costs in accuracy for the panel solver — and then shows
+mixed-precision iterative refinement recovering double-precision
+answers from single-precision factorizations, the classical remedy.
+
+Usage::
+
+    python examples/mixed_precision.py
+"""
+
+import numpy as np
+
+from repro.geometry import naca
+from repro.linalg import condition_estimate_1norm, refine_solve, solve
+from repro.panel import Freestream, PanelSolver, assemble
+from repro.pipeline import Workload, evaluate, hybrid, simulate
+from repro.hardware import paper_workstation
+
+
+def main() -> None:
+    foil = naca("2412", 200)
+    fs = Freestream.from_degrees(4.0)
+
+    print("=== Accuracy: single vs double precision solves ===")
+    dp = PanelSolver(precision="double").solve(foil, fs)
+    sp = PanelSolver(precision="single").solve(foil, fs)
+    system = assemble(foil, fs)
+    condition = condition_estimate_1norm(np.asarray(system.matrix, np.float64))
+    print(f"matrix condition estimate: {condition:.2e}")
+    print(f"cl (double): {dp.lift_coefficient:.8f}")
+    print(f"cl (single): {sp.lift_coefficient:.8f}   "
+          f"error: {abs(sp.lift_coefficient - dp.lift_coefficient):.2e}")
+    print(f"max |gamma_sp - gamma_dp|: {np.max(np.abs(sp.gamma - dp.gamma)):.2e}")
+    print()
+
+    print("=== Mixed precision: float32 factorization + refinement ===")
+    matrix = np.asarray(system.matrix, np.float64)
+    rhs = np.asarray(system.rhs, np.float64)
+    reference = solve(matrix, rhs)
+    result = refine_solve(matrix, rhs)
+    print(f"{'sweep':>5}  {'scaled residual':>16}")
+    for sweep, norm in enumerate(result.residual_norms):
+        print(f"{sweep:5d}  {norm:16.3e}")
+    print(f"converged: {result.converged} after {result.iterations} sweep(s)")
+    print(f"max error vs double solve: "
+          f"{np.max(np.abs(result.solution - reference)):.2e}")
+    print()
+
+    print("=== Throughput: what single precision buys on each platform ===")
+    for accelerator in ("none", "phi", "k80-half"):
+        walls = {}
+        for precision in ("single", "double"):
+            station = paper_workstation(sockets=2, accelerator=accelerator,
+                                        precision=precision)
+            workload = Workload.paper_reference(precision)
+            if accelerator == "none":
+                from repro.pipeline import cpu_only
+                timeline = simulate(cpu_only(workload, station.cpu))
+            else:
+                timeline = simulate(hybrid(workload, station, 10))
+            walls[precision] = evaluate(timeline).wall_time
+        label = accelerator if accelerator != "none" else "cpu only"
+        print(f"{label:>9}: sp {walls['single']:5.2f} s | dp {walls['double']:5.2f} s"
+              f" | sp is {walls['double'] / walls['single']:.2f}x faster")
+    print("\nWith refinement converging in ~1 sweep, the single-precision")
+    print("pipeline effectively delivers double-precision vortex strengths.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: analyze an airfoil and simulate the hybrid pipeline.
+
+Runs the library's two headline code paths in under a minute:
+
+1. the panel-method inner solver (lift, drag, moment of a NACA 2412),
+2. the hybrid accelerator pipeline (speedup of adding a K80 to the
+   paper's dual-socket workstation).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import analyze, simulate_hybrid
+from repro.viscous import compute_polar
+from repro.geometry import naca
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The inner solver: one configuration, full report.
+    # ------------------------------------------------------------------
+    print("=== Panel-method analysis ===")
+    analysis = analyze("2412", alpha_degrees=4.0, reynolds=1e6)
+    print(analysis.summary())
+    print()
+
+    # A small polar sweep (the kind of curve the optimizer climbs).
+    print("=== Drag polar, NACA 2412, Re = 1e6 ===")
+    polar = compute_polar(naca("2412", 160), [-4, -2, 0, 2, 4, 6, 8],
+                          reynolds=1e6)
+    print(f"{'alpha':>6}  {'cl':>7}  {'cd':>8}  {'L/D':>6}")
+    for point in polar.points:
+        ld = f"{point.lift_to_drag:6.1f}" if point.lift_to_drag else "     -"
+        cd = f"{point.cd:8.5f}" if point.cd is not None else "       -"
+        note = "  (separated: cd unreliable)" if point.separated else ""
+        print(f"{point.alpha_degrees:6.1f}  {point.cl:7.3f}  {cd}  {ld}{note}")
+    attached = [p for p in polar.points
+                if p.lift_to_drag is not None and not p.separated]
+    if attached:
+        best = max(attached, key=lambda p: p.lift_to_drag)
+        print(f"best attached L/D: {best.lift_to_drag:.1f} "
+              f"at alpha = {best.alpha_degrees:.1f} deg")
+    else:
+        best = polar.best_lift_to_drag()
+        print(f"best L/D (all rows flag separation at this Re): "
+              f"{best.lift_to_drag:.1f} at alpha = {best.alpha_degrees:.1f} deg")
+    print(f"lift slope: {polar.lift_slope_per_radian():.2f} per rad "
+          "(thin-airfoil theory: 6.28)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. The hybrid pipeline: the paper's headline experiment.
+    # ------------------------------------------------------------------
+    print("=== Hybrid accelerator pipeline (simulated hardware) ===")
+    for accelerator in ("phi", "k80-half", "k80-dual"):
+        experiment = simulate_hybrid(
+            accelerator=accelerator, sockets=2, precision="double", n_slices=10
+        )
+        m = experiment.metrics
+        print(f"{accelerator:>9}: W = {m.wall_time:5.2f} s "
+              f"(cpu only: {experiment.baseline.wall_time:5.2f} s)  "
+              f"speedup = {experiment.speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

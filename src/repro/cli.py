@@ -1,0 +1,94 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1`` .. ``table5``, ``figure1`` .. ``figure4``, ``headline`` —
+  regenerate one experiment (optionally saving SVG artifacts).
+* ``all`` — regenerate everything.
+* ``analyze`` — run the inner solver on a NACA section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.api import analyze
+from repro.errors import ReproError
+from repro.experiments.runner import experiment_names, run_all, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Evaluation of the Intel Xeon Phi and "
+                     "NVIDIA K80 as accelerators for two-dimensional panel "
+                     "codes' (Einkemmer)."),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name in experiment_names():
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub.add_argument("--artifacts", metavar="DIR", default=None,
+                         help="directory for SVG artifacts")
+
+    sub_all = subparsers.add_parser("all", help="regenerate every experiment")
+    sub_all.add_argument("--artifacts", metavar="DIR", default=None,
+                         help="directory for SVG artifacts")
+
+    subparsers.add_parser(
+        "report", help="render the full EXPERIMENTS.md content to stdout"
+    )
+
+    sub_analyze = subparsers.add_parser(
+        "analyze", help="analyze a NACA section with the panel method"
+    )
+    sub_analyze.add_argument("designation", help="e.g. 2412 or 23012")
+    sub_analyze.add_argument("--alpha", type=float, default=0.0,
+                             help="angle of attack in degrees")
+    sub_analyze.add_argument("--reynolds", type=float, default=1e6,
+                             help="chord Reynolds number (0 = inviscid only)")
+    sub_analyze.add_argument("--panels", type=int, default=200,
+                             help="number of panels")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "analyze":
+            reynolds = arguments.reynolds if arguments.reynolds > 0 else None
+            result = analyze(arguments.designation, arguments.alpha,
+                             reynolds=reynolds, n_panels=arguments.panels)
+            print(result.summary())
+            return 0
+        if arguments.command == "report":
+            from repro.experiments.markdown import generate_experiments_markdown
+
+            print(generate_experiments_markdown(), end="")
+            return 0
+        if arguments.command == "all":
+            for result in run_all():
+                print(result.text)
+                print()
+                if arguments.artifacts:
+                    for path in result.save_artifacts(arguments.artifacts):
+                        print(f"  wrote {path}")
+            return 0
+        result = run_experiment(arguments.command)
+        print(result.text)
+        if arguments.artifacts:
+            for path in result.save_artifacts(arguments.artifacts):
+                print(f"  wrote {path}")
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution hook
+    sys.exit(main())

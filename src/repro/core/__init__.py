@@ -1,0 +1,17 @@
+"""High-level public API: analyze, optimize, simulate_hybrid."""
+
+from repro.core.api import (
+    AirfoilAnalysis,
+    HybridExperiment,
+    analyze,
+    optimize,
+    simulate_hybrid,
+)
+
+__all__ = [
+    "AirfoilAnalysis",
+    "HybridExperiment",
+    "analyze",
+    "optimize",
+    "simulate_hybrid",
+]

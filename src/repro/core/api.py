@@ -1,0 +1,158 @@
+"""High-level facade over the whole library.
+
+Three entry points mirror the three things the paper does:
+
+* :func:`analyze` — one airfoil, one flow condition, full aerodynamic
+  report (the inner solver).
+* :func:`optimize` — the genetic optimization of an airfoil shape
+  (the outer loop).
+* :func:`simulate_hybrid` — the hybrid accelerator pipeline for a
+  workload on a chosen workstation configuration (the contribution).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.geometry.airfoil import Airfoil
+from repro.geometry.naca import naca
+from repro.hardware.host import paper_workstation
+from repro.optimize.fitness import FitnessEvaluator
+from repro.optimize.ga import GAConfig, GeneticOptimizer
+from repro.optimize.genome import GenomeLayout
+from repro.optimize.history import OptimizationHistory
+from repro.panel.freestream import Freestream
+from repro.panel.solution import PanelSolution
+from repro.panel.solver import PanelSolver
+from repro.pipeline.engine import Timeline, simulate
+from repro.pipeline.metrics import HybridMetrics, evaluate
+from repro.pipeline.schedules import cpu_only, dual_accelerator, hybrid
+from repro.pipeline.workload import Workload
+from repro.precision import Precision, PrecisionLike
+from repro.viscous.drag import ViscousAnalysis, analyze_viscous
+
+AirfoilLike = Union[Airfoil, str]
+
+
+def _as_airfoil(airfoil: AirfoilLike, n_panels: int) -> Airfoil:
+    if isinstance(airfoil, Airfoil):
+        return airfoil
+    return naca(str(airfoil).replace("NACA", "").strip(), n_panels)
+
+
+@dataclasses.dataclass(frozen=True)
+class AirfoilAnalysis:
+    """Complete aerodynamic characterization of one configuration."""
+
+    solution: PanelSolution
+    viscous: Optional[ViscousAnalysis]
+
+    @property
+    def cl(self) -> float:
+        """Lift coefficient (inviscid, Kutta–Joukowski)."""
+        return self.solution.lift_coefficient
+
+    @property
+    def cd(self) -> Optional[float]:
+        """Profile-drag coefficient (``None`` without a viscous pass)."""
+        return self.viscous.drag_coefficient if self.viscous else None
+
+    @property
+    def cm(self) -> float:
+        """Quarter-chord moment coefficient."""
+        return self.solution.moment_coefficient()
+
+    @property
+    def lift_to_drag(self) -> Optional[float]:
+        """``cl / cd`` (``None`` without a viscous pass)."""
+        if self.viscous is None:
+            return None
+        return self.viscous.lift_to_drag
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        foil = self.solution.airfoil
+        lines = [
+            f"{foil.name}: alpha = {self.solution.freestream.alpha_degrees:.2f} deg,"
+            f" {foil.n_panels} panels",
+            f"  cl = {self.cl:+.4f}   cm(c/4) = {self.cm:+.4f}",
+        ]
+        if self.viscous is not None:
+            lines.append(
+                f"  cd = {self.cd:.5f}   L/D = {self.lift_to_drag:.1f}"
+                f"   Re = {self.viscous.reynolds:.2e}"
+                + ("   (separated)" if self.viscous.separated else "")
+            )
+        return "\n".join(lines)
+
+
+def analyze(airfoil: AirfoilLike, alpha_degrees: float = 0.0, *,
+            reynolds: Optional[float] = 1e6, n_panels: int = 200,
+            precision: PrecisionLike = Precision.DOUBLE,
+            use_head: bool = True) -> AirfoilAnalysis:
+    """Analyze an airfoil (by object or NACA designation string).
+
+    ``reynolds=None`` skips the viscous pass (inviscid only).
+    """
+    foil = _as_airfoil(airfoil, n_panels)
+    solver = PanelSolver(precision=Precision.parse(precision))
+    solution = solver.solve(foil, Freestream.from_degrees(alpha_degrees))
+    viscous = None
+    if reynolds is not None:
+        viscous = analyze_viscous(solution, reynolds, use_head=use_head)
+    return AirfoilAnalysis(solution=solution, viscous=viscous)
+
+
+def optimize(*, population_size: int = 60, generations: int = 8,
+             n_panels: int = 120, reynolds: float = 5e5,
+             seed: Optional[int] = None,
+             layout: GenomeLayout = None) -> OptimizationHistory:
+    """Run the paper's genetic airfoil optimization."""
+    layout = layout or GenomeLayout()
+    evaluator = FitnessEvaluator(layout=layout, n_panels=n_panels,
+                                 reynolds=reynolds)
+    config = GAConfig(population_size=population_size, generations=generations)
+    optimizer = GeneticOptimizer(evaluator=evaluator, config=config)
+    return optimizer.run(np.random.default_rng(seed))
+
+
+@dataclasses.dataclass(frozen=True)
+class HybridExperiment:
+    """A simulated hybrid run with its baseline comparison."""
+
+    metrics: HybridMetrics
+    baseline: HybridMetrics
+    timeline: Timeline
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the CPU-only configuration."""
+        return self.baseline.wall_time / self.metrics.wall_time
+
+
+def simulate_hybrid(*, accelerator: str = "k80-half", sockets: int = 2,
+                    precision: PrecisionLike = Precision.DOUBLE,
+                    n_slices: int = 10, batch: int = 4000, n: int = 200,
+                    distribution: float = 0.75) -> HybridExperiment:
+    """Simulate one hybrid configuration against its CPU baseline.
+
+    ``accelerator`` is one of ``"phi"``, ``"k80-half"``, ``"k80-dual"``.
+    ``distribution`` only applies to the dual-GPU scheme.
+    """
+    precision = Precision.parse(precision)
+    workload = Workload(batch=batch, n=n, precision=precision)
+    workstation = paper_workstation(
+        sockets=sockets, accelerator=accelerator, precision=precision
+    )
+    baseline_timeline = simulate(cpu_only(workload, workstation.cpu))
+    baseline = evaluate(baseline_timeline)
+    if accelerator == "k80-dual":
+        schedule = dual_accelerator(workload, workstation, distribution, n_slices)
+    else:
+        schedule = hybrid(workload, workstation, n_slices)
+    timeline = simulate(schedule)
+    metrics = evaluate(timeline).with_baseline(baseline.wall_time)
+    return HybridExperiment(metrics=metrics, baseline=baseline, timeline=timeline)

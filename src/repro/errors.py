@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised on purpose by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Raised when an airfoil or curve geometry is invalid.
+
+    Examples include open contours where a closed one is required,
+    self-intersecting outlines, or degenerate (zero-length) panels.
+    """
+
+
+class LinalgError(ReproError):
+    """Raised when a linear-algebra routine cannot complete.
+
+    The most common cause is a (numerically) singular matrix encountered
+    during LU factorization.
+    """
+
+
+class PanelMethodError(ReproError):
+    """Raised when the panel-method solver is configured inconsistently."""
+
+
+class ViscousError(ReproError):
+    """Raised when a boundary-layer computation fails.
+
+    Laminar separation ahead of any usable transition point, or inputs
+    that are not physically meaningful (non-positive Reynolds number),
+    raise this error.
+    """
+
+
+class OptimizationError(ReproError):
+    """Raised when the genetic optimizer is misconfigured."""
+
+
+class HardwareModelError(ReproError):
+    """Raised for invalid device specifications or kernel requests."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a pipeline schedule is inconsistent.
+
+    Examples: cyclic task dependencies, tasks referencing unknown
+    resources, or a slice plan that does not cover the full batch.
+    """
+
+
+class CalibrationError(ReproError):
+    """Raised when calibration data is missing or self-inconsistent."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness receives an unknown target."""

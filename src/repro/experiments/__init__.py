@@ -1,0 +1,19 @@
+"""Regeneration harness for every table and figure of the paper."""
+
+from repro.experiments.report import ExperimentResult, TextTable, compare
+from repro.experiments.runner import (
+    REGISTRY,
+    experiment_names,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "TextTable",
+    "compare",
+    "experiment_names",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,44 @@
+"""Figure 1: the NACA 2412 geometry discretized with n = 10 panels.
+
+"The control points are shown in red and the exact geometry is
+outlined in gray."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.geometry.naca import naca4
+from repro.viz.ascii_plot import plot_airfoil
+from repro.viz.svg import airfoil_svg
+
+
+def run(n_panels: int = 10, designation: str = "2412") -> ExperimentResult:
+    """Regenerate Figure 1 (coarse outline + control points)."""
+    coarse = naca4(designation, n_panels)
+    fine = naca4(designation, 200)
+    art = plot_airfoil(coarse, show_control_points=True, width=72, height=12)
+    text = (
+        f"Figure 1: NACA {designation} discretized with n = {n_panels} panels\n"
+        f"{art}\n"
+        "('#' outline through the discretization points, 'o' control points;\n"
+        " the SVG artifact overlays the exact 200-panel geometry)"
+    )
+    svg = airfoil_svg(
+        [coarse.with_name(f"NACA {designation}, n = {n_panels}"),
+         fine.with_name(f"NACA {designation}, exact (n = 200)")],
+        show_control_points=True,
+    )
+    rows = [{
+        "designation": designation,
+        "n_panels": coarse.n_panels,
+        "chord": coarse.chord,
+        "max_thickness": coarse.max_thickness,
+        "control_points": coarse.control_points.tolist(),
+    }]
+    return ExperimentResult(
+        experiment_id="figure1",
+        title="Discretized NACA 2412 geometry",
+        text=text,
+        rows=rows,
+        artifacts={"figure1.svg": svg},
+    )

@@ -1,0 +1,92 @@
+"""Figure 2: best airfoils per generation of the genetic optimizer.
+
+"Three airfoils for each generation of the genetic optimization
+algorithm are shown. ... The population size is equal to 1000."
+
+The full paper-scale run (1000 individuals x 10 generations, 200-panel
+candidates) is expensive in pure Python; the default regeneration is a
+faithful scaled-down run whose qualitative content — monotonically
+improving lift-to-drag of the per-generation champions — is checked by
+the harness.  Pass ``full=True`` to reproduce the paper-scale settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import ExperimentResult, TextTable
+from repro.optimize.fitness import FitnessEvaluator
+from repro.optimize.ga import GAConfig, GeneticOptimizer
+from repro.optimize.genome import GenomeLayout
+from repro.viz.ascii_plot import plot_airfoil
+from repro.viz.svg import airfoil_svg
+
+
+def run(*, full: bool = False, seed: int = 2016,
+        generations: int = None) -> ExperimentResult:
+    """Regenerate Figure 2 by actually running the optimizer."""
+    if full:
+        config = GAConfig(population_size=1000, generations=generations or 10)
+        n_panels = 200
+    else:
+        config = GAConfig(population_size=30, generations=generations or 6)
+        n_panels = 60
+    layout = GenomeLayout()
+    evaluator = FitnessEvaluator(layout=layout, n_panels=n_panels, reynolds=5e5)
+    optimizer = GeneticOptimizer(evaluator=evaluator, config=config)
+    history = optimizer.run(np.random.default_rng(seed))
+
+    table = TextTable(
+        headers=("generation", "best L/D", "2nd", "3rd", "mean L/D", "feasible"),
+        title=(f"Figure 2 data: GA progress (population {config.population_size}, "
+               f"{config.generations} generations, {n_panels} panels)"),
+    )
+    rows = []
+    for record in history.generations:
+        fitnesses = [individual.fitness for individual in record.best]
+        while len(fitnesses) < 3:
+            fitnesses.append(float("nan"))
+        table.add_row(
+            record.index,
+            f"{fitnesses[0]:.1f}",
+            f"{fitnesses[1]:.1f}",
+            f"{fitnesses[2]:.1f}",
+            f"{record.mean_fitness:.1f}",
+            f"{record.feasible_fraction:.0%}",
+        )
+        rows.append({
+            "generation": record.index,
+            "best_fitness": record.best_fitness,
+            "mean_fitness": record.mean_fitness,
+            "feasible_fraction": record.feasible_fraction,
+        })
+
+    champion = history.champion
+    champion_foil = layout.to_parametrization(
+        champion.genome, name="champion"
+    ).to_airfoil(max(n_panels, 100))
+    art = plot_airfoil(champion_foil, width=72, height=10)
+    text = (
+        table.render()
+        + f"\n\nchampion: L/D = {champion.fitness:.1f} "
+        f"(cl = {champion.cl:.3f}, cd = {champion.cd:.5f})\n{art}"
+    )
+
+    # SVG: the best airfoil of selected generations, left to right in
+    # the history (the paper shows one column per generation).
+    gallery = []
+    for record in history.generations:
+        foil = layout.to_parametrization(
+            record.champion.genome,
+            name=f"gen {record.index}: L/D = {record.best_fitness:.1f}",
+        ).to_airfoil(max(n_panels, 100))
+        gallery.append(foil)
+    svg = airfoil_svg(gallery, show_control_points=False)
+
+    return ExperimentResult(
+        experiment_id="figure2",
+        title="Genetic optimization of airfoils",
+        text=text,
+        rows=rows,
+        artifacts={"figure2.svg": svg},
+    )

@@ -1,0 +1,54 @@
+"""Figure 3: the GPU communication-hiding pattern.
+
+Assembly (green) and copy (orange) share the GPU queue and interleave
+with the host solves (blue); the residual red overhead of the paper's
+figure corresponds to the idle gaps visible in the trace.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.hardware.host import paper_workstation
+from repro.pipeline.engine import simulate
+from repro.pipeline.metrics import evaluate
+from repro.pipeline.schedules import hybrid
+from repro.pipeline.trace import build_trace, render_ascii
+from repro.pipeline.workload import Workload
+from repro.viz.svg import gantt_svg
+from repro.precision import Precision
+
+
+def run(n_slices: int = 5, precision=Precision.SINGLE,
+        sockets: int = 2) -> ExperimentResult:
+    """Regenerate Figure 3 as an annotated Gantt trace."""
+    precision = Precision.parse(precision)
+    workload = Workload.paper_reference(precision)
+    workstation = paper_workstation(
+        sockets=sockets, accelerator="k80-half", precision=precision
+    )
+    timeline = simulate(hybrid(workload, workstation, n_slices, stages=2))
+    trace = build_trace(timeline)
+    metrics = evaluate(timeline)
+    text = (
+        f"Figure 3: GPU interleave ({n_slices} slices, {precision}, "
+        f"{sockets}x CPU)\n\n"
+        + render_ascii(trace)
+        + f"\n\nW = {metrics.wall_time:.2f} s, L = {metrics.solve_busy:.2f} s, "
+        f"O = W - L = {metrics.overhead:.2f} s\n"
+        "Assembly and copy are serialized on the 'accel' row (the GPU "
+        "queue)\nand hidden almost entirely behind the 'cpu' row's solves."
+    )
+    rows = [{
+        "resource": row.resource,
+        "segments": [
+            {"start": seg.start, "end": seg.end, "kind": seg.kind.value}
+            for seg in row.segments
+        ],
+    } for row in trace.rows]
+    return ExperimentResult(
+        experiment_id="figure3",
+        title="GPU communication-hiding pattern",
+        text=text,
+        rows=rows,
+        artifacts={"figure3.svg": gantt_svg(trace)},
+    )

@@ -1,0 +1,55 @@
+"""Figure 4: the Xeon Phi communication-hiding pattern.
+
+Unlike the GPU case, assembly on the Phi is too slow to hide behind the
+solves alone, so the copy runs on its own link resource and all three
+operations overlap.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.hardware.host import paper_workstation
+from repro.pipeline.engine import simulate
+from repro.pipeline.metrics import evaluate
+from repro.pipeline.schedules import hybrid
+from repro.pipeline.trace import build_trace, render_ascii
+from repro.pipeline.workload import Workload
+from repro.viz.svg import gantt_svg
+from repro.precision import Precision
+
+
+def run(n_slices: int = 5, precision=Precision.SINGLE,
+        sockets: int = 2) -> ExperimentResult:
+    """Regenerate Figure 4 as an annotated Gantt trace."""
+    precision = Precision.parse(precision)
+    workload = Workload.paper_reference(precision)
+    workstation = paper_workstation(
+        sockets=sockets, accelerator="phi", precision=precision
+    )
+    timeline = simulate(hybrid(workload, workstation, n_slices, stages=3))
+    trace = build_trace(timeline)
+    metrics = evaluate(timeline)
+    text = (
+        f"Figure 4: Xeon Phi interleave ({n_slices} slices, {precision}, "
+        f"{sockets}x CPU)\n\n"
+        + render_ascii(trace)
+        + f"\n\nW = {metrics.wall_time:.2f} s, L = {metrics.solve_busy:.2f} s, "
+        f"O = W - L = {metrics.overhead:.2f} s\n"
+        "Assembly ('accel'), copy ('link'), and solve ('cpu') all overlap;\n"
+        "the 'c' blocks on the cpu row are the per-offload host management\n"
+        "that keeps the Phi's overhead from vanishing with more slices."
+    )
+    rows = [{
+        "resource": row.resource,
+        "segments": [
+            {"start": seg.start, "end": seg.end, "kind": seg.kind.value}
+            for seg in row.segments
+        ],
+    } for row in trace.rows]
+    return ExperimentResult(
+        experiment_id="figure4",
+        title="Xeon Phi communication-hiding pattern",
+        text=text,
+        rows=rows,
+        artifacts={"figure4.svg": gantt_svg(trace)},
+    )

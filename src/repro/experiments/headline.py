@@ -1,0 +1,86 @@
+"""Checker for the paper's Section 7 headline claims.
+
+Runs the same simulations as Tables 2-5 and verifies each conclusion
+band from :data:`repro.experiments.paper_data.HEADLINE_CLAIMS`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments import hybrid_tables as ht
+from repro.experiments.paper_data import HEADLINE_CLAIMS
+from repro.experiments.report import ExperimentResult, TextTable
+from repro.hardware.kernels import KernelModel
+from repro.hardware.specs import E5_2630_V3
+from repro.pipeline.metrics import lower_bound_gap
+from repro.precision import Precision
+
+
+def measured_values() -> Dict[str, float]:
+    """Simulate everything the Section 7 claims reference."""
+    values: Dict[str, float] = {}
+
+    gpu_sp_2 = ht.hybrid_sweep("k80-half", Precision.SINGLE, 2, (10, 20))
+    gpu_dp_2 = ht.hybrid_sweep("k80-half", Precision.DOUBLE, 2, (10, 20))
+    dual_sp_2 = ht.dual_sweep(Precision.SINGLE, 2)
+    dual_dp_2 = ht.dual_sweep(Precision.DOUBLE, 2)
+    values["k80_dual_socket_single"] = max(
+        m.speedup for m in gpu_sp_2 + dual_sp_2
+    )
+    values["k80_dual_socket_double"] = max(
+        m.speedup for m in gpu_dp_2 + dual_dp_2
+    )
+
+    phi_sp_2 = ht.hybrid_sweep("phi", Precision.SINGLE, 2, (10, 20))
+    phi_dp_2 = ht.hybrid_sweep("phi", Precision.DOUBLE, 2, (10, 20))
+    values["phi_dual_socket"] = max(m.speedup for m in phi_sp_2 + phi_dp_2)
+
+    dual_sp_1 = ht.dual_sweep(Precision.SINGLE, 1)
+    dual_dp_1 = ht.dual_sweep(Precision.DOUBLE, 1)
+    values["gpu_single_socket_max"] = max(
+        m.speedup for m in dual_sp_1 + dual_dp_1
+    )
+
+    phi_sp_1 = ht.hybrid_sweep("phi", Precision.SINGLE, 1, (10, 20))
+    phi_dp_1 = ht.hybrid_sweep("phi", Precision.DOUBLE, 1, (10, 20))
+    values["phi_single_socket_max"] = max(m.speedup for m in phi_sp_1 + phi_dp_1)
+
+    model = KernelModel.for_device(E5_2630_V3, Precision.DOUBLE)
+    values["cpu_assembly_solve_ratio"] = (
+        model.assembly(4000, 200).seconds / model.solve(4000, 200).seconds
+    )
+
+    best_gpu = min(gpu_dp_2, key=lambda m: m.wall_time)
+    values["hybrid_lower_bound_gap"] = lower_bound_gap(best_gpu)
+    return values
+
+
+def run() -> ExperimentResult:
+    """Check every headline claim and render a verdict table."""
+    values = measured_values()
+    table = TextTable(
+        headers=("claim", "simulated", "claimed band", "verdict"),
+        title="Section 7 headline claims",
+    )
+    rows = []
+    for key, claim in HEADLINE_CLAIMS.items():
+        value = values[key]
+        verdict = "PASS" if claim.holds(value) else "FAIL"
+        table.add_row(
+            claim.description, f"{value:.2f}",
+            f"[{claim.low:.2f}, {claim.high:.2f}]", verdict,
+        )
+        rows.append({
+            "claim": key,
+            "value": value,
+            "low": claim.low,
+            "high": claim.high,
+            "passes": claim.holds(value),
+        })
+    return ExperimentResult(
+        experiment_id="headline",
+        title="Headline claim verification",
+        text=table.render(),
+        rows=rows,
+    )

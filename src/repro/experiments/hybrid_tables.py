@@ -1,0 +1,125 @@
+"""Shared machinery for Tables 3-5 (the hybrid-pipeline sweeps).
+
+Each table row is one simulated schedule; the renderer prints the
+simulated W/A/L/O/speedup next to the paper's measured value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.experiments.paper_data import BASELINES, PaperRow
+from repro.experiments.report import TextTable, compare
+from repro.hardware.host import paper_workstation
+from repro.pipeline.engine import simulate
+from repro.pipeline.metrics import HybridMetrics, evaluate
+from repro.pipeline.schedules import cpu_only, dual_accelerator, hybrid
+from repro.pipeline.workload import Workload
+from repro.precision import Precision
+
+PAPER_SLICES = (1, 5, 10, 20)
+PAPER_DISTRIBUTIONS = (0.70, 0.75, 0.80)
+
+
+def baseline_metrics(precision: Precision, sockets: int,
+                     workload: Workload = None) -> HybridMetrics:
+    """Simulate the CPU-only baseline configuration."""
+    workload = workload or Workload.paper_reference(precision)
+    workstation = paper_workstation(sockets=sockets, precision=precision)
+    return evaluate(simulate(cpu_only(workload, workstation.cpu)))
+
+
+def hybrid_sweep(accelerator: str, precision: Precision, sockets: int,
+                 slice_counts: Iterable[int] = PAPER_SLICES, *,
+                 workload: Workload = None) -> List[HybridMetrics]:
+    """Simulate the hybrid pipeline over a slice-count sweep."""
+    workload = workload or Workload.paper_reference(precision)
+    workstation = paper_workstation(
+        sockets=sockets, accelerator=accelerator, precision=precision
+    )
+    base = baseline_metrics(precision, sockets, workload)
+    return [
+        evaluate(simulate(hybrid(workload, workstation, n_slices)))
+        .with_baseline(base.wall_time)
+        for n_slices in slice_counts
+    ]
+
+
+def dual_sweep(precision: Precision, sockets: int,
+               distributions: Iterable[float] = PAPER_DISTRIBUTIONS, *,
+               n_slices: int = 10, workload: Workload = None) -> List[HybridMetrics]:
+    """Simulate the dual-GPU scheme over a distribution sweep."""
+    workload = workload or Workload.paper_reference(precision)
+    workstation = paper_workstation(
+        sockets=sockets, accelerator="k80-dual", precision=precision
+    )
+    base = baseline_metrics(precision, sockets, workload)
+    return [
+        evaluate(simulate(dual_accelerator(workload, workstation, distribution,
+                                           n_slices)))
+        .with_baseline(base.wall_time)
+        for distribution in distributions
+    ]
+
+
+def render_sweep_table(title: str, parameter_name: str, parameters,
+                       metrics: List[HybridMetrics],
+                       paper_rows: Optional[Dict] = None, *,
+                       exposed_assembly: bool = False,
+                       baseline: HybridMetrics = None,
+                       paper_baseline: PaperRow = None) -> TextTable:
+    """Render one precision/socket block of a hybrid table."""
+    table = TextTable(
+        headers=(parameter_name, "W", "A", "L", "O", "speedup"),
+        title=title,
+    )
+    if baseline is not None:
+        pb = paper_baseline
+        table.add_row(
+            "cpu only",
+            compare(baseline.wall_time, pb.wall if pb else None),
+            compare(baseline.assembly_busy, pb.assembly if pb else None),
+            compare(baseline.solve_busy, pb.solve if pb else None),
+            "-",
+            "-",
+        )
+    for parameter, metric in zip(parameters, metrics):
+        paper = paper_rows.get(parameter) if paper_rows else None
+        assembly = (
+            metric.assembly_exposed if exposed_assembly else metric.assembly_busy
+        )
+        table.add_row(
+            parameter,
+            compare(metric.wall_time, paper.wall if paper else None),
+            compare(assembly, paper.assembly if paper else None),
+            compare(metric.solve_busy, paper.solve if paper else None),
+            compare(metric.overhead, paper.overhead if paper else None),
+            compare(metric.speedup, paper.speedup if paper else None),
+        )
+    return table
+
+
+def metrics_to_rows(parameter_name: str, parameters,
+                    metrics: List[HybridMetrics], *, precision: Precision,
+                    sockets: int, exposed_assembly: bool = False) -> List[dict]:
+    """Structured rows for programmatic consumers."""
+    rows = []
+    for parameter, metric in zip(parameters, metrics):
+        rows.append({
+            parameter_name: parameter,
+            "precision": precision.value,
+            "sockets": sockets,
+            "wall": metric.wall_time,
+            "assembly": (
+                metric.assembly_exposed if exposed_assembly else metric.assembly_busy
+            ),
+            "solve": metric.solve_busy,
+            "overhead": metric.overhead,
+            "speedup": metric.speedup,
+        })
+    return rows
+
+
+def paper_baseline(precision: Precision, sockets: int) -> PaperRow:
+    """The paper's CPU-only reference row."""
+    return BASELINES[(precision, sockets)]

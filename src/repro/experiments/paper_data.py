@@ -1,0 +1,174 @@
+"""The paper's published numbers, transcribed verbatim.
+
+Used by EXPERIMENTS.md generation and by the test suite to check that
+the simulator reproduces the *shape* of every table: who wins, by what
+factor, and where the optima sit.  Table 2 lives in
+:mod:`repro.hardware.calibration` because it anchors the device models;
+this module holds Tables 3-5 and the headline claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.precision import Precision
+
+SINGLE = Precision.SINGLE
+DOUBLE = Precision.DOUBLE
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperRow:
+    """One W/A/L/O row of Tables 3-5."""
+
+    wall: float
+    assembly: float
+    solve: float
+    overhead: Optional[float] = None
+    speedup: Optional[float] = None
+
+
+# CPU-only baselines repeated at the top of Tables 3-5:
+# {(precision, sockets): PaperRow}
+BASELINES: Dict[Tuple[Precision, int], PaperRow] = {
+    (SINGLE, 1): PaperRow(6.69, 4.97, 1.75),
+    (SINGLE, 2): PaperRow(3.80, 2.76, 1.07),
+    (DOUBLE, 1): PaperRow(12.21, 9.40, 2.85),
+    (DOUBLE, 2): PaperRow(7.20, 5.19, 2.05),
+}
+
+# Table 3: GPU+CPU hybrid. {(precision, sockets): {slices: PaperRow}}
+TABLE3: Dict[Tuple[Precision, int], Dict[int, PaperRow]] = {
+    (SINGLE, 1): {
+        1: PaperRow(2.78, 0.46, 1.75, 1.03, 2.40),
+        5: PaperRow(2.12, 0.46, 1.87, 0.25, 3.16),
+        10: PaperRow(1.98, 0.46, 1.82, 0.16, 3.38),
+        20: PaperRow(1.97, 0.46, 1.86, 0.10, 3.40),
+    },
+    (SINGLE, 2): {
+        1: PaperRow(2.14, 0.47, 1.09, 1.06, 1.78),
+        5: PaperRow(1.37, 0.46, 1.11, 0.25, 2.78),
+        10: PaperRow(1.26, 0.46, 1.11, 0.16, 3.01),
+        20: PaperRow(1.41, 0.47, 1.29, 0.12, 2.69),
+    },
+    (DOUBLE, 1): {
+        1: PaperRow(4.82, 0.77, 2.90, 1.92, 2.53),
+        5: PaperRow(3.31, 0.77, 2.84, 0.47, 3.69),
+        10: PaperRow(3.13, 0.77, 2.84, 0.29, 3.91),
+        20: PaperRow(3.16, 0.78, 2.95, 0.21, 3.86),
+    },
+    (DOUBLE, 2): {
+        1: PaperRow(3.98, 0.77, 2.07, 1.91, 1.81),
+        5: PaperRow(2.63, 0.77, 2.15, 0.48, 2.73),
+        10: PaperRow(2.46, 0.77, 2.16, 0.30, 2.93),
+        20: PaperRow(2.50, 0.78, 2.28, 0.22, 2.88),
+    },
+}
+
+#: Slice count the paper marks bold (optimal) in Table 3.
+TABLE3_OPTIMAL_SLICES = {
+    (SINGLE, 1): 20,
+    (SINGLE, 2): 10,
+    (DOUBLE, 1): 10,
+    (DOUBLE, 2): 10,
+}
+
+# Table 4: Phi+CPU hybrid.  The A column reports *exposed* assembly.
+TABLE4: Dict[Tuple[Precision, int], Dict[int, PaperRow]] = {
+    (SINGLE, 1): {
+        1: PaperRow(3.70, 0.97, 1.72, 1.98, 1.80),
+        5: PaperRow(2.36, 0.43, 1.74, 0.62, 2.83),
+        10: PaperRow(2.25, 0.27, 1.81, 0.44, 2.97),
+        20: PaperRow(2.20, 0.16, 1.81, 0.39, 3.04),
+    },
+    (SINGLE, 2): {
+        1: PaperRow(3.04, 0.98, 1.05, 1.99, 1.25),
+        5: PaperRow(1.77, 0.42, 1.11, 0.67, 2.14),
+        10: PaperRow(1.59, 0.25, 1.15, 0.44, 2.40),
+        20: PaperRow(1.65, 0.18, 1.22, 0.43, 2.31),
+    },
+    (DOUBLE, 1): {
+        1: PaperRow(6.79, 1.92, 2.84, 3.95, 1.80),
+        5: PaperRow(3.90, 0.81, 2.73, 1.17, 3.13),
+        10: PaperRow(3.62, 0.49, 2.75, 0.86, 3.38),
+        20: PaperRow(3.43, 0.28, 2.77, 0.66, 3.56),
+    },
+    (DOUBLE, 2): {
+        1: PaperRow(5.96, 1.92, 2.01, 3.95, 1.21),
+        5: PaperRow(3.26, 0.87, 2.04, 1.22, 2.21),
+        10: PaperRow(2.97, 0.49, 2.10, 0.87, 2.42),
+        20: PaperRow(2.83, 0.32, 2.15, 0.68, 2.54),
+    },
+}
+
+TABLE4_OPTIMAL_SLICES = {
+    (SINGLE, 1): 20,
+    (SINGLE, 2): 10,
+    (DOUBLE, 1): 20,
+    (DOUBLE, 2): 20,
+}
+
+# Table 5: dual-GPU split. {(precision, sockets): {distr: PaperRow}}
+TABLE5: Dict[Tuple[Precision, int], Dict[float, PaperRow]] = {
+    (SINGLE, 1): {
+        0.70: PaperRow(1.52, 0.44, 1.31, 0.20, 4.41),
+        0.75: PaperRow(1.58, 0.45, 1.44, 0.15, 4.22),
+        0.80: PaperRow(1.62, 0.47, 1.49, 0.13, 4.12),
+    },
+    (SINGLE, 2): {
+        0.70: PaperRow(1.49, 0.33, 0.91, 0.58, 2.54),
+        0.75: PaperRow(1.29, 0.35, 0.95, 0.34, 2.94),
+        0.80: PaperRow(1.21, 0.37, 1.00, 0.21, 3.13),
+    },
+    (DOUBLE, 1): {
+        0.70: PaperRow(2.44, 0.55, 2.20, 0.23, 5.01),
+        0.75: PaperRow(2.40, 0.59, 2.17, 0.23, 5.08),
+        0.80: PaperRow(2.66, 0.62, 2.42, 0.23, 4.60),
+    },
+    (DOUBLE, 2): {
+        0.70: PaperRow(2.01, 0.55, 1.70, 0.31, 3.57),
+        0.75: PaperRow(2.11, 0.59, 1.83, 0.28, 3.41),
+        0.80: PaperRow(2.26, 0.62, 2.00, 0.26, 3.18),
+    },
+}
+
+TABLE5_OPTIMAL_DISTR = {
+    (SINGLE, 1): 0.70,
+    (SINGLE, 2): 0.80,
+    (DOUBLE, 1): 0.75,
+    (DOUBLE, 2): 0.70,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class HeadlineClaim:
+    """A conclusion-section claim with its tolerance for the checker."""
+
+    description: str
+    low: float
+    high: float
+
+    def holds(self, value: float) -> bool:
+        """True when the simulated value lands inside the claimed band."""
+        return self.low <= value <= self.high
+
+
+#: The conclusions of Section 7 as checkable bands (band edges widened
+#: by ~10-15 % relative tolerance: this reproduction targets shapes).
+HEADLINE_CLAIMS = {
+    "k80_dual_socket_single": HeadlineClaim(
+        "K80 on dual socket, single precision: speedup ~ 3.1", 2.6, 3.6),
+    "k80_dual_socket_double": HeadlineClaim(
+        "K80 on dual socket, double precision: speedup ~ 3.6", 3.0, 4.2),
+    "phi_dual_socket": HeadlineClaim(
+        "Phi 7120 on dual socket: speedup ~ 2.4-2.5", 2.0, 3.0),
+    "gpu_single_socket_max": HeadlineClaim(
+        "GPU on single socket: speedup up to ~ 5", 4.2, 5.8),
+    "phi_single_socket_max": HeadlineClaim(
+        "Phi on single socket: speedup up to ~ 3.5", 2.9, 4.1),
+    "cpu_assembly_solve_ratio": HeadlineClaim(
+        "CPU assembly 2.5-3.5x more expensive than solve", 2.5, 3.5),
+    "hybrid_lower_bound_gap": HeadlineClaim(
+        "hybrid within 10-20 % of the solve-time lower bound", 0.0, 0.25),
+}

@@ -1,0 +1,84 @@
+"""Plain-text table rendering and paper-comparison formatting."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclasses.dataclass
+class TextTable:
+    """A simple right-aligned monospace table builder."""
+
+    headers: Sequence[str]
+    rows: List[Sequence[str]] = dataclasses.field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cells are converted to strings."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        """The table as aligned text with a rule under the header."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(
+            header.rjust(width) for header, width in zip(self.headers, widths)
+        ))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append("  ".join(
+                cell.rjust(width) for cell, width in zip(row, widths)
+            ))
+        return "\n".join(lines)
+
+
+def compare(simulated: float, paper: Optional[float], *, digits: int = 2) -> str:
+    """``"1.95 (paper 1.98)"`` cells for side-by-side tables."""
+    if paper is None:
+        return f"{simulated:.{digits}f}"
+    return f"{simulated:.{digits}f} ({paper:.{digits}f})"
+
+
+def ratio_note(simulated: float, paper: Optional[float]) -> str:
+    """Relative deviation annotation, e.g. ``"+3%"``."""
+    if paper is None or paper == 0.0:
+        return "-"
+    deviation = simulated / paper - 1.0
+    return f"{deviation:+.0%}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """The output of one table/figure regeneration."""
+
+    experiment_id: str
+    title: str
+    text: str
+    rows: List[Dict] = dataclasses.field(default_factory=list)
+    artifacts: Dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+    def save_artifacts(self, directory) -> List[str]:
+        """Write artifacts (e.g. SVG files) into *directory*."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        written = []
+        for name, content in self.artifacts.items():
+            path = os.path.join(directory, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(content)
+            written.append(path)
+        return written

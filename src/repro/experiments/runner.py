@@ -1,0 +1,59 @@
+"""Registry and dispatcher for every reproducible experiment."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    convergence,
+    energy_table,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    headline,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.report import ExperimentResult
+
+#: Experiment id -> zero-argument runner (defaults baked in).
+REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "headline": headline.run,
+    "convergence": convergence.run,
+    "energy": energy_table.run,
+}
+
+
+def experiment_names() -> List[str]:
+    """Every registered experiment id, tables first."""
+    return list(REGISTRY)
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"table3"``)."""
+    normalized = name.strip().lower()
+    try:
+        runner = REGISTRY[normalized]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        raise ExperimentError(f"unknown experiment {name!r}; choose from: {known}")
+    return runner()
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every registered experiment, in registry order."""
+    return [runner() for runner in REGISTRY.values()]

@@ -1,0 +1,44 @@
+"""Table 3: the GPU+CPU hybrid pipeline, swept over slice counts."""
+
+from __future__ import annotations
+
+from repro.experiments import hybrid_tables as ht
+from repro.experiments.paper_data import TABLE3, TABLE3_OPTIMAL_SLICES
+from repro.experiments.report import ExperimentResult
+from repro.precision import Precision
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table 3 (simulated vs. paper, all four blocks)."""
+    sections = []
+    rows = []
+    for precision in (Precision.SINGLE, Precision.DOUBLE):
+        for sockets in (1, 2):
+            metrics = ht.hybrid_sweep("k80-half", precision, sockets)
+            baseline = ht.baseline_metrics(precision, sockets)
+            table = ht.render_sweep_table(
+                title=(f"Table 3 ({precision}, {sockets}x CPU): GPU+CPU hybrid "
+                       "[simulated (paper)]"),
+                parameter_name="slices",
+                parameters=ht.PAPER_SLICES,
+                metrics=metrics,
+                paper_rows=TABLE3[(precision, sockets)],
+                baseline=baseline,
+                paper_baseline=ht.paper_baseline(precision, sockets),
+            )
+            sections.append(table.render())
+            rows.extend(ht.metrics_to_rows(
+                "slices", ht.PAPER_SLICES, metrics,
+                precision=precision, sockets=sockets,
+            ))
+            best = min(zip(ht.PAPER_SLICES, metrics), key=lambda p: p[1].wall_time)
+            sections.append(
+                f"  simulated optimum: {best[0]} slices "
+                f"(paper bold: {TABLE3_OPTIMAL_SLICES[(precision, sockets)]})"
+            )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="GPU+CPU hybrid timing",
+        text="\n\n".join(sections),
+        rows=rows,
+    )

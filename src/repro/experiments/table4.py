@@ -1,0 +1,55 @@
+"""Table 4: the Xeon Phi+CPU hybrid (three-way interleave).
+
+The paper's Table 4 also repeats the best GPU rows for comparison;
+this regeneration does the same.  Note the ``A`` column here is the
+*exposed* assembly time (the pipeline fill), which is why it shrinks
+with the slice count — see DESIGN.md Section 5.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import hybrid_tables as ht
+from repro.experiments.paper_data import TABLE4, TABLE4_OPTIMAL_SLICES
+from repro.experiments.report import ExperimentResult
+from repro.precision import Precision
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table 4 (simulated vs. paper, all four blocks)."""
+    sections = []
+    rows = []
+    for precision in (Precision.SINGLE, Precision.DOUBLE):
+        for sockets in (1, 2):
+            metrics = ht.hybrid_sweep("phi", precision, sockets)
+            baseline = ht.baseline_metrics(precision, sockets)
+            table = ht.render_sweep_table(
+                title=(f"Table 4 ({precision}, {sockets}x CPU): Phi+CPU hybrid "
+                       "[simulated (paper)]"),
+                parameter_name="slices",
+                parameters=ht.PAPER_SLICES,
+                metrics=metrics,
+                paper_rows=TABLE4[(precision, sockets)],
+                exposed_assembly=True,
+                baseline=baseline,
+                paper_baseline=ht.paper_baseline(precision, sockets),
+            )
+            sections.append(table.render())
+            rows.extend(ht.metrics_to_rows(
+                "slices", ht.PAPER_SLICES, metrics,
+                precision=precision, sockets=sockets, exposed_assembly=True,
+            ))
+            best = min(zip(ht.PAPER_SLICES, metrics), key=lambda p: p[1].wall_time)
+            gpu = ht.hybrid_sweep("k80-half", precision, sockets,
+                                  slice_counts=(10, 20))
+            sections.append(
+                f"  simulated optimum: {best[0]} slices "
+                f"(paper bold: {TABLE4_OPTIMAL_SLICES[(precision, sockets)]}); "
+                f"GPU reference W: {gpu[0].wall_time:.2f} (10 slices), "
+                f"{gpu[1].wall_time:.2f} (20 slices)"
+            )
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Xeon Phi+CPU hybrid timing",
+        text="\n\n".join(sections),
+        rows=rows,
+    )

@@ -1,0 +1,61 @@
+"""Table 5: using both GPUs of the K80 (Section 6).
+
+A fraction ``distr`` of the candidates follows the hybrid path
+(assembled on GPU 0, solved on the host with 15 of 16 threads) while
+the rest is assembled *and solved* on GPU 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import hybrid_tables as ht
+from repro.experiments.paper_data import TABLE5, TABLE5_OPTIMAL_DISTR
+from repro.experiments.report import ExperimentResult
+from repro.pipeline.autotune import tune_distribution
+from repro.pipeline.workload import Workload
+from repro.hardware.host import paper_workstation
+from repro.precision import Precision
+
+
+def run(n_slices: int = 10) -> ExperimentResult:
+    """Regenerate Table 5 (simulated vs. paper, all four blocks)."""
+    sections = []
+    rows = []
+    for precision in (Precision.SINGLE, Precision.DOUBLE):
+        for sockets in (1, 2):
+            metrics = ht.dual_sweep(precision, sockets, n_slices=n_slices)
+            reference = ht.dual_sweep(precision, sockets, distributions=(1.0,),
+                                      n_slices=n_slices)
+            baseline = ht.baseline_metrics(precision, sockets)
+            table = ht.render_sweep_table(
+                title=(f"Table 5 ({precision}, {sockets}x CPU): dual-GPU "
+                       f"[simulated (paper), {n_slices} slices]"),
+                parameter_name="distr",
+                parameters=ht.PAPER_DISTRIBUTIONS,
+                metrics=metrics,
+                paper_rows=TABLE5[(precision, sockets)],
+                baseline=baseline,
+                paper_baseline=ht.paper_baseline(precision, sockets),
+            )
+            sections.append(table.render())
+            rows.extend(ht.metrics_to_rows(
+                "distr", ht.PAPER_DISTRIBUTIONS, metrics,
+                precision=precision, sockets=sockets,
+            ))
+            tuned = tune_distribution(
+                Workload.paper_reference(precision),
+                paper_workstation(sockets=sockets, accelerator="k80-dual",
+                                  precision=precision),
+                n_slices=n_slices,
+            )
+            sections.append(
+                f"  single-GPU reference (distr 1.0): W={reference[0].wall_time:.2f}, "
+                f"speedup={reference[0].speedup:.2f}; autotuned optimum "
+                f"distr={tuned.best_parameter:.2f} "
+                f"(paper bold: {TABLE5_OPTIMAL_DISTR[(precision, sockets)]:.2f})"
+            )
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Dual-GPU timing",
+        text="\n\n".join(sections),
+        rows=rows,
+    )

@@ -1,0 +1,84 @@
+"""Reading and writing airfoil coordinate files.
+
+Supports the ubiquitous Selig ``.dat`` format: an optional name line
+followed by ``x y`` coordinate pairs running from the trailing edge over
+the upper surface to the leading edge and back.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.airfoil import Airfoil
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _parse_lines(lines, default_name: str) -> Airfoil:
+    name = default_name
+    coordinates = []
+    for index, raw in enumerate(lines):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        try:
+            values = [float(part) for part in parts[:2]]
+            if len(values) != 2:
+                raise ValueError
+        except ValueError:
+            if index == 0 and not coordinates:
+                name = line
+                continue
+            raise GeometryError(f"cannot parse coordinate line {index + 1}: {raw!r}")
+        coordinates.append(values)
+    if len(coordinates) < 4:
+        raise GeometryError("coordinate file holds fewer than 4 points")
+    return Airfoil.from_points(np.array(coordinates), name=name)
+
+
+def read_dat(source: PathOrFile, name: str = "") -> Airfoil:
+    """Read an airfoil from a Selig-format ``.dat`` file or file object."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+        default_name = name or "airfoil"
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        default_name = name or os.path.splitext(os.path.basename(source))[0]
+    return _parse_lines(lines, default_name)
+
+
+def read_dat_string(text: str, name: str = "airfoil") -> Airfoil:
+    """Read an airfoil from an in-memory Selig-format string."""
+    return read_dat(io.StringIO(text), name=name)
+
+
+def write_dat(airfoil: Airfoil, destination: PathOrFile, *, digits: int = 6) -> None:
+    """Write an airfoil in Selig format.
+
+    The closing point (a repeat of the trailing edge) is written, so a
+    round trip through :func:`read_dat` reproduces the outline exactly
+    up to the formatting precision.
+    """
+    lines = [airfoil.name]
+    fmt = f"{{:.{digits}f}} {{:.{digits}f}}"
+    lines.extend(fmt.format(x, y) for x, y in airfoil.points)
+    text = "\n".join(lines) + "\n"
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def to_dat_string(airfoil: Airfoil, *, digits: int = 6) -> str:
+    """Render an airfoil as a Selig-format string."""
+    buffer = io.StringIO()
+    write_dat(airfoil, buffer, digits=digits)
+    return buffer.getvalue()

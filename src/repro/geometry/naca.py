@@ -1,0 +1,149 @@
+"""Generators for NACA 4-digit and 5-digit airfoil sections.
+
+The paper's Figure 1 shows a NACA 2412; these generators provide the
+classical analytic definitions so every experiment can construct its
+geometry from scratch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.airfoil import Airfoil
+from repro.geometry.sampling import spacing
+
+# Coefficients of the NACA thickness polynomial.
+_THICKNESS_COEFFS = (0.2969, -0.1260, -0.3516, 0.2843)
+_TE_COEFF_OPEN = -0.1015  # original: finite trailing-edge thickness
+_TE_COEFF_CLOSED = -0.1036  # modified: exactly closed trailing edge
+
+
+def thickness_distribution(x: np.ndarray, thickness: float, *, closed_te: bool = True) -> np.ndarray:
+    """Half-thickness ``y_t(x)`` of a NACA section.
+
+    ``x`` holds chord fractions on [0, 1]; ``thickness`` is the maximum
+    thickness as a fraction of chord (e.g. 0.12 for a NACA xx12).
+    """
+    a4 = _TE_COEFF_CLOSED if closed_te else _TE_COEFF_OPEN
+    a0, a1, a2, a3 = _THICKNESS_COEFFS
+    x = np.asarray(x, dtype=np.float64)
+    return 5.0 * thickness * (
+        a0 * np.sqrt(x) + a1 * x + a2 * x**2 + a3 * x**3 + a4 * x**4
+    )
+
+
+def camber_line_4digit(x: np.ndarray, camber: float, camber_pos: float) -> tuple:
+    """Camber line ``y_c(x)`` and slope ``dy_c/dx`` of a 4-digit section.
+
+    ``camber`` is the maximum camber (fraction of chord) and
+    ``camber_pos`` its chordwise position (fraction of chord).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y_c = np.zeros_like(x)
+    dy_dx = np.zeros_like(x)
+    if camber == 0.0 or camber_pos == 0.0:
+        return y_c, dy_dx
+    m, p = camber, camber_pos
+    front = x < p
+    y_c[front] = m / p**2 * (2.0 * p * x[front] - x[front] ** 2)
+    dy_dx[front] = 2.0 * m / p**2 * (p - x[front])
+    rear = ~front
+    y_c[rear] = m / (1.0 - p) ** 2 * ((1.0 - 2.0 * p) + 2.0 * p * x[rear] - x[rear] ** 2)
+    dy_dx[rear] = 2.0 * m / (1.0 - p) ** 2 * (p - x[rear])
+    return y_c, dy_dx
+
+
+def camber_line_5digit(x: np.ndarray, designation: str) -> tuple:
+    """Camber line and slope of a standard (non-reflex) 5-digit section.
+
+    Only the classical 210-250 camber families are supported.
+    """
+    profiles = {
+        # camber code -> (m, k1) from the NACA report tabulation
+        "210": (0.0580, 361.400),
+        "220": (0.1260, 51.640),
+        "230": (0.2025, 15.957),
+        "240": (0.2900, 6.643),
+        "250": (0.3910, 3.230),
+    }
+    code = designation[:3]
+    if code not in profiles:
+        known = ", ".join(sorted(profiles))
+        raise GeometryError(f"unsupported 5-digit camber code {code!r}; known: {known}")
+    m, k1 = profiles[code]
+    x = np.asarray(x, dtype=np.float64)
+    y_c = np.zeros_like(x)
+    dy_dx = np.zeros_like(x)
+    front = x < m
+    xf = x[front]
+    y_c[front] = k1 / 6.0 * (xf**3 - 3.0 * m * xf**2 + m**2 * (3.0 - m) * xf)
+    dy_dx[front] = k1 / 6.0 * (3.0 * xf**2 - 6.0 * m * xf + m**2 * (3.0 - m))
+    rear = ~front
+    y_c[rear] = k1 * m**3 / 6.0 * (1.0 - x[rear])
+    dy_dx[rear] = -k1 * m**3 / 6.0
+    return y_c, dy_dx
+
+
+def _surface_points(x, y_c, dy_dx, y_t) -> tuple:
+    """Upper/lower surfaces offset perpendicular to the camber line."""
+    theta = np.arctan(dy_dx)
+    upper = np.column_stack([x - y_t * np.sin(theta), y_c + y_t * np.cos(theta)])
+    lower = np.column_stack([x + y_t * np.sin(theta), y_c - y_t * np.cos(theta)])
+    # Pin the shared endpoints so the outline closes exactly.
+    upper[0] = lower[0] = (0.0, float(y_c[0]))
+    upper[-1] = lower[-1] = (1.0, float(y_c[-1]))
+    return upper, lower
+
+
+def naca4(designation: str, n_panels: int = 200, *, spacing_kind: str = "cosine",
+          closed_te: bool = True) -> Airfoil:
+    """Generate a NACA 4-digit airfoil such as ``"2412"``.
+
+    ``n_panels`` is the total number of panels around the outline; it
+    must be even so both surfaces get the same resolution.  Chord length
+    is 1 with the trailing edge at ``(1, 0)``.
+    """
+    digits = designation.strip()
+    if len(digits) != 4 or not digits.isdigit():
+        raise GeometryError(f"not a 4-digit NACA designation: {designation!r}")
+    if n_panels < 4 or n_panels % 2:
+        raise GeometryError(f"n_panels must be an even number >= 4, got {n_panels}")
+    camber = int(digits[0]) / 100.0
+    camber_pos = int(digits[1]) / 10.0
+    thickness = int(digits[2:]) / 100.0
+    if thickness == 0.0:
+        raise GeometryError("zero-thickness sections cannot be paneled; use >= 01")
+    x = spacing(spacing_kind, n_panels // 2 + 1)
+    y_t = thickness_distribution(x, thickness, closed_te=closed_te)
+    y_c, dy_dx = camber_line_4digit(x, camber, camber_pos)
+    upper, lower = _surface_points(x, y_c, dy_dx, y_t)
+    return Airfoil.from_surfaces(upper, lower, name=f"NACA {digits}")
+
+
+def naca5(designation: str, n_panels: int = 200, *, spacing_kind: str = "cosine",
+          closed_te: bool = True) -> Airfoil:
+    """Generate a NACA 5-digit airfoil such as ``"23012"``."""
+    digits = designation.strip()
+    if len(digits) != 5 or not digits.isdigit():
+        raise GeometryError(f"not a 5-digit NACA designation: {designation!r}")
+    if n_panels < 4 or n_panels % 2:
+        raise GeometryError(f"n_panels must be an even number >= 4, got {n_panels}")
+    thickness = int(digits[3:]) / 100.0
+    if thickness == 0.0:
+        raise GeometryError("zero-thickness sections cannot be paneled; use >= 01")
+    x = spacing(spacing_kind, n_panels // 2 + 1)
+    y_t = thickness_distribution(x, thickness, closed_te=closed_te)
+    y_c, dy_dx = camber_line_5digit(x, digits)
+    upper, lower = _surface_points(x, y_c, dy_dx, y_t)
+    return Airfoil.from_surfaces(upper, lower, name=f"NACA {digits}")
+
+
+def naca(designation: str, n_panels: int = 200, **kwargs) -> Airfoil:
+    """Generate a 4- or 5-digit NACA airfoil, dispatching on length."""
+    digits = designation.strip()
+    if len(digits) == 4:
+        return naca4(digits, n_panels, **kwargs)
+    if len(digits) == 5:
+        return naca5(digits, n_panels, **kwargs)
+    raise GeometryError(f"unsupported NACA designation: {designation!r}")

@@ -1,0 +1,163 @@
+"""PARSEC airfoil parametrization.
+
+PARSEC (Sobieczky 1998) describes each airfoil surface as a sum of six
+half-integer powers of the chord fraction,
+
+    y(x) = sum_{k=1..6} a_k x^(k - 1/2),
+
+with the coefficients determined from *aerodynamically meaningful*
+design parameters: leading-edge radius, crest position and curvature,
+trailing-edge ordinate and angles.  It is the standard alternative to
+B-splines in the airfoil-GA literature the paper draws on, and is
+provided here so the optimizer can be run over either parametrization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.airfoil import Airfoil
+from repro.geometry.sampling import cosine_spacing
+
+#: Exponents of the PARSEC basis.
+_EXPONENTS = np.arange(1, 7) - 0.5  # 1/2, 3/2, ..., 11/2
+
+
+def _surface_coefficients(*, le_radius: float, crest_x: float, crest_y: float,
+                          crest_curvature: float, te_y: float,
+                          te_slope: float) -> np.ndarray:
+    """Solve the 6x6 linear system defining one surface's coefficients.
+
+    Conditions: leading-edge radius (via ``a_1 = sqrt(2 r_le)``), the
+    surface passing through its crest with zero slope and the given
+    curvature, and the trailing-edge ordinate and slope at ``x = 1``.
+    """
+    if le_radius <= 0.0:
+        raise GeometryError(f"leading-edge radius must be positive, got {le_radius}")
+    if not 0.05 < crest_x < 0.95:
+        raise GeometryError(f"crest position {crest_x} outside (0.05, 0.95)")
+    e = _EXPONENTS
+    matrix = np.zeros((6, 6))
+    rhs = np.zeros(6)
+    # a_1 fixes the leading-edge radius.
+    matrix[0, 0] = 1.0
+    rhs[0] = math.sqrt(2.0 * le_radius)
+    # Trailing-edge ordinate: y(1) = te_y.
+    matrix[1] = 1.0
+    rhs[1] = te_y
+    # Trailing-edge slope: y'(1) = te_slope.
+    matrix[2] = e
+    rhs[2] = te_slope
+    # Crest ordinate, slope, curvature.
+    matrix[3] = crest_x**e
+    rhs[3] = crest_y
+    matrix[4] = e * crest_x ** (e - 1.0)
+    rhs[4] = 0.0
+    matrix[5] = e * (e - 1.0) * crest_x ** (e - 2.0)
+    rhs[5] = crest_curvature
+    try:
+        return np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError:
+        raise GeometryError("degenerate PARSEC conditions (singular system)")
+
+
+@dataclasses.dataclass(frozen=True)
+class ParsecAirfoil:
+    """A PARSEC-parametrized airfoil.
+
+    Parameters follow the standard PARSEC-11 set (with a sharp trailing
+    edge, i.e. zero trailing-edge thickness): leading-edge radii of the
+    two surfaces, upper/lower crest positions/ordinates/curvatures, and
+    the trailing-edge direction and wedge angles (radians).
+    """
+
+    le_radius_upper: float = 0.015
+    le_radius_lower: float = 0.010
+    upper_crest_x: float = 0.40
+    upper_crest_y: float = 0.065
+    upper_crest_curvature: float = -0.45
+    lower_crest_x: float = 0.35
+    lower_crest_y: float = -0.045
+    lower_crest_curvature: float = 0.35
+    te_direction: float = math.radians(-6.0)  # mean camber angle at TE
+    te_wedge: float = math.radians(12.0)  # included angle between surfaces
+    name: str = "PARSEC airfoil"
+
+    def upper_coefficients(self) -> np.ndarray:
+        """Polynomial coefficients of the upper surface.
+
+        The upper surface meets the trailing edge *below* the mean
+        direction by half the wedge angle (it closes from above).
+        """
+        slope = math.tan(self.te_direction - 0.5 * self.te_wedge)
+        return _surface_coefficients(
+            le_radius=self.le_radius_upper,
+            crest_x=self.upper_crest_x,
+            crest_y=self.upper_crest_y,
+            crest_curvature=self.upper_crest_curvature,
+            te_y=0.0,
+            te_slope=slope,
+        )
+
+    def lower_coefficients(self) -> np.ndarray:
+        """Polynomial coefficients of the lower surface.
+
+        Mirror of the upper surface: half the wedge angle *above* the
+        mean trailing-edge direction (it closes from below).
+        """
+        slope = math.tan(self.te_direction + 0.5 * self.te_wedge)
+        return _surface_coefficients(
+            le_radius=self.le_radius_lower,
+            crest_x=self.lower_crest_x,
+            crest_y=self.lower_crest_y,
+            crest_curvature=self.lower_crest_curvature,
+            te_y=0.0,
+            te_slope=slope,
+        )
+
+    def surface_heights(self, x: np.ndarray, *, upper: bool) -> np.ndarray:
+        """``y(x)`` of one surface at chord fractions *x*."""
+        x = np.asarray(x, dtype=np.float64)
+        coefficients = (self.upper_coefficients() if upper
+                        else self.lower_coefficients())
+        powers = x[:, None] ** _EXPONENTS[None, :]
+        return powers @ coefficients
+
+    def to_airfoil(self, n_panels: int = 200) -> Airfoil:
+        """Discretize into an :class:`Airfoil` with *n_panels* panels."""
+        if n_panels < 4 or n_panels % 2:
+            raise GeometryError(f"n_panels must be an even number >= 4, got {n_panels}")
+        x = cosine_spacing(n_panels // 2 + 1)
+        upper = np.column_stack([x, self.surface_heights(x, upper=True)])
+        lower = np.column_stack([x, self.surface_heights(x, upper=False)])
+        upper[0] = lower[0] = (0.0, 0.0)
+        upper[-1] = lower[-1] = (1.0, 0.0)
+        return Airfoil.from_surfaces(upper, lower, name=self.name)
+
+    def max_thickness(self, samples: int = 256) -> float:
+        """Approximate maximum thickness of the section."""
+        x = np.linspace(0.0, 1.0, samples)
+        thickness = (self.surface_heights(x, upper=True)
+                     - self.surface_heights(x, upper=False))
+        return float(thickness.max())
+
+    def is_feasible(self, *, min_thickness: float = 0.0,
+                    samples: int = 65) -> bool:
+        """True when the interior thickness stays above the floor.
+
+        The sharp trailing edge closes linearly, so the check covers the
+        front 90 % of the chord (plus a positivity check on the rest).
+        """
+        x = np.linspace(0.0, 0.9, samples)[1:]
+        thickness = (self.surface_heights(x, upper=True)
+                     - self.surface_heights(x, upper=False))
+        if not np.all(thickness > min_thickness):
+            return False
+        aft = np.linspace(0.9, 1.0, 17)[:-1]
+        aft_thickness = (self.surface_heights(aft, upper=True)
+                         - self.surface_heights(aft, upper=False))
+        return bool(np.all(aft_thickness > 0.0))

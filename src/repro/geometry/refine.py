@@ -1,0 +1,90 @@
+"""Curvature-adaptive repaneling of airfoil outlines.
+
+Panel methods converge fastest when panels concentrate where the
+surface curves — the nose, primarily.  Cosine spacing does this well
+for conventional sections; for arbitrary outlines (GA products, file
+imports) this module redistributes a fixed panel budget proportionally
+to the local curvature, which measurably improves lift-coefficient
+convergence at the same cost (the test suite quantifies it on a
+deliberately badly-paneled section).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry import points as pt
+from repro.geometry.airfoil import Airfoil
+
+
+def outline_curvature(airfoil: Airfoil) -> np.ndarray:
+    """Discrete curvature magnitude at each outline point (cyclic).
+
+    Uses the circumscribed-circle (Menger) curvature of consecutive
+    point triples; endpoints wrap around the closed outline.
+    """
+    closed = airfoil.points[:-1]  # drop the duplicate closing point
+    before = np.roll(closed, 1, axis=0)
+    after = np.roll(closed, -1, axis=0)
+    a = np.linalg.norm(closed - before, axis=1)
+    b = np.linalg.norm(after - closed, axis=1)
+    c = np.linalg.norm(after - before, axis=1)
+    cross = np.abs(pt.cross_z(closed - before, after - closed))
+    denominator = a * b * c
+    curvature = np.where(denominator > 1e-300, 2.0 * cross / denominator, 0.0)
+    return curvature
+
+
+def repanel(airfoil: Airfoil, n_panels: int = None, *,
+            curvature_weight: float = 1.0,
+            smoothing_passes: int = 2) -> Airfoil:
+    """Redistribute panels along the outline by local curvature.
+
+    Parameters
+    ----------
+    airfoil:
+        The outline to resample (shape is preserved: new nodes are
+        linear interpolants of the old outline).
+    n_panels:
+        New panel budget (defaults to the current count).
+    curvature_weight:
+        0 gives uniform arc-length spacing; larger values concentrate
+        nodes at high curvature.  The node density is proportional to
+        ``1 + w * kappa / mean(kappa)``.
+    smoothing_passes:
+        Neighbour-averaging sweeps applied to the curvature signal so
+        noise in a coarse outline does not fragment the distribution.
+    """
+    if n_panels is None:
+        n_panels = airfoil.n_panels
+    if n_panels < 4:
+        raise GeometryError(f"need at least 4 panels, got {n_panels}")
+    if curvature_weight < 0.0:
+        raise GeometryError("curvature weight cannot be negative")
+
+    points = airfoil.points
+    arc = pt.arc_length_parameter(points)
+    curvature = outline_curvature(airfoil)
+    curvature = np.append(curvature, curvature[0])  # value at closing point
+    for _ in range(smoothing_passes):
+        curvature = (np.roll(curvature, 1) + curvature + np.roll(curvature, -1)) / 3.0
+
+    mean_curvature = curvature.mean()
+    if mean_curvature <= 0.0:
+        density = np.ones_like(curvature)
+    else:
+        density = 1.0 + curvature_weight * curvature / mean_curvature
+
+    # Cumulative "node mass" along the outline; resampling at equal
+    # mass increments concentrates nodes where the density is high.
+    increments = 0.5 * (density[1:] + density[:-1]) * np.diff(arc)
+    mass = np.concatenate([[0.0], np.cumsum(increments)])
+    targets = np.linspace(0.0, mass[-1], n_panels + 1)
+    new_arc = np.interp(targets, mass, arc)
+    new_x = np.interp(new_arc, arc, points[:, 0])
+    new_y = np.interp(new_arc, arc, points[:, 1])
+    resampled = np.column_stack([new_x, new_y])
+    resampled[0] = points[0]
+    resampled[-1] = points[0]
+    return Airfoil(points=resampled, name=airfoil.name)

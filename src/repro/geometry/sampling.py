@@ -1,0 +1,65 @@
+"""Chordwise sampling distributions for airfoil discretization.
+
+Panel methods are sensitive to how control points cluster near the
+leading and trailing edges.  The classical choice is cosine spacing,
+which concentrates points where the surface curvature (and the velocity
+gradient) is largest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+def uniform_spacing(count: int) -> np.ndarray:
+    """``count`` chord fractions uniformly spaced on [0, 1]."""
+    _require_at_least_two(count)
+    return np.linspace(0.0, 1.0, count)
+
+
+def cosine_spacing(count: int) -> np.ndarray:
+    """Chord fractions clustered at both the leading and trailing edge.
+
+    Uses ``x = (1 - cos(beta)) / 2`` with ``beta`` uniform on [0, pi],
+    the standard full-cosine rule.
+    """
+    _require_at_least_two(count)
+    beta = np.linspace(0.0, np.pi, count)
+    return 0.5 * (1.0 - np.cos(beta))
+
+
+def half_cosine_spacing(count: int) -> np.ndarray:
+    """Chord fractions clustered at the leading edge only.
+
+    Uses ``x = 1 - cos(beta)`` with ``beta`` uniform on [0, pi/2].
+    """
+    _require_at_least_two(count)
+    beta = np.linspace(0.0, 0.5 * np.pi, count)
+    return 1.0 - np.cos(beta)
+
+
+_SPACING_FUNCTIONS = {
+    "uniform": uniform_spacing,
+    "cosine": cosine_spacing,
+    "half-cosine": half_cosine_spacing,
+}
+
+
+def spacing(kind: str, count: int) -> np.ndarray:
+    """Dispatch to a spacing rule by name.
+
+    ``kind`` is one of ``"uniform"``, ``"cosine"``, ``"half-cosine"``.
+    """
+    try:
+        function = _SPACING_FUNCTIONS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_SPACING_FUNCTIONS))
+        raise GeometryError(f"unknown spacing kind {kind!r}; expected one of {known}")
+    return function(count)
+
+
+def _require_at_least_two(count: int) -> None:
+    if count < 2:
+        raise GeometryError(f"need at least 2 sample points, got {count}")

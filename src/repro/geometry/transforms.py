@@ -1,0 +1,66 @@
+"""Rigid and affine transforms for point sets and airfoils.
+
+The panel solver keeps the airfoil fixed and rotates the free-stream
+instead, but reporting, plotting, and geometry generation frequently
+need explicit transforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import points as pt
+from repro.geometry.airfoil import Airfoil
+
+
+def rotation_matrix(angle: float) -> np.ndarray:
+    """2x2 counter-clockwise rotation matrix for *angle* radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s], [s, c]])
+
+
+def rotate(points: np.ndarray, angle: float, center=(0.0, 0.0)) -> np.ndarray:
+    """Rotate points counter-clockwise by *angle* radians about *center*."""
+    points = pt.as_points(points)
+    center = np.asarray(center, dtype=np.float64)
+    return (points - center) @ rotation_matrix(angle).T + center
+
+
+def translate(points: np.ndarray, offset) -> np.ndarray:
+    """Translate points by the 2-vector *offset*."""
+    return pt.as_points(points) + np.asarray(offset, dtype=np.float64)
+
+
+def scale(points: np.ndarray, factor, center=(0.0, 0.0)) -> np.ndarray:
+    """Scale points about *center*; *factor* may be scalar or per-axis."""
+    points = pt.as_points(points)
+    center = np.asarray(center, dtype=np.float64)
+    return (points - center) * np.asarray(factor, dtype=np.float64) + center
+
+
+def normalize_chord(airfoil: Airfoil) -> Airfoil:
+    """Rescale and shift an airfoil to the unit chord convention.
+
+    The leading edge moves to the origin and the trailing edge to
+    ``(1, 0)``: translation, rotation, and uniform scaling only.
+    """
+    le, te = airfoil.leading_edge, airfoil.trailing_edge
+    chord_vector = te - le
+    chord = float(np.linalg.norm(chord_vector))
+    angle = float(np.arctan2(chord_vector[1], chord_vector[0]))
+    points = translate(airfoil.points, -le)
+    points = rotate(points, -angle)
+    points = scale(points, 1.0 / chord)
+    return Airfoil.from_points(points, name=airfoil.name)
+
+
+def pitch(airfoil: Airfoil, angle: float, center=(0.25, 0.0)) -> Airfoil:
+    """Rotate an airfoil nose-up by *angle* radians about *center*.
+
+    Nose-up (positive incidence) corresponds to a clockwise rotation of
+    the geometry, equivalent to increasing the angle of attack when the
+    free-stream is held horizontal.
+    """
+    return Airfoil.from_points(
+        rotate(airfoil.points, -angle, center=center), name=airfoil.name
+    )

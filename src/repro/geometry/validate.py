@@ -1,0 +1,121 @@
+"""Geometric sanity checks for candidate airfoils.
+
+The genetic optimizer produces arbitrary B-spline shapes; before an
+expensive panel analysis each candidate is screened here.  Each check
+returns a :class:`ValidationIssue` rather than raising, so callers can
+collect every problem at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry import points as pt
+from repro.geometry.airfoil import Airfoil
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationIssue:
+    """A single problem found in an airfoil outline."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.code}] {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationReport:
+    """The outcome of validating one airfoil."""
+
+    airfoil_name: str
+    issues: List[ValidationIssue]
+
+    @property
+    def ok(self) -> bool:
+        """True when no issues were found."""
+        return not self.issues
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return f"{self.airfoil_name}: ok"
+        summary = "; ".join(str(issue) for issue in self.issues)
+        return f"{self.airfoil_name}: {summary}"
+
+
+def validate_airfoil(
+    airfoil: Airfoil,
+    *,
+    min_thickness: float = 1e-3,
+    min_area: float = 1e-4,
+    max_panel_length_ratio: float = 150.0,
+    check_self_intersection: bool = True,
+) -> ValidationReport:
+    """Run every geometric check and collect the issues.
+
+    Parameters
+    ----------
+    min_thickness:
+        Minimum acceptable maximum thickness (chord fractions).
+    min_area:
+        Minimum enclosed area (chord-squared units).
+    max_panel_length_ratio:
+        Maximum allowed ratio between the longest and shortest panel;
+        extreme ratios destabilize the influence-coefficient matrix.
+    check_self_intersection:
+        The O(n^2) crossing test can be disabled for speed when
+        screening large populations whose construction already
+        guarantees simple outlines.
+    """
+    issues: List[ValidationIssue] = []
+
+    thickness = airfoil.max_thickness
+    if thickness < min_thickness:
+        issues.append(ValidationIssue(
+            "thin", f"max thickness {thickness:.5f} below minimum {min_thickness:.5f}"
+        ))
+
+    area = airfoil.area
+    if area < min_area:
+        issues.append(ValidationIssue(
+            "area", f"enclosed area {area:.6f} below minimum {min_area:.6f}"
+        ))
+
+    lengths = airfoil.panel_lengths
+    ratio = float(lengths.max() / lengths.min())
+    if ratio > max_panel_length_ratio:
+        issues.append(ValidationIssue(
+            "panels", f"panel length ratio {ratio:.1f} exceeds {max_panel_length_ratio:.1f}"
+        ))
+
+    if check_self_intersection and pt.polyline_self_intersects(airfoil.points):
+        issues.append(ValidationIssue("crossing", "outline self-intersects"))
+
+    negative = _negative_thickness_fraction(airfoil)
+    if negative is not None and negative > 0.0:
+        issues.append(ValidationIssue(
+            "inverted", f"surfaces crossed over {negative:.0%} of the chord"
+        ))
+
+    return ValidationReport(airfoil_name=airfoil.name, issues=issues)
+
+
+def _negative_thickness_fraction(airfoil: Airfoil) -> Optional[float]:
+    """Fraction of chord stations where lower surface sits above upper.
+
+    Returns ``None`` when the surfaces do not overlap in x at all
+    (a degenerate shape caught by the other checks anyway).
+    """
+    upper, lower = airfoil.surfaces()
+    lo = max(upper[:, 0].min(), lower[:, 0].min())
+    hi = min(upper[:, 0].max(), lower[:, 0].max())
+    if hi <= lo:
+        return None
+    stations = np.linspace(lo, hi, 129)[1:-1]
+    y_up = np.interp(stations, upper[:, 0], upper[:, 1])
+    y_lo = np.interp(stations, lower[:, 0], lower[:, 1])
+    return float(np.mean((y_up - y_lo) < -1e-9))

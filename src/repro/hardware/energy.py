@@ -1,0 +1,152 @@
+"""Energy-to-solution model (an extension beyond the paper).
+
+The paper evaluates time-to-solution only; for accelerators the equally
+standard question is energy.  This module prices a simulated timeline
+with a two-level power model: every device draws its idle power for the
+whole run plus the difference to its TDP while busy,
+
+    E = sum_dev [ P_idle * W + (P_tdp - P_idle) * busy(dev) ].
+
+TDPs are the published board/package powers of the paper's hardware;
+idle fractions are conventional estimates (documented constants, easy
+to override).  The headline result: the K80's time advantage narrows
+substantially in energy terms because the whole 300 W board draws power
+for the full wall time while its compute is only busy for the short
+assembly bursts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.errors import HardwareModelError
+from repro.pipeline.engine import Timeline
+from repro.pipeline.task import Schedule
+
+#: Published thermal design power per device, watts.
+DEVICE_TDP_W = {
+    "E5-2630 v3": 85.0,
+    "2x E5-2630 v3": 170.0,
+    "Phi 7120": 300.0,
+    "0.5x K80": 150.0,  # half of the 300 W board
+    "1x K80": 300.0,
+}
+
+#: Idle draw as a fraction of TDP (conventional estimates).
+IDLE_FRACTION = {
+    "E5-2630 v3": 0.25,
+    "2x E5-2630 v3": 0.25,
+    "Phi 7120": 0.35,  # the 7120's idle draw is famously high
+    "0.5x K80": 0.20,
+    "1x K80": 0.20,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy breakdown of one simulated run."""
+
+    wall_time: float
+    per_device_joules: Dict[str, float]
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy to solution."""
+        return sum(self.per_device_joules.values())
+
+    @property
+    def average_watts(self) -> float:
+        """Mean power over the run."""
+        return self.total_joules / self.wall_time if self.wall_time else 0.0
+
+
+def device_power(name: str) -> Tuple[float, float]:
+    """``(tdp, idle)`` watts for a device display name."""
+    try:
+        tdp = DEVICE_TDP_W[name]
+    except KeyError:
+        raise HardwareModelError(f"no TDP recorded for device {name!r}")
+    return tdp, tdp * IDLE_FRACTION[name]
+
+
+def _resource_devices(schedule: Schedule, cpu_name: str,
+                      accelerator_names) -> Dict[str, str]:
+    """Map each schedule resource to the device whose power it draws.
+
+    Host-side resources (the cpu solve pool) belong to the CPU; each
+    ``accelN``/``linkN`` pair belongs to accelerator N (the link's DMA
+    engines live on the board).
+    """
+    mapping: Dict[str, str] = {}
+    for resource in schedule.resources:
+        if resource == schedule.cpu_resource:
+            mapping[resource] = cpu_name
+        elif resource.startswith("accel") or resource.startswith("link"):
+            digits = "".join(ch for ch in resource if ch.isdigit())
+            index = int(digits) if digits else 0
+            mapping[resource] = accelerator_names[min(
+                index, len(accelerator_names) - 1
+            )]
+        else:
+            raise HardwareModelError(f"cannot attribute resource {resource!r}")
+    return mapping
+
+
+def estimate_energy(timeline: Timeline, *, cpu_name: str,
+                    accelerator_names=()) -> EnergyEstimate:
+    """Price a simulated timeline in joules.
+
+    ``accelerator_names`` lists the device names backing ``accel0``,
+    ``accel1``, ... (and their links); duplicates are physical twins
+    (the two K80 halves) and are labelled ``#0``, ``#1`` in the
+    breakdown.  Listed devices idle for the whole run even if the
+    schedule never touches them.
+    """
+    wall = timeline.makespan
+    schedule = timeline.schedule
+    accelerator_names = list(accelerator_names)
+    labels = [
+        name if accelerator_names.count(name) == 1 else f"{name} #{index}"
+        for index, name in enumerate(accelerator_names)
+    ]
+    mapping = _resource_devices(schedule, cpu_name, labels)
+
+    busy: Dict[str, float] = {}
+    for resource, label in mapping.items():
+        busy[label] = busy.get(label, 0.0) + timeline.busy_seconds(resource)
+
+    name_of = dict(zip(labels, accelerator_names))
+    name_of[cpu_name] = cpu_name
+    per_device = {}
+    for label in (cpu_name, *labels):
+        tdp, idle = device_power(name_of[label])
+        active = min(busy.get(label, 0.0), wall)
+        per_device[label] = idle * wall + (tdp - idle) * active
+    return EnergyEstimate(wall_time=wall, per_device_joules=per_device)
+
+
+def configuration_energy(*, accelerator: str = "none", sockets: int = 2,
+                         precision="double", n_slices: int = 10,
+                         batch: int = 4000, n: int = 200) -> EnergyEstimate:
+    """Energy to solution for one of the paper's configurations."""
+    from repro.hardware.host import paper_workstation
+    from repro.pipeline.engine import simulate
+    from repro.pipeline.schedules import cpu_only, dual_accelerator, hybrid
+    from repro.pipeline.workload import Workload
+
+    workstation = paper_workstation(sockets=sockets, accelerator=accelerator,
+                                    precision=precision)
+    workload = Workload(batch=batch, n=n, precision=precision)
+    if accelerator == "none":
+        schedule = cpu_only(workload, workstation.cpu)
+    elif len(workstation.accelerators) >= 2 and accelerator == "k80-dual":
+        schedule = dual_accelerator(workload, workstation, 0.75, n_slices)
+    else:
+        schedule = hybrid(workload, workstation, n_slices)
+    timeline = simulate(schedule)
+    return estimate_energy(
+        timeline,
+        cpu_name=workstation.cpu.name,
+        accelerator_names=[device.name for device in workstation.accelerators],
+    )

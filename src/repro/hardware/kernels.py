@@ -1,0 +1,132 @@
+"""Kernel cost models: seconds for assembly, solve, and transfer.
+
+Each model anchors at the Table 2 calibration point (batch 4000,
+n = 200) and scales with the kernel's arithmetic complexity:
+
+* assembly: ``n^2`` influence entries per matrix,
+* LU solve: ``2/3 n^3 + 2 n^2`` flops per matrix,
+* transfer: matrix bytes over the link's effective bandwidth.
+
+Each kernel *invocation* additionally pays the device's fixed setup
+cost, which is what penalizes over-slicing in the pipeline experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import HardwareModelError
+from repro.hardware.calibration import REFERENCE_N, KernelCalibration, calibrate
+from repro.hardware.specs import DeviceSpec
+from repro.linalg.lu import factor_flops, solve_flops
+from repro.panel.influence import ASSEMBLY_FLOPS_PER_ENTRY
+from repro.precision import Precision
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCost:
+    """Predicted cost of one kernel invocation."""
+
+    seconds: float
+    flops: float
+    bytes_moved: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0.0:
+            raise HardwareModelError("kernel cost cannot be negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelModel:
+    """Calibrated cost model for one device at one precision."""
+
+    device: DeviceSpec
+    precision: Precision
+    calibration: KernelCalibration
+
+    @classmethod
+    def for_device(cls, device: DeviceSpec, precision) -> "KernelModel":
+        """Build a model from the device's Table 2 anchor."""
+        precision = Precision.parse(precision)
+        return cls(device=device, precision=precision,
+                   calibration=calibrate(device, precision))
+
+    # ------------------------------------------------------------------
+    # Problem-size helpers
+    # ------------------------------------------------------------------
+
+    def matrix_bytes(self, n: int) -> int:
+        """Bytes of one assembled ``n x n`` system plus its RHS vector."""
+        return (n * n + n) * self.precision.itemsize
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+
+    def assembly(self, batch: int, n: int) -> KernelCost:
+        """Cost of assembling *batch* systems of size *n* in one call."""
+        _check_workload(batch, n)
+        scale = (n / REFERENCE_N) ** 2
+        seconds = (
+            self.device.kernel_setup
+            + batch * self.calibration.assembly_per_matrix * scale
+        )
+        flops = batch * n * n * ASSEMBLY_FLOPS_PER_ENTRY
+        return KernelCost(seconds=seconds, flops=flops, bytes_moved=0.0)
+
+    def solve(self, batch: int, n: int, *, throughput_fraction: float = 1.0) -> KernelCost:
+        """Cost of one batched LU factor+solve call.
+
+        ``throughput_fraction`` models partial use of the device (e.g.
+        the paper's 15-of-16 OpenMP threads while one thread babysits
+        the MAGMA call).
+        """
+        _check_workload(batch, n)
+        if not 0.0 < throughput_fraction <= 1.0:
+            raise HardwareModelError(
+                f"throughput fraction must be in (0, 1], got {throughput_fraction}"
+            )
+        per_matrix_flops = factor_flops(n) + solve_flops(n)
+        reference_flops = factor_flops(REFERENCE_N) + solve_flops(REFERENCE_N)
+        scale = per_matrix_flops / reference_flops
+        seconds = (
+            self.device.solve_call_setup
+            + batch * self.calibration.solve_per_matrix * scale / throughput_fraction
+        )
+        return KernelCost(
+            seconds=seconds,
+            flops=batch * per_matrix_flops,
+            bytes_moved=0.0,
+        )
+
+    def transfer(self, batch: int, n: int) -> KernelCost:
+        """Cost of shipping *batch* assembled systems to the host."""
+        _check_workload(batch, n)
+        if self.device.link is None:
+            raise HardwareModelError(
+                f"device {self.device.name!r} has no host link to transfer over"
+            )
+        n_bytes = batch * self.matrix_bytes(n)
+        return KernelCost(
+            seconds=self.device.link.transfer_time(n_bytes),
+            flops=0.0,
+            bytes_moved=float(n_bytes),
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the sequential baselines
+    # ------------------------------------------------------------------
+
+    def assemble_and_solve(self, batch: int, n: int) -> float:
+        """Seconds for the unsliced assemble-then-solve sequence."""
+        return self.assembly(batch, n).seconds + self.solve(batch, n).seconds
+
+
+def _check_workload(batch: int, n: int) -> None:
+    if batch < 1:
+        raise HardwareModelError(f"batch must be >= 1, got {batch}")
+    if n < 2:
+        raise HardwareModelError(f"matrix dimension must be >= 2, got {n}")
+    if not math.isfinite(batch * n * n):
+        raise HardwareModelError("workload size overflow")

@@ -1,0 +1,90 @@
+"""Device memory capacity model.
+
+The hybrid scheme buffers assembled matrices on the accelerator until
+they are shipped to the host; on real hardware the device memory caps
+how much of the batch can be in flight.  This module checks a workload
+against a device's capacity and derives the minimum slice count that
+keeps the resident footprint within budget — a constraint the paper's
+4000 x 200^2 workload satisfies easily on a 12 GB K80 half but which
+binds for larger sweeps (n = 400+, bigger populations).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import HardwareModelError
+from repro.hardware.specs import DeviceSpec
+from repro.pipeline.workload import Workload
+
+#: Device memory per accelerator (bytes).  The K80 card carries 24 GB
+#: split between its two GPUs; the Phi 7120 has 16 GB of GDDR5.
+DEVICE_MEMORY_BYTES = {
+    "Phi 7120": 16 * 1024**3,
+    "0.5x K80": 12 * 1024**3,
+    "1x K80": 24 * 1024**3,
+}
+
+#: Fraction of device memory usable for workload buffers (the rest is
+#: reserved for the runtime, ECC overhead, and scratch space).
+USABLE_FRACTION = 0.85
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryPlan:
+    """How a workload fits (or doesn't) on one device."""
+
+    device: DeviceSpec
+    workload: Workload
+    capacity_bytes: int
+    resident_bytes: int  # whole-batch footprint
+    fits_whole_batch: bool
+    min_slices: int  # smallest slice count whose slices fit
+
+    @property
+    def utilization(self) -> float:
+        """Whole-batch footprint as a fraction of usable capacity."""
+        return self.resident_bytes / self.capacity_bytes
+
+
+def device_capacity_bytes(device: DeviceSpec) -> int:
+    """Usable buffer capacity of an accelerator."""
+    try:
+        total = DEVICE_MEMORY_BYTES[device.name]
+    except KeyError:
+        raise HardwareModelError(
+            f"no memory size recorded for device {device.name!r}"
+        )
+    return int(total * USABLE_FRACTION)
+
+
+def plan_memory(device: DeviceSpec, workload: Workload) -> MemoryPlan:
+    """Check a workload's buffer footprint against a device.
+
+    With double buffering (one slice being assembled while the previous
+    one transfers), two slices are resident at once; the minimum slice
+    count therefore keeps ``2 * slice_bytes`` within capacity.
+    """
+    capacity = device_capacity_bytes(device)
+    resident = workload.total_bytes
+    if 2 * workload.matrix_bytes > capacity:
+        raise HardwareModelError(
+            f"a single {workload.n}x{workload.n} system pair does not fit on "
+            f"{device.name} ({workload.matrix_bytes} B each, {capacity} B usable)"
+        )
+    min_slices = max(1, math.ceil(2 * resident / capacity))
+    return MemoryPlan(
+        device=device,
+        workload=workload,
+        capacity_bytes=capacity,
+        resident_bytes=resident,
+        fits_whole_batch=resident <= capacity,
+        min_slices=min_slices,
+    )
+
+
+def enforce_slice_floor(device: DeviceSpec, workload: Workload,
+                        n_slices: int) -> int:
+    """Raise a requested slice count to the memory-imposed minimum."""
+    return max(n_slices, plan_memory(device, workload).min_slices)

@@ -1,0 +1,115 @@
+"""Roofline analysis of the paper's two kernels on each device.
+
+The roofline model bounds a kernel's attainable throughput by
+``min(peak_flops, intensity * bandwidth)`` where the arithmetic
+intensity is flops per byte of memory traffic.  Applying it to the
+paper's kernels explains its Section 3 observations quantitatively:
+
+* matrix **assembly** touches each output entry once and computes
+  ~130 effective flops for it — strongly compute-bound everywhere, so
+  the device with more peak flops wins (Phi 2x, GPU ~5-10x over CPUs);
+* the batched **LU solve** of one 200 x 200 matrix has intensity
+  ``(2/3) n / itemsize`` flops/byte, nominally compute-bound too — the
+  far-below-roofline measured efficiency (a few percent, see
+  :func:`repro.hardware.calibration.implied_efficiencies`) is therefore
+  a *kernel* limitation (small-matrix latency, not bandwidth), which is
+  exactly the gap references [4] and [14] of the paper chase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import HardwareModelError
+from repro.hardware.calibration import calibrate
+from repro.hardware.specs import DeviceSpec
+from repro.linalg.lu import factor_flops, solve_flops
+from repro.panel.influence import ASSEMBLY_FLOPS_PER_ENTRY
+from repro.precision import Precision, PrecisionLike
+
+
+class Regime(enum.Enum):
+    """Which roof binds the kernel."""
+
+    COMPUTE_BOUND = "compute-bound"
+    MEMORY_BOUND = "memory-bound"
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on one device's roofline."""
+
+    device: DeviceSpec
+    precision: Precision
+    kernel: str
+    intensity: float  # flops per byte
+    attainable_flops: float  # roofline bound, flops/s
+    achieved_flops: float  # from the Table 2 calibration
+    regime: Regime
+
+    @property
+    def roofline_fraction(self) -> float:
+        """Achieved fraction of the roofline bound (not of raw peak)."""
+        return self.achieved_flops / self.attainable_flops
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the two roofs meet for this device."""
+        return (self.device.peak_flops(self.precision)
+                / (self.device.memory_bandwidth_gbs * 1e9))
+
+
+def assembly_intensity(precision: Precision) -> float:
+    """Flops per byte of the influence-matrix assembly.
+
+    Each matrix entry costs ~130 effective flops and stores
+    ``itemsize`` bytes (inputs are tiny: 2n panel coordinates).
+    """
+    return ASSEMBLY_FLOPS_PER_ENTRY / precision.itemsize
+
+
+def solve_intensity(n: int, precision: Precision) -> float:
+    """Flops per byte of one LU factor+solve, counting matrix traffic.
+
+    The factorization performs ``2/3 n^3`` flops over ``n^2`` matrix
+    entries; assuming each entry is read and written once per sweep of
+    the blocked kernel, traffic ~ ``2 n^2 * itemsize``.
+    """
+    flops = factor_flops(n) + solve_flops(n)
+    bytes_moved = 2 * n * n * precision.itemsize
+    return flops / bytes_moved
+
+
+def roofline_point(device: DeviceSpec, kernel: str, *, n: int = 200,
+                   precision: PrecisionLike = Precision.DOUBLE) -> RooflinePoint:
+    """Place one calibrated kernel on a device's roofline."""
+    precision = Precision.parse(precision)
+    if kernel == "assembly":
+        intensity = assembly_intensity(precision)
+        per_matrix_flops = n * n * ASSEMBLY_FLOPS_PER_ENTRY
+        seconds = calibrate(device, precision).assembly_per_matrix
+        seconds *= (n / 200) ** 2
+    elif kernel == "solve":
+        intensity = solve_intensity(n, precision)
+        per_matrix_flops = factor_flops(n) + solve_flops(n)
+        reference_flops = factor_flops(200) + solve_flops(200)
+        seconds = calibrate(device, precision).solve_per_matrix
+        seconds *= per_matrix_flops / reference_flops
+    else:
+        raise HardwareModelError(f"unknown kernel {kernel!r}; use assembly|solve")
+
+    peak = device.peak_flops(precision)
+    bandwidth_bound = intensity * device.memory_bandwidth_gbs * 1e9
+    attainable = min(peak, bandwidth_bound)
+    regime = (Regime.COMPUTE_BOUND if peak <= bandwidth_bound
+              else Regime.MEMORY_BOUND)
+    return RooflinePoint(
+        device=device,
+        precision=precision,
+        kernel=kernel,
+        intensity=intensity,
+        attainable_flops=attainable,
+        achieved_flops=per_matrix_flops / seconds,
+        regime=regime,
+    )

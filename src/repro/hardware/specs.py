@@ -1,0 +1,184 @@
+"""Device specifications (the paper's Table 1).
+
+A :class:`DeviceSpec` is a *description* of hardware: peak arithmetic
+throughput per precision, memory bandwidth, and — for accelerators —
+the host link.  Execution behaviour (how long a kernel takes) lives in
+:mod:`repro.hardware.kernels` and is calibrated separately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.errors import HardwareModelError
+from repro.precision import Precision
+
+
+class DeviceKind(enum.Enum):
+    """Architectural family of a device."""
+
+    CPU = "cpu"
+    MANYCORE = "manycore"  # Xeon Phi
+    GPU = "gpu"
+
+
+@dataclasses.dataclass(frozen=True)
+class PCIeLinkSpec:
+    """Host link of an accelerator.
+
+    ``effective_bandwidth`` is the *achieved* transfer rate (bytes/s),
+    not the bus peak; the paper's slice-1 overhead rows imply roughly
+    1 GB/s for both accelerators (unpinned host buffers).  ``latency``
+    is the fixed per-transfer setup cost.
+    """
+
+    effective_bandwidth: float
+    latency: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.effective_bandwidth <= 0.0:
+            raise HardwareModelError("link bandwidth must be positive")
+        if self.latency < 0.0:
+            raise HardwareModelError("link latency cannot be negative")
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Seconds to move *n_bytes* across the link (one transfer)."""
+        if n_bytes < 0.0:
+            raise HardwareModelError(f"cannot transfer negative bytes: {n_bytes}")
+        return self.latency + n_bytes / self.effective_bandwidth
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """Peak characteristics of one device (paper Table 1).
+
+    Parameters
+    ----------
+    name:
+        Display name used in tables (e.g. ``"0.5x K80"``).
+    kind:
+        Architectural family.
+    peak_tflops_single / peak_tflops_double:
+        Peak arithmetic throughput in TFlops/s.
+    memory_bandwidth_gbs:
+        Theoretical attainable memory bandwidth in GB/s.
+    link:
+        Host link for accelerators; ``None`` for host CPUs.
+    kernel_setup:
+        Fixed cost of launching one compute kernel / offload region on
+        this device (seconds).  Large for Xeon Phi offload regions,
+        small for CUDA kernel launches, tiny for host calls.
+    solve_call_setup:
+        Fixed cost per batched-solve library call (seconds); this is
+        what makes over-slicing the linear solves expensive (the
+        paper's ~10 % penalty at 20 slices).
+    host_overhead_per_call:
+        Host CPU time consumed *per offloaded slice* to manage the
+        accelerator (driver calls, offload bookkeeping, asynchronous
+        transfer progress).  This time is spent on the host but is not
+        solve work, so it surfaces in the paper's ``O`` column — it is
+        why the Xeon Phi's overhead stops shrinking with more slices.
+    """
+
+    name: str
+    kind: DeviceKind
+    peak_tflops_single: float
+    peak_tflops_double: float
+    memory_bandwidth_gbs: float
+    link: Optional[PCIeLinkSpec] = None
+    kernel_setup: float = 0.0
+    solve_call_setup: float = 0.0
+    host_overhead_per_call: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_tflops_single <= 0.0 or self.peak_tflops_double <= 0.0:
+            raise HardwareModelError(f"{self.name}: peak throughput must be positive")
+        if self.memory_bandwidth_gbs <= 0.0:
+            raise HardwareModelError(f"{self.name}: memory bandwidth must be positive")
+        if min(self.kernel_setup, self.solve_call_setup,
+               self.host_overhead_per_call) < 0.0:
+            raise HardwareModelError(f"{self.name}: setup costs cannot be negative")
+
+    @property
+    def is_accelerator(self) -> bool:
+        """True for devices that sit across a host link."""
+        return self.link is not None
+
+    def peak_flops(self, precision: Precision) -> float:
+        """Peak arithmetic rate in flops/s for *precision*."""
+        precision = Precision.parse(precision)
+        tflops = (
+            self.peak_tflops_single
+            if precision is Precision.SINGLE
+            else self.peak_tflops_double
+        )
+        return tflops * 1e12
+
+
+# ----------------------------------------------------------------------
+# The paper's Table 1, plus the setup costs used by the pipeline model.
+# Setup costs are not in Table 1; they are chosen so the slice sweeps of
+# Tables 3-4 reproduce (see repro/hardware/calibration.py for the fit
+# rationale and EXPERIMENTS.md for the comparison).
+# ----------------------------------------------------------------------
+
+E5_2630_V3 = DeviceSpec(
+    name="E5-2630 v3",
+    kind=DeviceKind.CPU,
+    peak_tflops_single=0.6,
+    peak_tflops_double=0.3,
+    memory_bandwidth_gbs=59.0,
+    kernel_setup=1e-4,
+    solve_call_setup=7e-3,
+)
+
+DUAL_E5_2630_V3 = DeviceSpec(
+    name="2x E5-2630 v3",
+    kind=DeviceKind.CPU,
+    peak_tflops_single=1.2,
+    peak_tflops_double=0.6,
+    memory_bandwidth_gbs=59.0,
+    kernel_setup=1e-4,
+    solve_call_setup=7e-3,
+)
+
+XEON_PHI_7120 = DeviceSpec(
+    name="Phi 7120",
+    kind=DeviceKind.MANYCORE,
+    peak_tflops_single=2.4,
+    peak_tflops_double=1.2,
+    memory_bandwidth_gbs=352.0,
+    link=PCIeLinkSpec(effective_bandwidth=1.02e9, latency=2e-3),
+    kernel_setup=12e-3,  # offload-region spin-up dominates small slices
+    solve_call_setup=10e-3,
+    host_overhead_per_call=14e-3,  # offload runtime burns host time
+)
+
+HALF_K80 = DeviceSpec(
+    name="0.5x K80",
+    kind=DeviceKind.GPU,
+    peak_tflops_single=4.4,
+    peak_tflops_double=1.5,
+    memory_bandwidth_gbs=240.0,
+    link=PCIeLinkSpec(effective_bandwidth=1.12e9, latency=1e-3),
+    kernel_setup=1e-3,
+    solve_call_setup=10e-3,
+    host_overhead_per_call=2e-3,  # CUDA driver work per slice
+)
+
+FULL_K80 = DeviceSpec(
+    name="1x K80",
+    kind=DeviceKind.GPU,
+    peak_tflops_single=8.7,
+    peak_tflops_double=2.9,
+    memory_bandwidth_gbs=480.0,
+    link=PCIeLinkSpec(effective_bandwidth=1.12e9, latency=1e-3),
+    kernel_setup=1e-3,
+    solve_call_setup=10e-3,
+    host_overhead_per_call=2e-3,  # CUDA driver work per slice
+)
+
+#: Every Table 1 row, in the paper's order.
+TABLE1_DEVICES = (E5_2630_V3, DUAL_E5_2630_V3, XEON_PHI_7120, HALF_K80, FULL_K80)

@@ -1,0 +1,96 @@
+"""Right-looking blocked LU factorization.
+
+The paper's batched-LU performance problem (MAGMA/MKL on 200 x 200
+matrices) spawned a small literature on tuning LU for small matrices
+(its references [4] and [14]).  This module implements the standard
+blocked right-looking algorithm those kernels are built on: factor a
+panel of ``block_size`` columns with the unblocked code, apply the row
+swaps, triangular-solve the block row, then rank-update the trailing
+submatrix with one large matrix multiply.
+
+On top of NumPy the matmul-rich blocked variant is also genuinely
+faster than the unblocked loop for n in the paper's range, which the
+kernel micro-benchmarks document.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinalgError
+from repro.linalg.lu import LUFactorization, lu_factor
+
+
+def blocked_lu_factor(matrix: np.ndarray, *, block_size: int = 32,
+                      overwrite: bool = False) -> LUFactorization:
+    """Factor ``P A = L U`` with a blocked right-looking sweep.
+
+    Produces exactly the same compact LU storage and pivot order as
+    :func:`repro.linalg.lu.lu_factor` (the test suite checks this
+    element for element).
+    """
+    if block_size < 1:
+        raise LinalgError(f"block size must be >= 1, got {block_size}")
+    a = np.array(matrix, copy=not overwrite)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise LinalgError(f"expected a square matrix, got shape {a.shape}")
+    if not np.issubdtype(a.dtype, np.floating):
+        a = a.astype(np.float64)
+    n = a.shape[0]
+    pivots = np.arange(n)
+    n_swaps = 0
+
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        # Factor the current panel (rows start:, columns start:stop)
+        # with the unblocked kernel.
+        panel = a[start:, start:stop]
+        panel_factors = lu_factor_panel(panel)
+        n_swaps += panel_factors["n_swaps"]
+        # Apply the panel's row swaps across the entire matrix.
+        order = panel_factors["order"]
+        a[start:] = a[start:][order]
+        pivots[start:] = pivots[start:][order]
+        a[start:, start:stop] = panel_factors["lu"]
+        if stop < n:
+            # Block row: U_12 = L_11^{-1} A_12 (unit lower triangular).
+            lower = a[start:stop, start:stop]
+            block_row = a[start:stop, stop:]
+            for i in range(1, stop - start):
+                block_row[i] -= lower[i, :i] @ block_row[:i]
+            # Trailing update: A_22 -= L_21 U_12.
+            a[stop:, stop:] -= a[stop:, start:stop] @ block_row
+    return LUFactorization(lu=a, pivots=pivots, n_swaps=n_swaps)
+
+
+def lu_factor_panel(panel: np.ndarray) -> dict:
+    """Unblocked partial-pivoting factorization of a tall panel.
+
+    Returns the factored panel, the row order applied, and the swap
+    count.  Helper for :func:`blocked_lu_factor`; operates on a copy.
+    """
+    rows, cols = panel.shape
+    a = panel.copy()
+    order = np.arange(rows)
+    n_swaps = 0
+    for k in range(min(rows, cols)):
+        pivot = k + int(np.argmax(np.abs(a[k:, k])))
+        if a[pivot, k] == 0.0:
+            raise LinalgError(f"panel is singular: zero pivot in column {k}")
+        if pivot != k:
+            a[[k, pivot]] = a[[pivot, k]]
+            order[[k, pivot]] = order[[pivot, k]]
+            n_swaps += 1
+        if k + 1 < rows:
+            a[k + 1:, k] /= a[k, k]
+            if k + 1 < cols:
+                a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    return {"lu": a, "order": order, "n_swaps": n_swaps}
+
+
+def blocked_solve(matrix: np.ndarray, rhs: np.ndarray, *,
+                  block_size: int = 32) -> np.ndarray:
+    """Factor with the blocked kernel and solve in one call."""
+    from repro.linalg.lu import lu_solve
+
+    return lu_solve(blocked_lu_factor(matrix, block_size=block_size), rhs)

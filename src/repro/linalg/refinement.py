@@ -1,0 +1,88 @@
+"""Mixed-precision iterative refinement.
+
+The paper evaluates every experiment in both single and double
+precision because single runs ~2x faster on all its devices.  Iterative
+refinement is the classical way to get the best of both: factor and
+solve in single precision (fast), then refine the solution with
+double-precision residuals until it reaches double-precision accuracy.
+The panel matrices are well-conditioned enough that two or three
+refinement sweeps typically suffice — which the tests verify on real
+assembled systems.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from repro.errors import LinalgError
+from repro.linalg.lu import lu_factor, lu_solve
+
+
+@dataclasses.dataclass(frozen=True)
+class RefinementResult:
+    """Solution plus the convergence history of the refinement."""
+
+    solution: np.ndarray
+    residual_norms: List[float]
+    converged: bool
+
+    @property
+    def iterations(self) -> int:
+        """Number of refinement sweeps performed."""
+        return len(self.residual_norms) - 1
+
+
+def refine_solve(matrix: np.ndarray, rhs: np.ndarray, *,
+                 max_iterations: int = 10,
+                 tolerance: float = 1e-12) -> RefinementResult:
+    """Solve ``A x = b`` via single-precision LU + double refinement.
+
+    Parameters
+    ----------
+    matrix, rhs:
+        The system, in double precision.
+    max_iterations:
+        Cap on refinement sweeps.
+    tolerance:
+        Convergence threshold on the scaled residual
+        ``||b - A x||_inf / (||A||_inf ||x||_inf)``.
+
+    Raises :class:`LinalgError` when the single-precision factorization
+    fails (e.g. a matrix too ill-conditioned for float32 pivots).
+    """
+    a_double = np.asarray(matrix, dtype=np.float64)
+    b_double = np.asarray(rhs, dtype=np.float64)
+    if a_double.ndim != 2 or a_double.shape[0] != a_double.shape[1]:
+        raise LinalgError(f"expected a square matrix, got shape {a_double.shape}")
+    if b_double.shape[0] != a_double.shape[0]:
+        raise LinalgError("rhs length does not match the matrix dimension")
+
+    factors = lu_factor(a_double.astype(np.float32))
+    x = lu_solve(factors, b_double.astype(np.float32)).astype(np.float64)
+
+    scale = float(np.max(np.abs(a_double).sum(axis=1)))
+    if scale == 0.0:
+        raise LinalgError("matrix is zero")
+
+    def scaled_residual(solution: np.ndarray) -> float:
+        residual = b_double - a_double @ solution
+        denominator = scale * max(float(np.max(np.abs(solution))), 1e-300)
+        return float(np.max(np.abs(residual))) / denominator
+
+    norms = [scaled_residual(x)]
+    converged = norms[-1] <= tolerance
+    for _ in range(max_iterations):
+        if converged:
+            break
+        residual = b_double - a_double @ x  # double-precision residual
+        correction = lu_solve(factors, residual.astype(np.float32))
+        x = x + correction.astype(np.float64)
+        norms.append(scaled_residual(x))
+        converged = norms[-1] <= tolerance
+        if len(norms) >= 3 and norms[-1] >= norms[-2] >= norms[-3]:
+            break  # stagnated: the matrix defeats float32 refinement
+    return RefinementResult(solution=x, residual_norms=norms,
+                            converged=converged)

@@ -1,0 +1,110 @@
+"""Timing model of a whole genetic-algorithm run on each platform.
+
+The pipeline experiments time one flat batch of candidate solves, but a
+real GA run (the paper's actual application) is a *sequence* of
+generations with a synchronization point between them: selection and
+crossover need the previous generation's fitnesses before the next
+batch of panel systems exists.  This module composes per-generation
+hybrid pipelines into a full optimization timeline, including the
+(host-side) genetic-operator time between generations, and reports the
+end-to-end speedup an accelerator buys the optimizer.
+
+This is the bridge between the two halves of the library: the GA
+defines the workload stream; the hardware models price it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.errors import ScheduleError
+from repro.hardware.host import Workstation, paper_workstation
+from repro.pipeline.engine import simulate
+from repro.pipeline.metrics import evaluate
+from repro.pipeline.schedules import cpu_only, dual_accelerator, hybrid
+from repro.pipeline.workload import Workload
+from repro.precision import Precision, PrecisionLike
+
+#: Host time for selection/crossover/mutation per candidate (seconds).
+#: Genetic operators are a few hundred flops per genome - negligible
+#: next to a 200x200 assembly but not exactly zero.
+GENETIC_OPERATOR_SECONDS_PER_CANDIDATE = 2e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class GATimingResult:
+    """Simulated wall time of one full GA run on one configuration."""
+
+    configuration: str
+    generations: int
+    population: int
+    per_generation_seconds: List[float]
+    operator_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end optimization time."""
+        return sum(self.per_generation_seconds) + self.operator_seconds
+
+
+def time_ga_run(*, population: int = 400, generations: int = 10, n: int = 200,
+                precision: PrecisionLike = Precision.DOUBLE,
+                sockets: int = 2, accelerator: str = "none",
+                n_slices: int = 10,
+                distribution: float = 0.75) -> GATimingResult:
+    """Price a GA run: one pipeline per generation plus operator time.
+
+    The per-generation batch equals the population size, so slices
+    cannot exceed it; the paper's reference workload corresponds to
+    ``population=400, generations=10``.
+    """
+    if population < 1 or generations < 1:
+        raise ScheduleError("population and generations must be positive")
+    precision = Precision.parse(precision)
+    workload = Workload(batch=population, n=n, precision=precision,
+                        generations=1)
+    workstation = paper_workstation(sockets=sockets, accelerator=accelerator,
+                                    precision=precision)
+    per_generation = [
+        _generation_seconds(workload, workstation, accelerator,
+                            min(n_slices, population), distribution)
+        for _ in range(generations)
+    ]
+    operator_time = (
+        GENETIC_OPERATOR_SECONDS_PER_CANDIDATE * population * generations
+    )
+    return GATimingResult(
+        configuration=workstation.describe(),
+        generations=generations,
+        population=population,
+        per_generation_seconds=per_generation,
+        operator_seconds=operator_time,
+    )
+
+
+def _generation_seconds(workload: Workload, workstation: Workstation,
+                        accelerator: str, n_slices: int,
+                        distribution: float) -> float:
+    if accelerator == "none":
+        schedule = cpu_only(workload, workstation.cpu)
+    elif len(workstation.accelerators) >= 2:
+        schedule = dual_accelerator(workload, workstation, distribution,
+                                    n_slices)
+    else:
+        schedule = hybrid(workload, workstation, n_slices)
+    return evaluate(simulate(schedule)).wall_time
+
+
+def ga_speedup(accelerator: str, *, population: int = 400,
+               generations: int = 10, sockets: int = 2,
+               precision: PrecisionLike = Precision.DOUBLE,
+               n_slices: int = 10) -> float:
+    """End-to-end GA speedup of adding *accelerator* to the workstation."""
+    baseline = time_ga_run(population=population, generations=generations,
+                           sockets=sockets, precision=precision,
+                           accelerator="none")
+    accelerated = time_ga_run(population=population, generations=generations,
+                              sockets=sockets, precision=precision,
+                              accelerator=accelerator, n_slices=n_slices)
+    return baseline.total_seconds / accelerated.total_seconds

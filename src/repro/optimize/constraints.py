@@ -1,0 +1,117 @@
+"""Design constraints for the genetic optimizer.
+
+Unconstrained lift-to-drag maximization drives the GA toward thin,
+highly cambered sections that no structure could carry.  This module
+adds the standard engineering constraints as composable penalty terms:
+minimum thickness (spar depth), maximum camber, a pitching-moment
+bound (trim drag), and enclosed area (fuel volume).  A
+:class:`ConstrainedEvaluator` wraps any fitness evaluator and subtracts
+scaled violations, so the GA machinery is reused unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.geometry.airfoil import Airfoil
+from repro.optimize.fitness import EvaluationRecord, FitnessEvaluator
+from repro.panel.freestream import Freestream
+from repro.panel.solver import PanelSolver
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignConstraints:
+    """Bounds a candidate section must respect.
+
+    ``None`` disables the corresponding constraint.
+    """
+
+    min_thickness: Optional[float] = 0.08  # spar depth, chord fractions
+    max_camber: Optional[float] = None  # max mean-line height
+    min_area: Optional[float] = None  # enclosed cross-section area
+    max_nose_down_moment: Optional[float] = None  # |cm| bound (cm >= -bound)
+
+    def violations(self, airfoil: Airfoil, *, cm: Optional[float] = None) -> dict:
+        """Per-constraint violation magnitudes (zero when satisfied)."""
+        result = {}
+        if self.min_thickness is not None:
+            result["thickness"] = max(
+                0.0, self.min_thickness - airfoil.max_thickness
+            )
+        if self.max_camber is not None:
+            upper, lower = airfoil.surfaces()
+            stations = np.linspace(0.05, 0.95, 64)
+            camber_line = 0.5 * (
+                np.interp(stations, upper[:, 0], upper[:, 1])
+                + np.interp(stations, lower[:, 0], lower[:, 1])
+            )
+            result["camber"] = max(0.0, float(np.max(np.abs(camber_line)))
+                                   - self.max_camber)
+        if self.min_area is not None:
+            result["area"] = max(0.0, self.min_area - airfoil.area)
+        if self.max_nose_down_moment is not None and cm is not None:
+            result["moment"] = max(0.0, -cm - self.max_nose_down_moment)
+        return result
+
+    def total_violation(self, airfoil: Airfoil, *,
+                        cm: Optional[float] = None) -> float:
+        """Sum of all violation magnitudes."""
+        return sum(self.violations(airfoil, cm=cm).values())
+
+
+@dataclasses.dataclass(frozen=True)
+class ConstrainedEvaluator:
+    """A fitness evaluator with penalty-based constraint handling.
+
+    The penalty is ``weight * violation / scale`` *relative* to the raw
+    fitness (multiplicative), so a 100 % violation of any constraint
+    zeroes the candidate's score regardless of the L/D magnitude —
+    which keeps selection pressure meaningful across generations.
+    """
+
+    base: FitnessEvaluator
+    constraints: DesignConstraints = dataclasses.field(
+        default_factory=DesignConstraints
+    )
+    penalty_scale: float = 0.02  # violation that halves the fitness
+
+    def __post_init__(self) -> None:
+        if self.penalty_scale <= 0.0:
+            raise OptimizationError("penalty scale must be positive")
+
+    def evaluate(self, genome) -> EvaluationRecord:
+        """Score a genome; feasible-but-violating candidates are damped."""
+        record = self.base.evaluate(genome)
+        if not record.feasible or record.fitness <= 0.0:
+            return record
+        parametrization = self.base.layout.to_parametrization(genome)
+        airfoil = parametrization.to_airfoil(self.base.n_panels)
+        cm = None
+        if self.constraints.max_nose_down_moment is not None:
+            solution = PanelSolver().solve(
+                airfoil, Freestream.from_degrees(self.base.alpha_degrees)
+            )
+            cm = solution.moment_coefficient()
+        violation = self.constraints.total_violation(airfoil, cm=cm)
+        if violation == 0.0:
+            return record
+        damping = 1.0 / (1.0 + violation / self.penalty_scale)
+        return EvaluationRecord(
+            fitness=record.fitness * damping,
+            cl=record.cl,
+            cd=record.cd,
+            failure=f"constraint violation {violation:.4f}",
+        )
+
+    def __call__(self, genome) -> float:
+        """Score a genome, returning only the (penalized) fitness."""
+        return self.evaluate(genome).fitness
+
+    @property
+    def layout(self):
+        """The genome layout (delegated to the base evaluator)."""
+        return self.base.layout

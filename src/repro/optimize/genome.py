@@ -1,0 +1,97 @@
+"""Genome representation for the airfoil genetic algorithm.
+
+Following the paper, candidate airfoils are parametrized by B-spline
+coefficients; a genome is simply the flat coefficient vector (upper
+surface heights followed by lower surface heights) plus bounds used for
+sampling and mutation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.geometry.bspline import BSplineAirfoil
+
+
+@dataclasses.dataclass(frozen=True)
+class GenomeBounds:
+    """Per-coefficient sampling/mutation bounds.
+
+    Upper-surface heights live in ``[upper_low, upper_high]`` and
+    lower-surface heights in ``[lower_low, lower_high]``; the defaults
+    describe conventional subsonic sections (upper surface above the
+    chord line, lower surface mildly below).
+    """
+
+    upper_low: float = 0.01
+    upper_high: float = 0.18
+    lower_low: float = -0.12
+    lower_high: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.upper_low >= self.upper_high:
+            raise OptimizationError("upper bounds are empty")
+        if self.lower_low >= self.lower_high:
+            raise OptimizationError("lower bounds are empty")
+
+    def low_vector(self, n_upper: int, n_lower: int) -> np.ndarray:
+        """Lower bound per coefficient for a genome layout."""
+        return np.concatenate([
+            np.full(n_upper, self.upper_low),
+            np.full(n_lower, self.lower_low),
+        ])
+
+    def high_vector(self, n_upper: int, n_lower: int) -> np.ndarray:
+        """Upper bound per coefficient for a genome layout."""
+        return np.concatenate([
+            np.full(n_upper, self.upper_high),
+            np.full(n_lower, self.lower_high),
+        ])
+
+
+@dataclasses.dataclass(frozen=True)
+class GenomeLayout:
+    """Shape of the genome: coefficient counts and bounds."""
+
+    n_upper: int = 6
+    n_lower: int = 6
+    bounds: GenomeBounds = dataclasses.field(default_factory=GenomeBounds)
+    degree: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_upper < self.degree or self.n_lower < self.degree:
+            raise OptimizationError(
+                f"each surface needs at least {self.degree} coefficients"
+            )
+
+    @property
+    def n_genes(self) -> int:
+        """Total number of coefficients in a genome."""
+        return self.n_upper + self.n_lower
+
+    def random_genome(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample a genome uniformly inside the bounds."""
+        low = self.bounds.low_vector(self.n_upper, self.n_lower)
+        high = self.bounds.high_vector(self.n_upper, self.n_lower)
+        return rng.uniform(low, high)
+
+    def clip(self, genome: np.ndarray) -> np.ndarray:
+        """Clamp a genome into the bounds."""
+        low = self.bounds.low_vector(self.n_upper, self.n_lower)
+        high = self.bounds.high_vector(self.n_upper, self.n_lower)
+        return np.clip(genome, low, high)
+
+    def to_parametrization(self, genome: np.ndarray,
+                           name: str = "candidate") -> BSplineAirfoil:
+        """Interpret a genome as a B-spline airfoil parametrization."""
+        genome = np.asarray(genome, dtype=np.float64).ravel()
+        if len(genome) != self.n_genes:
+            raise OptimizationError(
+                f"genome has {len(genome)} genes, layout expects {self.n_genes}"
+            )
+        return BSplineAirfoil.from_coefficients(
+            genome, self.n_upper, degree=self.degree, name=name
+        )

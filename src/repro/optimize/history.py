@@ -1,0 +1,90 @@
+"""Recording of genetic-algorithm progress across generations.
+
+The paper's Figure 2 shows the best airfoils of each generation; the
+history captured here is what regenerates that figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Individual:
+    """A genome together with its evaluation."""
+
+    genome: np.ndarray
+    fitness: float
+    cl: float = math.nan
+    cd: float = math.nan
+
+    def __post_init__(self) -> None:
+        genome = np.asarray(self.genome, dtype=np.float64).copy()
+        genome.setflags(write=False)
+        object.__setattr__(self, "genome", genome)
+
+
+@dataclasses.dataclass(frozen=True)
+class GenerationRecord:
+    """Summary of one generation."""
+
+    index: int
+    best: List[Individual]  # the top individuals, best first
+    best_fitness: float
+    mean_fitness: float  # over feasible individuals only
+    feasible_fraction: float
+
+    @property
+    def champion(self) -> Individual:
+        """The single best individual of the generation."""
+        return self.best[0]
+
+
+@dataclasses.dataclass
+class OptimizationHistory:
+    """Mutable collector filled in by the optimizer as it runs."""
+
+    generations: List[GenerationRecord] = dataclasses.field(default_factory=list)
+
+    def record(self, index: int, genomes, records, *, keep_best: int = 3) -> GenerationRecord:
+        """Summarize a generation from its genomes and evaluation records."""
+        fitnesses = np.array([record.fitness for record in records])
+        finite = np.isfinite(fitnesses)
+        order = np.argsort(np.where(finite, fitnesses, -np.inf))[::-1]
+        best = [
+            Individual(
+                genome=genomes[i],
+                fitness=float(fitnesses[i]),
+                cl=records[i].cl if records[i].cl is not None else math.nan,
+                cd=records[i].cd if records[i].cd is not None else math.nan,
+            )
+            for i in order[:keep_best]
+        ]
+        feasible = fitnesses[finite]
+        record = GenerationRecord(
+            index=index,
+            best=best,
+            best_fitness=float(feasible.max()) if len(feasible) else -math.inf,
+            mean_fitness=float(feasible.mean()) if len(feasible) else -math.inf,
+            feasible_fraction=float(np.mean(finite)),
+        )
+        self.generations.append(record)
+        return record
+
+    @property
+    def champion(self) -> Individual:
+        """The best individual seen across all generations."""
+        if not self.generations:
+            raise ValueError("history is empty")
+        return max(
+            (generation.champion for generation in self.generations),
+            key=lambda individual: individual.fitness,
+        )
+
+    def best_fitness_trace(self) -> np.ndarray:
+        """Best fitness per generation (should be non-decreasing with elitism)."""
+        return np.array([generation.best_fitness for generation in self.generations])

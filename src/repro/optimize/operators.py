@@ -1,0 +1,77 @@
+"""Genetic operators: tournament selection, one-point crossover,
+single-coefficient mutation.
+
+These are exactly the operators the paper describes for its validation
+run: "tournament selection with one-point crossover is employed and the
+mutations are performed for a single B-spline coefficient at a time."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.genome import GenomeLayout
+
+
+def tournament_select(rng: np.random.Generator, fitnesses: Sequence[float], *,
+                      tournament_size: int = 3) -> int:
+    """Pick one individual by tournament: best of a random subset.
+
+    Returns the index of the winner.  ``fitnesses`` may contain
+    ``-inf`` for infeasible individuals; they can still be drawn but
+    lose every comparison.
+    """
+    n = len(fitnesses)
+    if n == 0:
+        raise OptimizationError("cannot select from an empty population")
+    if tournament_size < 1:
+        raise OptimizationError(f"tournament size must be >= 1, got {tournament_size}")
+    contenders = rng.choice(n, size=min(tournament_size, n), replace=False)
+    fitness_array = np.asarray(fitnesses, dtype=np.float64)
+    return int(contenders[np.argmax(fitness_array[contenders])])
+
+
+def one_point_crossover(rng: np.random.Generator, parent_a: np.ndarray,
+                        parent_b: np.ndarray) -> tuple:
+    """Classic one-point crossover.
+
+    A cut point is drawn strictly inside the genome; the children swap
+    tails.  Returns ``(child_a, child_b)``.
+    """
+    parent_a = np.asarray(parent_a, dtype=np.float64)
+    parent_b = np.asarray(parent_b, dtype=np.float64)
+    if parent_a.shape != parent_b.shape:
+        raise OptimizationError(
+            f"parents differ in shape: {parent_a.shape} vs {parent_b.shape}"
+        )
+    n = len(parent_a)
+    if n < 2:
+        raise OptimizationError("genomes must have at least 2 genes to cross over")
+    cut = int(rng.integers(1, n))
+    child_a = np.concatenate([parent_a[:cut], parent_b[cut:]])
+    child_b = np.concatenate([parent_b[:cut], parent_a[cut:]])
+    return child_a, child_b
+
+
+def mutate_single_coefficient(rng: np.random.Generator, genome: np.ndarray,
+                              layout: GenomeLayout, *,
+                              scale: float = 0.02) -> np.ndarray:
+    """Perturb exactly one randomly chosen coefficient.
+
+    The perturbation is Gaussian with standard deviation *scale*; the
+    result is clipped into the layout bounds.  The input genome is not
+    modified.
+    """
+    if scale <= 0.0:
+        raise OptimizationError(f"mutation scale must be positive, got {scale}")
+    genome = np.array(genome, dtype=np.float64, copy=True)
+    if len(genome) != layout.n_genes:
+        raise OptimizationError(
+            f"genome has {len(genome)} genes, layout expects {layout.n_genes}"
+        )
+    gene = int(rng.integers(0, len(genome)))
+    genome[gene] += rng.normal(0.0, scale)
+    return layout.clip(genome)

@@ -1,0 +1,126 @@
+"""Alternative selection operators for the genetic algorithm.
+
+The paper fixes tournament selection; these classical alternatives
+(roulette-wheel / fitness-proportionate, and linear rank selection)
+allow an operator ablation.  All share the signature of
+:func:`repro.optimize.operators.tournament_select` — take the fitness
+list, return a parent index — so a :class:`SelectionMethod` can be
+dropped into the GA loop unchanged.
+
+Fitness lists may contain ``-inf`` (infeasible candidates); every
+operator here assigns them zero selection probability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.operators import tournament_select
+
+
+def _feasible_mask(fitnesses: np.ndarray) -> np.ndarray:
+    mask = np.isfinite(fitnesses)
+    if not np.any(mask):
+        raise OptimizationError("no feasible individuals to select from")
+    return mask
+
+
+def roulette_select(rng: np.random.Generator,
+                    fitnesses: Sequence[float]) -> int:
+    """Fitness-proportionate (roulette-wheel) selection.
+
+    Fitness values are shifted so the worst feasible individual gets a
+    small positive weight; infeasible individuals get zero.
+    """
+    values = np.asarray(fitnesses, dtype=np.float64)
+    mask = _feasible_mask(values)
+    feasible = values[mask]
+    lowest = feasible.min()
+    spread = feasible.max() - lowest
+    floor = 0.05 * spread if spread > 0.0 else 1.0
+    weights = np.zeros(len(values))
+    weights[mask] = (feasible - lowest) + floor
+    weights /= weights.sum()
+    return int(rng.choice(len(values), p=weights))
+
+
+def rank_select(rng: np.random.Generator, fitnesses: Sequence[float], *,
+                pressure: float = 1.8) -> int:
+    """Linear rank selection.
+
+    The best feasible individual receives weight ``pressure``, the
+    worst ``2 - pressure`` (with ``1 < pressure <= 2``), linearly in
+    between — immune to fitness scaling, unlike the roulette wheel.
+    """
+    if not 1.0 < pressure <= 2.0:
+        raise OptimizationError(f"rank pressure must be in (1, 2], got {pressure}")
+    values = np.asarray(fitnesses, dtype=np.float64)
+    mask = _feasible_mask(values)
+    indices = np.nonzero(mask)[0]
+    order = indices[np.argsort(values[indices])]  # worst ... best
+    count = len(order)
+    if count == 1:
+        return int(order[0])
+    ranks = np.arange(count, dtype=np.float64)  # 0 = worst
+    weights = (2.0 - pressure) + (2.0 * (pressure - 1.0)) * ranks / (count - 1)
+    weights /= weights.sum()
+    return int(rng.choice(order, p=weights))
+
+
+class SelectionMethod(enum.Enum):
+    """Named selection strategies for configuration surfaces."""
+
+    TOURNAMENT = "tournament"
+    ROULETTE = "roulette"
+    RANK = "rank"
+
+    def selector(self, *, tournament_size: int = 3,
+                 pressure: float = 1.8) -> Callable:
+        """A ``(rng, fitnesses) -> index`` callable for this method."""
+        if self is SelectionMethod.TOURNAMENT:
+            return lambda rng, fitnesses: tournament_select(
+                rng, fitnesses, tournament_size=tournament_size
+            )
+        if self is SelectionMethod.ROULETTE:
+            return roulette_select
+        return lambda rng, fitnesses: rank_select(rng, fitnesses,
+                                                  pressure=pressure)
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectionStats:
+    """Empirical selection-pressure measurement for one operator."""
+
+    method: SelectionMethod
+    best_probability: float  # chance the best individual is picked
+    feasible_only: bool  # infeasible individuals never selected
+
+
+def measure_selection_pressure(method: SelectionMethod,
+                               fitnesses: Sequence[float], *,
+                               trials: int = 2000,
+                               seed: int = 0) -> SelectionStats:
+    """Estimate how strongly an operator favours the best individual."""
+    rng = np.random.default_rng(seed)
+    selector = method.selector()
+    values = np.asarray(fitnesses, dtype=np.float64)
+    best = int(np.argmax(np.where(np.isfinite(values), values, -math.inf)))
+    hits = 0
+    feasible_only = True
+    for _ in range(trials):
+        chosen = selector(rng, fitnesses)
+        if chosen == best:
+            hits += 1
+        if not math.isfinite(values[chosen]):
+            feasible_only = False
+    return SelectionStats(
+        method=method,
+        best_probability=hits / trials,
+        feasible_only=feasible_only,
+    )

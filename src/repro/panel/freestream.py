@@ -1,0 +1,60 @@
+"""Free-stream (far-field) flow description.
+
+The global flow imposed far from the airfoil is uniform with speed
+``v_inf`` at angle of attack ``alpha``; its stream function is
+``phi_v(x, y) = v_inf (y cos(alpha) - x sin(alpha))`` (paper, Sec. 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import PanelMethodError
+
+
+@dataclasses.dataclass(frozen=True)
+class Freestream:
+    """Uniform onset flow.
+
+    Parameters
+    ----------
+    speed:
+        Magnitude ``v_inf`` of the free-stream velocity (must be > 0).
+    alpha:
+        Angle of attack in **radians** (use :meth:`from_degrees` for the
+        usual aeronautical spelling).
+    """
+
+    speed: float = 1.0
+    alpha: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0.0:
+            raise PanelMethodError(f"free-stream speed must be positive, got {self.speed}")
+
+    @classmethod
+    def from_degrees(cls, alpha_degrees: float, speed: float = 1.0) -> "Freestream":
+        """Build a free stream with the angle of attack in degrees."""
+        return cls(speed=speed, alpha=math.radians(alpha_degrees))
+
+    @property
+    def alpha_degrees(self) -> float:
+        """Angle of attack in degrees."""
+        return math.degrees(self.alpha)
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """Velocity vector ``(v1, v2)``."""
+        return np.array([
+            self.speed * math.cos(self.alpha),
+            self.speed * math.sin(self.alpha),
+        ])
+
+    def stream_function(self, points: np.ndarray) -> np.ndarray:
+        """``phi_v`` evaluated at ``(n, 2)`` points."""
+        points = np.asarray(points)
+        v1, v2 = self.velocity
+        return v1 * points[..., 1] - v2 * points[..., 0]

@@ -1,0 +1,169 @@
+"""The solved panel problem and its aerodynamic post-processing.
+
+In the stream-function formulation the flow interior to the airfoil is
+stagnant, so the vortex-sheet strength ``gamma_i`` *is* the tangential
+flow speed on panel ``i`` (the jump across the sheet).  Everything
+aerodynamic — surface pressures, lift, moment — follows from it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import cached_property
+
+import numpy as np
+
+from repro.geometry import points as pt
+from repro.geometry.airfoil import Airfoil
+from repro.panel.assembly import Closure
+from repro.panel.freestream import Freestream
+from repro.panel.influence import stream_influence_matrix, velocity_influence
+
+
+@dataclasses.dataclass(frozen=True)
+class PanelSolution:
+    """Vortex strengths and derived aerodynamic quantities.
+
+    Attributes
+    ----------
+    airfoil, freestream, closure:
+        The problem definition.
+    gamma:
+        Vortex-sheet strength per panel, length ``n_panels``.
+    constant:
+        The boundary stream-function constant ``C``.
+    """
+
+    airfoil: Airfoil
+    freestream: Freestream
+    closure: Closure
+    gamma: np.ndarray
+    constant: float
+
+    def __post_init__(self) -> None:
+        gamma = np.asarray(self.gamma)
+        if gamma.shape != (self.airfoil.n_panels,):
+            raise ValueError(
+                f"gamma has shape {gamma.shape}, expected ({self.airfoil.n_panels},)"
+            )
+        gamma = gamma.copy()
+        gamma.setflags(write=False)
+        object.__setattr__(self, "gamma", gamma)
+
+    # ------------------------------------------------------------------
+    # Surface quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def surface_speeds(self) -> np.ndarray:
+        """Flow speed on each panel (``|gamma_i|``)."""
+        return np.abs(self.gamma)
+
+    @cached_property
+    def pressure_coefficients(self) -> np.ndarray:
+        """``Cp_i = 1 - (gamma_i / v_inf)^2`` at the control points."""
+        ratio = self.gamma / self.freestream.speed
+        return 1.0 - ratio.astype(np.float64) ** 2
+
+    @cached_property
+    def circulation(self) -> float:
+        """Total circulation ``sum_i gamma_i |h_i|``, clockwise-positive.
+
+        The paper's influence formula equals *minus* the stream function
+        of a counter-clockwise unit vortex sheet, so the strengths that
+        solve the system measure clockwise (lift-generating) rotation:
+        a positively lifting airfoil has positive circulation here.
+        """
+        return float(self.gamma @ self.airfoil.panel_lengths)
+
+    # ------------------------------------------------------------------
+    # Force and moment coefficients
+    # ------------------------------------------------------------------
+
+    @property
+    def lift_coefficient(self) -> float:
+        """``cl`` from the Kutta–Joukowski theorem.
+
+        ``L' = rho v_inf Gamma`` with the clockwise-positive circulation
+        of :attr:`circulation`; nondimensionalized by chord.
+        """
+        return 2.0 * self.circulation / (self.freestream.speed * self.airfoil.chord)
+
+    @cached_property
+    def force_coefficient_vector(self) -> np.ndarray:
+        """Pressure force coefficient vector ``(CF_x, CF_y)``.
+
+        Integrates ``-Cp n_hat`` over the surface, nondimensionalized by
+        the chord.  Its projection normal to the free stream is an
+        independent estimate of ``cl``; the streamwise projection is the
+        (spurious) pressure drag, which d'Alembert's paradox says should
+        vanish for this inviscid model.
+        """
+        weighted = (
+            self.pressure_coefficients[:, None]
+            * self.airfoil.normals
+            * self.airfoil.panel_lengths[:, None]
+        )
+        return -weighted.sum(axis=0) / self.airfoil.chord
+
+    @property
+    def lift_coefficient_pressure(self) -> float:
+        """``cl`` from the surface-pressure integral (cross-check)."""
+        alpha = self.freestream.alpha
+        direction = np.array([-np.sin(alpha), np.cos(alpha)])
+        return float(self.force_coefficient_vector @ direction)
+
+    @property
+    def pressure_drag_coefficient(self) -> float:
+        """Streamwise pressure force; ~0 for a converged inviscid solve."""
+        alpha = self.freestream.alpha
+        direction = np.array([np.cos(alpha), np.sin(alpha)])
+        return float(self.force_coefficient_vector @ direction)
+
+    def moment_coefficient(self, reference=(0.25, 0.0)) -> float:
+        """Pitching-moment coefficient about *reference* (default c/4).
+
+        Positive nose-up, the standard aeronautical convention.
+        """
+        reference = np.asarray(reference, dtype=np.float64)
+        arms = self.airfoil.control_points - reference
+        forces = (
+            -self.pressure_coefficients[:, None]
+            * self.airfoil.normals
+            * self.airfoil.panel_lengths[:, None]
+        )
+        # cross_z gives the CCW-positive z-torque; the aeronautical
+        # nose-up-positive convention is its negative (the nose sits at
+        # smaller x than the reference point).
+        moments = pt.cross_z(arms, forces)
+        return float(-moments.sum() / self.airfoil.chord**2)
+
+    # ------------------------------------------------------------------
+    # Field evaluation
+    # ------------------------------------------------------------------
+
+    def velocity_at(self, points) -> np.ndarray:
+        """Total velocity at arbitrary field points, shape ``(m, 2)``.
+
+        The velocity influence is derived for counter-clockwise-positive
+        sheet strength while the solved ``gamma`` is clockwise-positive
+        (see :attr:`circulation`), hence the sign flip.
+        """
+        influence = velocity_influence(points, self.airfoil)
+        induced = -np.einsum("mpc,p->mc", influence, np.asarray(self.gamma, np.float64))
+        return induced + self.freestream.velocity
+
+    def stream_function_at(self, points) -> np.ndarray:
+        """Total stream function at arbitrary field points."""
+        influence = stream_influence_matrix(points, self.airfoil)
+        induced = influence @ np.asarray(self.gamma, dtype=np.float64)
+        return induced + self.freestream.stream_function(np.asarray(points))
+
+    def boundary_residual(self) -> float:
+        """Max deviation of the surface stream function from ``C``.
+
+        A direct check of the discretized boundary condition; small
+        values mean the solve honoured ``phi|_{dOmega} = C``.
+        """
+        surface = self.stream_function_at(self.airfoil.control_points)
+        return float(np.max(np.abs(surface - self.constant)))

@@ -1,0 +1,95 @@
+"""High-level panel-method solver.
+
+Ties together assembly (:mod:`repro.panel.assembly`) and the in-house
+LU kernels (:mod:`repro.linalg`) and returns a
+:class:`~repro.panel.solution.PanelSolution`.  This is the "inner
+solver" the paper's genetic optimizer calls thousands of times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry.airfoil import Airfoil
+from repro.linalg import batched_lu_factor, batched_lu_solve, lu_factor, lu_solve
+from repro.panel.assembly import Closure, assemble, assemble_batch
+from repro.panel.freestream import Freestream
+from repro.panel.solution import PanelSolution
+from repro.precision import Precision, PrecisionLike
+
+
+@dataclasses.dataclass(frozen=True)
+class PanelSolver:
+    """Configurable 2-D vortex panel solver.
+
+    Parameters
+    ----------
+    closure:
+        System closure; the Kutta condition by default.
+    precision:
+        Arithmetic precision for assembly and solve (paper: both).
+        Results are always post-processed in double precision.
+    """
+
+    closure: Closure = Closure.KUTTA
+    precision: Precision = Precision.DOUBLE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "closure", Closure.parse(self.closure))
+        object.__setattr__(self, "precision", Precision.parse(self.precision))
+
+    @classmethod
+    def with_precision(cls, precision: PrecisionLike, **kwargs) -> "PanelSolver":
+        """Construct a solver accepting any precision spelling."""
+        return cls(precision=Precision.parse(precision), **kwargs)
+
+    def solve(self, airfoil: Airfoil, freestream: Freestream = None) -> PanelSolution:
+        """Solve one airfoil/free-stream configuration."""
+        freestream = freestream or Freestream()
+        system = assemble(
+            airfoil, freestream, closure=self.closure, dtype=self.precision.dtype
+        )
+        unknowns = lu_solve(lu_factor(system.matrix), system.rhs)
+        gamma, constant = system.expand_solution(unknowns)
+        return PanelSolution(
+            airfoil=airfoil,
+            freestream=freestream,
+            closure=self.closure,
+            gamma=np.asarray(gamma, dtype=np.float64),
+            constant=constant,
+        )
+
+    def solve_batch(self, airfoils: Sequence[Airfoil],
+                    freestream: Freestream = None) -> List[PanelSolution]:
+        """Solve many same-size configurations with the batched kernels.
+
+        This is the code path the hardware model's timing describes:
+        assemble a stack of matrices, then run a batched LU solve.
+        """
+        freestream = freestream or Freestream()
+        matrices, rhs, systems = assemble_batch(
+            airfoils, freestream, closure=self.closure, dtype=self.precision.dtype
+        )
+        unknowns = batched_lu_solve(batched_lu_factor(matrices, overwrite=True), rhs)
+        solutions = []
+        for system, row in zip(systems, unknowns):
+            gamma, constant = system.expand_solution(row)
+            solutions.append(PanelSolution(
+                airfoil=system.airfoil,
+                freestream=freestream,
+                closure=self.closure,
+                gamma=np.asarray(gamma, dtype=np.float64),
+                constant=constant,
+            ))
+        return solutions
+
+
+def solve_airfoil(airfoil: Airfoil, alpha_degrees: float = 0.0, *,
+                  speed: float = 1.0, closure=Closure.KUTTA,
+                  precision: PrecisionLike = Precision.DOUBLE) -> PanelSolution:
+    """One-call convenience API: solve an airfoil at an angle of attack."""
+    solver = PanelSolver(closure=Closure.parse(closure), precision=Precision.parse(precision))
+    return solver.solve(airfoil, Freestream.from_degrees(alpha_degrees, speed=speed))

@@ -1,0 +1,92 @@
+"""The hybrid accelerator pipeline — the paper's primary contribution.
+
+Build a schedule (:mod:`repro.pipeline.schedules`), simulate it
+(:func:`simulate`), extract the paper's W/A/L/O metrics
+(:func:`evaluate`), trace it as a Gantt chart (:mod:`repro.pipeline.trace`),
+or tune its parameters (:mod:`repro.pipeline.autotune`).
+"""
+
+from repro.pipeline.autotune import (
+    DEFAULT_DISTRIBUTION_GRID,
+    DEFAULT_SLICE_GRID,
+    TuneResult,
+    predicted_optimum_distribution,
+    tune_distribution,
+    tune_slices,
+)
+from repro.pipeline.bounds import SpeedupBounds, speedup_bounds
+from repro.pipeline.engine import TaskRecord, Timeline, simulate
+from repro.pipeline.executor import FunctionalHybridResult, execute_hybrid
+from repro.pipeline.heterogeneous import (
+    balanced_fractions,
+    heterogeneous_schedule,
+    split_batch,
+)
+from repro.pipeline.metrics import HybridMetrics, evaluate, lower_bound_gap
+from repro.pipeline.schedules import (
+    DEFAULT_CPU_SOLVE_FRACTION,
+    cpu_only,
+    default_stages,
+    dual_accelerator,
+    hybrid,
+    sequential_offload,
+)
+from repro.pipeline.task import Schedule, Task, TaskKind
+from repro.pipeline.theory import (
+    StageTimes,
+    optimal_slice_count,
+    predict_hybrid,
+    predict_wall_time,
+    stage_times,
+)
+from repro.pipeline.trace import (
+    GanttRow,
+    GanttSegment,
+    GanttTrace,
+    build_trace,
+    render_ascii,
+)
+from repro.pipeline.workload import Workload, slice_sizes
+
+__all__ = [
+    "DEFAULT_CPU_SOLVE_FRACTION",
+    "DEFAULT_DISTRIBUTION_GRID",
+    "DEFAULT_SLICE_GRID",
+    "FunctionalHybridResult",
+    "GanttRow",
+    "GanttSegment",
+    "GanttTrace",
+    "HybridMetrics",
+    "Schedule",
+    "SpeedupBounds",
+    "StageTimes",
+    "Task",
+    "TaskKind",
+    "TaskRecord",
+    "Timeline",
+    "TuneResult",
+    "Workload",
+    "balanced_fractions",
+    "build_trace",
+    "cpu_only",
+    "default_stages",
+    "dual_accelerator",
+    "evaluate",
+    "execute_hybrid",
+    "heterogeneous_schedule",
+    "hybrid",
+    "lower_bound_gap",
+    "optimal_slice_count",
+    "predict_hybrid",
+    "predict_wall_time",
+    "stage_times",
+    "predicted_optimum_distribution",
+    "render_ascii",
+    "sequential_offload",
+    "simulate",
+    "slice_sizes",
+    "speedup_bounds",
+    "split_batch",
+    "tune_distribution",
+    "tune_slices",
+]

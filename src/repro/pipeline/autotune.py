@@ -1,0 +1,92 @@
+"""Autotuning of the pipeline's free parameters.
+
+The paper tunes two knobs by hand: the slice count ("between 10 and 20
+slices seems to yield near optimal performance") and, for the dual-GPU
+scheme, the work distribution ("optimal load balancing dictates that
+about one quarter of the original problem is parceled out to the second
+GPU").  These searches make both choices automatic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.hardware.host import Workstation
+from repro.pipeline.engine import simulate
+from repro.pipeline.metrics import HybridMetrics, evaluate
+from repro.pipeline.schedules import dual_accelerator, hybrid
+from repro.pipeline.workload import Workload
+
+#: Default slice-count grid: the paper's values plus a finer sweep.
+DEFAULT_SLICE_GRID = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 48, 64)
+
+#: Default dual-GPU distribution grid around the paper's 0.70-0.80 range.
+DEFAULT_DISTRIBUTION_GRID = tuple(round(0.50 + 0.05 * i, 2) for i in range(11))
+
+
+@dataclasses.dataclass(frozen=True)
+class TuneResult:
+    """Outcome of a parameter sweep."""
+
+    best_parameter: float
+    best_metrics: HybridMetrics
+    sweep: List[Tuple[float, HybridMetrics]]
+
+    @property
+    def best_wall_time(self) -> float:
+        """Wall time at the optimum."""
+        return self.best_metrics.wall_time
+
+
+def tune_slices(workload: Workload, workstation: Workstation, *,
+                candidates: Iterable[int] = DEFAULT_SLICE_GRID,
+                stages: int = None) -> TuneResult:
+    """Find the slice count minimizing the hybrid wall time."""
+    sweep: List[Tuple[float, HybridMetrics]] = []
+    for n_slices in candidates:
+        if n_slices > workload.batch:
+            continue
+        timeline = simulate(hybrid(workload, workstation, n_slices, stages=stages))
+        sweep.append((float(n_slices), evaluate(timeline)))
+    return _pick_best(sweep, "slice counts")
+
+
+def tune_distribution(workload: Workload, workstation: Workstation, *,
+                      n_slices: int = 10,
+                      candidates: Iterable[float] = DEFAULT_DISTRIBUTION_GRID) -> TuneResult:
+    """Find the dual-GPU work distribution minimizing wall time."""
+    sweep: List[Tuple[float, HybridMetrics]] = []
+    for distribution in candidates:
+        timeline = simulate(
+            dual_accelerator(workload, workstation, distribution, n_slices)
+        )
+        sweep.append((float(distribution), evaluate(timeline)))
+    return _pick_best(sweep, "distributions")
+
+
+def _pick_best(sweep: List[Tuple[float, HybridMetrics]], what: str) -> TuneResult:
+    if not sweep:
+        raise ScheduleError(f"no feasible {what} to tune over")
+    best_parameter, best_metrics = min(sweep, key=lambda item: item[1].wall_time)
+    return TuneResult(
+        best_parameter=best_parameter, best_metrics=best_metrics, sweep=sweep
+    )
+
+
+def predicted_optimum_distribution(hybrid_unit_time: float,
+                                   device_unit_time: float) -> Optional[float]:
+    """Closed-form load balance between the two paths.
+
+    If processing one candidate costs ``hybrid_unit_time`` on the hybrid
+    path and ``device_unit_time`` on the second GPU, the makespan of the
+    split is minimized when both chains finish together:
+    ``distr = device_unit_time / (hybrid_unit_time + device_unit_time)``.
+    The paper's "about one quarter to the second GPU" corresponds to
+    ``distr ~ 0.75`` for its timings.
+    """
+    total = hybrid_unit_time + device_unit_time
+    if total <= 0.0:
+        return None
+    return device_unit_time / total

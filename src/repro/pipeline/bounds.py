@@ -1,0 +1,80 @@
+"""Speedup upper bounds for the hybrid scheme (Amdahl-style).
+
+The paper states its own bound: "Assuming instantaneous data transfer
+the optimal run time of our hybrid implementation is equal to the time
+for the linear solver."  This module formalizes that and two sharper
+variants, so every simulated (or measured) result can be reported as a
+fraction of what is achievable:
+
+* **solve bound** — an infinitely fast accelerator and link:
+  ``W >= L``; speedup ``<= (A_cpu + L) / L``.
+* **chain bound** — the real accelerator but a free lunch on overlap:
+  the pipeline cannot beat its own slowest stage, so
+  ``W >= max(L, A_acc + T)`` for the 2-stage (GPU) scheme where
+  assembly and copy share the device queue, and
+  ``W >= max(L, A_acc, T)`` for the 3-stage (Phi) scheme where they
+  overlap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ScheduleError
+from repro.hardware.host import Workstation
+from repro.pipeline.metrics import HybridMetrics
+from repro.pipeline.workload import Workload
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeedupBounds:
+    """Upper bounds on the hybrid speedup for one configuration."""
+
+    cpu_wall: float  # A_cpu + L: the baseline
+    solve_seconds: float  # L
+    chain_seconds: float  # A_acc + T (unsliced, setups excluded)
+
+    @property
+    def solve_bound(self) -> float:
+        """Paper's bound: speedup with an infinitely fast accelerator."""
+        return self.cpu_wall / self.solve_seconds
+
+    @property
+    def chain_bound(self) -> float:
+        """Bound respecting the real accelerator chain throughput."""
+        return self.cpu_wall / max(self.solve_seconds, self.chain_seconds)
+
+    def achieved_fraction(self, metrics: HybridMetrics) -> float:
+        """How much of the chain bound a simulated run realizes."""
+        if metrics.wall_time <= 0.0:
+            raise ScheduleError("metrics carry a non-positive wall time")
+        achieved = self.cpu_wall / metrics.wall_time
+        return achieved / self.chain_bound
+
+
+def speedup_bounds(workload: Workload, workstation: Workstation) -> SpeedupBounds:
+    """Compute the bounds for a workstation's hybrid configuration.
+
+    The chain bound respects the interleave depth the device uses: the
+    GPU scheme serializes assembly and copy on the device queue, the
+    Phi scheme overlaps them on separate resources.
+    """
+    from repro.pipeline.schedules import default_stages
+
+    if not workstation.has_accelerator:
+        raise ScheduleError("bounds need an accelerator configuration")
+    cpu = workstation.cpu
+    device = workstation.accelerator
+    assembly_cpu = cpu.assembly_seconds(workload.batch, workload.n)
+    solve = cpu.solve_seconds(workload.batch, workload.n)
+    assembly = device.assembly_seconds(workload.batch, workload.n)
+    transfer = device.transfer_seconds(workload.batch, workload.n)
+    if default_stages(device) == 2:
+        chain = assembly + transfer
+    else:
+        chain = max(assembly, transfer)
+    return SpeedupBounds(
+        cpu_wall=assembly_cpu + solve,
+        solve_seconds=solve,
+        chain_seconds=chain,
+    )

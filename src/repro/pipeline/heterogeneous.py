@@ -1,0 +1,129 @@
+"""Heterogeneous pipelines: several different accelerators at once.
+
+The paper evaluates one accelerator at a time (plus the two identical
+K80 halves in Section 6) and leaves combining them implicit.  This
+module generalizes the hybrid schedule to *any* set of accelerators
+feeding the shared host solve pool: each device assembles its share of
+the batch and ships slices over its own link; the CPU drains all the
+solve queues.  The discrete-event engine handles contention for the
+shared pool naturally.
+
+Load balancing: with the host solve as the common bottleneck, the
+assembly shares only need to keep every device busy for roughly the
+same span, so the closed-form split is proportional to each device's
+assembly throughput (:func:`balanced_fractions`); the autotuner can
+refine it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.hardware.host import Workstation
+from repro.pipeline.schedules import _add_hybrid_chain, default_stages
+from repro.pipeline.task import Schedule
+from repro.pipeline.workload import Workload
+
+
+def balanced_fractions(workstation: Workstation, workload: Workload) -> List[float]:
+    """Assembly-throughput-proportional batch shares per accelerator."""
+    if not workstation.accelerators:
+        raise ScheduleError("no accelerators to balance over")
+    rates = np.array([
+        1.0 / device.assembly_seconds(workload.batch, workload.n)
+        for device in workstation.accelerators
+    ])
+    return list(rates / rates.sum())
+
+
+def split_batch(batch: int, fractions: Sequence[float]) -> List[int]:
+    """Integer batch shares matching *fractions* (largest-remainder)."""
+    fractions = np.asarray(fractions, dtype=np.float64)
+    if len(fractions) == 0:
+        raise ScheduleError("need at least one fraction")
+    if np.any(fractions < 0.0) or fractions.sum() <= 0.0:
+        raise ScheduleError("fractions must be non-negative with positive sum")
+    fractions = fractions / fractions.sum()
+    raw = fractions * batch
+    shares = np.floor(raw).astype(int)
+    remainder = batch - int(shares.sum())
+    order = np.argsort(raw - shares)[::-1]
+    for index in order[:remainder]:
+        shares[index] += 1
+    return shares.tolist()
+
+
+def heterogeneous_schedule(workload: Workload, workstation: Workstation,
+                           n_slices: int, *,
+                           fractions: Optional[Sequence[float]] = None) -> Schedule:
+    """Build the multi-accelerator interleave.
+
+    Parameters
+    ----------
+    workload, workstation:
+        The batch and the host with >= 1 accelerators.
+    n_slices:
+        Slice count *per accelerator chain* (each chain interleaves its
+        own share like the single-accelerator hybrid).
+    fractions:
+        Batch share per accelerator; defaults to
+        :func:`balanced_fractions`.  Devices with a zero share are
+        skipped.
+    """
+    if not workstation.has_accelerator:
+        raise ScheduleError("heterogeneous schedule needs at least one accelerator")
+    if fractions is None:
+        fractions = balanced_fractions(workstation, workload)
+    if len(fractions) != len(workstation.accelerators):
+        raise ScheduleError(
+            f"{len(fractions)} fractions for "
+            f"{len(workstation.accelerators)} accelerators"
+        )
+    shares = split_batch(workload.batch, fractions)
+    names = "+".join(device.name for device in workstation.accelerators)
+    schedule = Schedule(
+        name=f"{names}+{workstation.cpu.name} (hetero, {n_slices} slices)",
+        cpu_resource="cpu",
+        primary_accelerator="accel0",
+    )
+    for index, (device, share) in enumerate(
+            zip(workstation.accelerators, shares)):
+        if share == 0:
+            continue
+        chain_slices = min(n_slices, share)
+        _add_hybrid_chain(
+            schedule, workload.with_batch(share), device, workstation.cpu,
+            chain_slices, stages=default_stages(device),
+            accel_resource=f"accel{index}", link_resource=f"link{index}",
+        )
+    if not schedule.tasks:
+        raise ScheduleError("every accelerator received a zero share")
+    return schedule
+
+
+def tune_fractions(workload: Workload, workstation: Workstation,
+                   n_slices: int = 10, *, grid_points: int = 21):
+    """Grid-search the two-accelerator split minimizing wall time.
+
+    Returns ``(best_fraction_of_first, best_metrics, sweep)`` where the
+    sweep lists ``(fraction, metrics)`` pairs.  Only defined for exactly
+    two accelerators (the K80-half + Phi combination); for more devices
+    start from :func:`balanced_fractions`.
+    """
+    from repro.pipeline.engine import simulate
+    from repro.pipeline.metrics import evaluate
+
+    if len(workstation.accelerators) != 2:
+        raise ScheduleError("tune_fractions handles exactly two accelerators")
+    sweep = []
+    for fraction in np.linspace(0.0, 1.0, grid_points):
+        schedule = heterogeneous_schedule(
+            workload, workstation, n_slices,
+            fractions=(float(fraction), float(1.0 - fraction)),
+        )
+        sweep.append((float(fraction), evaluate(simulate(schedule))))
+    best_fraction, best_metrics = min(sweep, key=lambda item: item[1].wall_time)
+    return best_fraction, best_metrics, sweep

@@ -1,0 +1,121 @@
+"""Tasks and schedules for the hybrid-pipeline simulator.
+
+A :class:`Schedule` is an explicit DAG of :class:`Task` objects, each
+bound to a named resource (a GPU's compute stream, the PCIe link, the
+CPU solve pool).  Submission order doubles as the FIFO order on each
+resource, exactly like CUDA streams or an offload queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+
+
+class TaskKind(enum.Enum):
+    """The three operations of the paper's pipeline (Figures 3-4)."""
+
+    ASSEMBLE = "assemble"
+    TRANSFER = "transfer"
+    SOLVE = "solve"
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """One unit of work bound to a resource.
+
+    Attributes
+    ----------
+    task_id:
+        Unique, dense id; dependencies must reference *earlier* ids
+        (schedules are built in execution order).
+    kind, resource, duration:
+        What runs, where, and for how long (simulated seconds).
+    dependencies:
+        Ids of tasks that must finish before this one starts.
+    slice_index:
+        Which batch slice the task processes (-1 when not sliced).
+    batch:
+        Number of candidate systems the task covers.
+    label:
+        Short display string for traces.
+    """
+
+    task_id: int
+    kind: TaskKind
+    resource: str
+    duration: float
+    dependencies: Tuple[int, ...] = ()
+    slice_index: int = -1
+    batch: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration < 0.0:
+            raise ScheduleError(f"task {self.task_id} has negative duration")
+        for dep in self.dependencies:
+            if dep >= self.task_id:
+                raise ScheduleError(
+                    f"task {self.task_id} depends on {dep}, which is not earlier"
+                )
+
+
+@dataclasses.dataclass
+class Schedule:
+    """An ordered task list plus resource-role annotations.
+
+    ``cpu_resource`` names the host solve pool and
+    ``primary_accelerator`` the accelerator whose assembly time the
+    paper's tables report in their ``A`` column.
+    """
+
+    name: str
+    tasks: List[Task] = dataclasses.field(default_factory=list)
+    cpu_resource: str = "cpu"
+    primary_accelerator: Optional[str] = None
+
+    def add(self, kind: TaskKind, resource: str, duration: float, *,
+            dependencies: Tuple[int, ...] = (), slice_index: int = -1,
+            batch: int = 0, label: str = "") -> Task:
+        """Append a task (ids are assigned densely) and return it."""
+        task = Task(
+            task_id=len(self.tasks),
+            kind=kind,
+            resource=resource,
+            duration=duration,
+            dependencies=tuple(dependencies),
+            slice_index=slice_index,
+            batch=batch,
+            label=label or f"{kind.value}[{slice_index}]",
+        )
+        self.tasks.append(task)
+        return task
+
+    @property
+    def resources(self) -> List[str]:
+        """Resource names in first-use order."""
+        seen: Dict[str, None] = {}
+        for task in self.tasks:
+            seen.setdefault(task.resource, None)
+        return list(seen)
+
+    def validate(self) -> None:
+        """Check id density and dependency sanity."""
+        for index, task in enumerate(self.tasks):
+            if task.task_id != index:
+                raise ScheduleError(
+                    f"task ids must be dense: position {index} holds id {task.task_id}"
+                )
+        if not self.tasks:
+            raise ScheduleError(f"schedule {self.name!r} is empty")
+
+    def total_duration(self, kind: TaskKind, resource: str = None) -> float:
+        """Summed duration of tasks of *kind* (optionally one resource)."""
+        return sum(
+            task.duration
+            for task in self.tasks
+            if task.kind is kind and (resource is None or task.resource == resource)
+        )

@@ -1,0 +1,129 @@
+"""Closed-form performance model of the hybrid pipelines.
+
+The discrete-event engine computes exact schedules; this module derives
+the same quantities analytically for uniform slices, which serves two
+purposes:
+
+1. **Verification** — for batch sizes divisible by the slice count the
+   closed form must match the event engine to rounding error (the test
+   suite asserts this), so each implementation checks the other.
+2. **Insight** — the formulas expose the paper's trade-off directly:
+
+   With per-slice assembly ``a``, transfer ``t``, host-side offload
+   management ``g`` and solve ``l``, a 2-stage chain (GPU scheme, copy
+   serialized after assembly on the device queue) completes in
+
+       W = (a + t) + (s - 1) max(a + t, g + l) + (g + l)
+
+   and the 3-stage chain (Phi scheme, copy on its own link) in
+
+       W = a + t + (s - 1) max(a, t, g + l) + (g + l).
+
+   Writing the totals ``A = s a'' + s setup`` etc. shows the familiar
+   U-shape in ``s`` and yields the optimal slice count in closed form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ScheduleError
+from repro.hardware.host import Workstation
+from repro.pipeline.schedules import default_stages
+from repro.pipeline.workload import Workload
+
+
+@dataclasses.dataclass(frozen=True)
+class StageTimes:
+    """Per-slice stage durations of a uniform hybrid pipeline."""
+
+    assembly: float  # a: accelerator compute per slice
+    transfer: float  # t: link time per slice
+    management: float  # g: host-side offload bookkeeping per slice
+    solve: float  # l: host solve per slice (incl. per-call setup)
+    n_slices: int
+
+    @property
+    def host(self) -> float:
+        """Per-slice host occupancy (management + solve)."""
+        return self.management + self.solve
+
+
+def stage_times(workload: Workload, workstation: Workstation,
+                n_slices: int) -> StageTimes:
+    """Per-slice durations for a uniform slicing of *workload*.
+
+    Requires the batch to divide evenly (the closed form assumes
+    identical slices).
+    """
+    if workload.batch % n_slices:
+        raise ScheduleError(
+            f"closed form needs uniform slices: {workload.batch} % {n_slices} != 0"
+        )
+    accelerator = workstation.accelerator
+    per_slice = workload.batch // n_slices
+    return StageTimes(
+        assembly=accelerator.assembly_seconds(per_slice, workload.n),
+        transfer=accelerator.transfer_seconds(per_slice, workload.n),
+        management=accelerator.spec.host_overhead_per_call,
+        solve=workstation.cpu.solve_seconds(per_slice, workload.n),
+        n_slices=n_slices,
+    )
+
+
+def predict_wall_time(times: StageTimes, *, stages: int) -> float:
+    """Closed-form makespan of a uniform hybrid pipeline."""
+    if stages == 2:
+        first = times.assembly + times.transfer
+        bottleneck = max(first, times.host)
+    elif stages == 3:
+        first = times.assembly + times.transfer
+        bottleneck = max(times.assembly, times.transfer, times.host)
+    else:
+        raise ScheduleError(f"stages must be 2 or 3, got {stages}")
+    return first + (times.n_slices - 1) * bottleneck + times.host
+
+
+def predict_hybrid(workload: Workload, workstation: Workstation,
+                   n_slices: int, *, stages: int = None) -> float:
+    """Closed-form wall time for a workstation's hybrid configuration."""
+    if stages is None:
+        stages = default_stages(workstation.accelerator)
+    return predict_wall_time(
+        stage_times(workload, workstation, n_slices), stages=stages
+    )
+
+
+def optimal_slice_count(workload: Workload, workstation: Workstation) -> int:
+    """Closed-form estimate of the wall-time-minimizing slice count.
+
+    In the solve-bound regime the wall time decomposes as
+
+        W(s) ~ (A_work + T_work)/s + s * c + const
+
+    where ``c`` collects the per-slice fixed costs that land on the
+    critical path (solve-call setup, offload management, kernel and
+    transfer setup amortized through the fill).  Minimizing gives
+    ``s* = sqrt((A_work + T_work) / c)``.  The estimate lands within a
+    factor of ~2 of the autotuner's exhaustive answer, which is enough
+    to seed the search.
+    """
+    accelerator = workstation.accelerator
+    spec = accelerator.spec
+    assembly_work = (
+        accelerator.assembly_seconds(workload.batch, workload.n)
+        - spec.kernel_setup
+    )
+    transfer_work = (
+        accelerator.transfer_seconds(workload.batch, workload.n)
+        - spec.link.latency
+    )
+    per_slice_cost = (
+        spec.host_overhead_per_call
+        + workstation.cpu.spec.solve_call_setup
+    )
+    if per_slice_cost <= 0.0:
+        return workload.batch  # no penalty: slice as finely as possible
+    estimate = math.sqrt((assembly_work + transfer_work) / per_slice_cost)
+    return max(1, min(workload.batch, round(estimate)))

@@ -1,0 +1,124 @@
+"""Gantt traces of simulated pipelines (Figures 3 and 4).
+
+Turns a :class:`~repro.pipeline.engine.Timeline` into per-resource rows
+of labelled segments, plus an ASCII renderer so the figures can be
+regenerated in a terminal (no plotting stack is assumed; an SVG writer
+lives in :mod:`repro.viz.svg`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.pipeline.engine import Timeline
+from repro.pipeline.task import TaskKind
+
+#: Characters used to fill Gantt bars per task kind (ASCII rendering).
+KIND_GLYPHS: Dict[TaskKind, str] = {
+    TaskKind.ASSEMBLE: "a",
+    TaskKind.TRANSFER: "c",
+    TaskKind.SOLVE: "s",
+}
+
+#: Row titles matching the paper's figure legends.
+KIND_TITLES: Dict[TaskKind, str] = {
+    TaskKind.ASSEMBLE: "assembly",
+    TaskKind.TRANSFER: "copy",
+    TaskKind.SOLVE: "solve",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GanttSegment:
+    """One bar on a Gantt row."""
+
+    start: float
+    end: float
+    kind: TaskKind
+    label: str
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the segment covers."""
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class GanttRow:
+    """All bars of one resource."""
+
+    resource: str
+    segments: List[GanttSegment]
+
+    def busy(self) -> float:
+        """Total busy seconds on the row."""
+        return sum(segment.duration for segment in self.segments)
+
+
+@dataclasses.dataclass(frozen=True)
+class GanttTrace:
+    """A complete per-resource execution trace."""
+
+    name: str
+    rows: List[GanttRow]
+    makespan: float
+
+    def row(self, resource: str) -> GanttRow:
+        """The row of a named resource."""
+        for candidate in self.rows:
+            if candidate.resource == resource:
+                return candidate
+        raise KeyError(f"no resource {resource!r} in trace")
+
+
+def build_trace(timeline: Timeline) -> GanttTrace:
+    """Convert a timeline into a Gantt trace (resources in first-use order)."""
+    rows = []
+    for resource in timeline.schedule.resources:
+        segments = [
+            GanttSegment(
+                start=record.start,
+                end=record.end,
+                kind=record.task.kind,
+                label=record.task.label,
+            )
+            for record in timeline.records_for(resource)
+        ]
+        rows.append(GanttRow(resource=resource, segments=segments))
+    return GanttTrace(
+        name=timeline.schedule.name, rows=rows, makespan=timeline.makespan
+    )
+
+
+def render_ascii(trace: GanttTrace, *, width: int = 78) -> str:
+    """Render a trace as fixed-width ASCII art.
+
+    Each resource becomes one line; task kinds map to the glyphs of
+    :data:`KIND_GLYPHS` (``a`` assembly, ``c`` copy, ``s`` solve), idle
+    time to ``.``.  A scale line with the makespan closes the plot.
+    """
+    if trace.makespan <= 0.0:
+        return f"{trace.name}: empty trace"
+    label_width = max(len(row.resource) for row in trace.rows) + 1
+    scale = width / trace.makespan
+    lines = [f"{trace.name}  (W = {trace.makespan:.3f} s)"]
+    for row in trace.rows:
+        canvas = ["."] * width
+        for segment in row.segments:
+            begin = int(segment.start * scale)
+            finish = max(begin + 1, int(round(segment.end * scale)))
+            glyph = KIND_GLYPHS[segment.kind]
+            for position in range(begin, min(finish, width)):
+                canvas[position] = glyph
+        lines.append(f"{row.resource:<{label_width}}|{''.join(canvas)}|")
+    ruler = " " * label_width + "0" + " " * (width - len(f"{trace.makespan:.2f}s")) \
+        + f"{trace.makespan:.2f}s"
+    lines.append(ruler)
+    lines.append(
+        " " * label_width
+        + "legend: " + ", ".join(
+            f"{glyph} = {KIND_TITLES[kind]}" for kind, glyph in KIND_GLYPHS.items()
+        )
+    )
+    return "\n".join(lines)

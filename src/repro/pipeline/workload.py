@@ -1,0 +1,81 @@
+"""Workload definition and batch slicing.
+
+The paper's reference workload is "4000 candidate solutions ...
+optimized using a genetic algorithm with 10 generations. Each geometry
+is discretized using 200 points."  For the pipeline, what matters is
+the stream of ``batch`` systems of dimension ``n`` at a given
+precision, and how that stream is cut into slices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.errors import ScheduleError
+from repro.precision import Precision, PrecisionLike
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """A batch of identical-size panel systems to assemble and solve."""
+
+    batch: int = 4000
+    n: int = 200
+    precision: Precision = Precision.DOUBLE
+    generations: int = 10  # informational: how the GA produced the batch
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ScheduleError(f"workload batch must be >= 1, got {self.batch}")
+        if self.n < 2:
+            raise ScheduleError(f"workload n must be >= 2, got {self.n}")
+        object.__setattr__(self, "precision", Precision.parse(self.precision))
+
+    @classmethod
+    def paper_reference(cls, precision: PrecisionLike = Precision.DOUBLE) -> "Workload":
+        """The Table 2-5 workload (4000 candidates, n = 200)."""
+        return cls(batch=4000, n=200, precision=Precision.parse(precision))
+
+    @property
+    def matrix_bytes(self) -> int:
+        """Bytes of one assembled system plus right-hand side."""
+        return (self.n * self.n + self.n) * self.precision.itemsize
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of the whole batch of assembled systems."""
+        return self.batch * self.matrix_bytes
+
+    def with_batch(self, batch: int) -> "Workload":
+        """A copy covering a different number of candidates."""
+        return dataclasses.replace(self, batch=batch)
+
+    def split_sizes(self, fraction: float) -> tuple:
+        """Cut the batch into ``(first, second)`` candidate counts.
+
+        Used by the dual-GPU scheme (Section 6): ``fraction`` of the
+        candidates take the hybrid path, the rest go to the second GPU.
+        ``second`` is zero when ``fraction`` is 1 (single-GPU reference).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ScheduleError(f"split fraction must be in (0, 1], got {fraction}")
+        first = max(1, round(self.batch * fraction))
+        first = min(first, self.batch)
+        return first, self.batch - first
+
+
+def slice_sizes(batch: int, n_slices: int) -> List[int]:
+    """Cut *batch* candidates into *n_slices* near-equal positive parts.
+
+    The first ``batch % n_slices`` slices get one extra candidate, so
+    sizes differ by at most one and always sum to *batch*.
+    """
+    if n_slices < 1:
+        raise ScheduleError(f"need at least one slice, got {n_slices}")
+    if n_slices > batch:
+        raise ScheduleError(
+            f"cannot cut {batch} candidates into {n_slices} non-empty slices"
+        )
+    base, extra = divmod(batch, n_slices)
+    return [base + (1 if index < extra else 0) for index in range(n_slices)]

@@ -1,0 +1,95 @@
+"""Floating-point precision handling.
+
+The paper reports every experiment in both single and double precision;
+this module centralizes the mapping between the human-readable precision
+names used throughout the library ("single"/"double") and NumPy dtypes,
+byte sizes, and machine epsilons.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+
+class Precision(enum.Enum):
+    """Floating-point precision of a computation.
+
+    Members compare and hash by identity; use :meth:`parse` to accept
+    user-facing spellings such as ``"sp"``, ``"float32"``, or an actual
+    ``np.dtype``.
+    """
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy dtype implementing this precision."""
+        return np.dtype(np.float32 if self is Precision.SINGLE else np.float64)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per scalar (4 for single, 8 for double)."""
+        return self.dtype.itemsize
+
+    @property
+    def eps(self) -> float:
+        """Machine epsilon of this precision."""
+        return float(np.finfo(self.dtype).eps)
+
+    @property
+    def short_name(self) -> str:
+        """Two-letter abbreviation used in table headers ("sp"/"dp")."""
+        return "sp" if self is Precision.SINGLE else "dp"
+
+    @classmethod
+    def parse(cls, value: "PrecisionLike") -> "Precision":
+        """Coerce a user-supplied precision spelling to a member.
+
+        Accepts a :class:`Precision`, the strings ``"single"``,
+        ``"double"``, ``"sp"``, ``"dp"``, ``"float32"``, ``"float64"``,
+        ``"f4"``, ``"f8"``, or a NumPy dtype / scalar type.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            normalized = value.strip().lower()
+            singles = {"single", "sp", "float32", "f4", "32"}
+            doubles = {"double", "dp", "float64", "f8", "64"}
+            if normalized in singles:
+                return cls.SINGLE
+            if normalized in doubles:
+                return cls.DOUBLE
+            raise ValueError(f"unknown precision spelling: {value!r}")
+        dtype = np.dtype(value)
+        if dtype == np.float32:
+            return cls.SINGLE
+        if dtype == np.float64:
+            return cls.DOUBLE
+        raise ValueError(f"unsupported dtype for Precision: {dtype}")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+PrecisionLike = Union[Precision, str, np.dtype, type]
+
+SINGLE = Precision.SINGLE
+DOUBLE = Precision.DOUBLE
+
+
+def as_dtype(precision: PrecisionLike) -> np.dtype:
+    """Shorthand for ``Precision.parse(precision).dtype``."""
+    return Precision.parse(precision).dtype
+
+
+def tolerance_for(precision: PrecisionLike, factor: float = 1e3) -> float:
+    """A sensible comparison tolerance for results at *precision*.
+
+    ``factor`` scales machine epsilon; the default of ``1e3`` tolerates
+    mild error growth through an O(n^2) assembly plus an LU solve.
+    """
+    return Precision.parse(precision).eps * factor

@@ -1,0 +1,45 @@
+"""Analytic and published references that validate the panel method.
+
+Plays the role Xfoil plays in the paper: an independent source of truth
+for lift, moment, and drag.
+"""
+
+from repro.validation.cylinder import (
+    CylinderFlow,
+    control_point_angles,
+    cylinder_airfoil,
+)
+from repro.validation.joukowski import JoukowskiAirfoil
+from repro.validation.references import (
+    DRAG_REFERENCES,
+    INVISCID_LIFT_REFERENCES,
+    MOMENT_REFERENCES,
+    DragReference,
+    LiftReference,
+    MomentReference,
+)
+from repro.validation.thin_airfoil import (
+    LIFT_SLOPE,
+    lift_coefficient,
+    naca4_parameters,
+    quarter_chord_moment,
+    zero_lift_alpha,
+)
+
+__all__ = [
+    "CylinderFlow",
+    "DRAG_REFERENCES",
+    "DragReference",
+    "INVISCID_LIFT_REFERENCES",
+    "JoukowskiAirfoil",
+    "LIFT_SLOPE",
+    "LiftReference",
+    "MOMENT_REFERENCES",
+    "MomentReference",
+    "control_point_angles",
+    "cylinder_airfoil",
+    "lift_coefficient",
+    "naca4_parameters",
+    "quarter_chord_moment",
+    "zero_lift_alpha",
+]

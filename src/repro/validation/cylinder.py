@@ -1,0 +1,86 @@
+"""Analytic potential flow over a circular cylinder.
+
+The classic closed-form solution used to validate the panel method:
+for a cylinder of radius ``R`` in a free stream ``V`` along ``x`` with
+circulation ``Gamma`` (clockwise-positive, matching the library), the
+surface speed is
+
+    q(theta) = | 2 V sin(theta) - Gamma / (2 pi R) |
+
+and the pressure coefficient ``Cp = 1 - (q / V)^2``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.geometry.airfoil import Airfoil
+
+
+def cylinder_airfoil(n_panels: int = 120, *, radius: float = 1.0,
+                     center=(0.0, 0.0)) -> Airfoil:
+    """A circle discretized as an :class:`Airfoil` (CCW, closed).
+
+    The "trailing edge" sits at angle 0 (the +x axis point).
+    """
+    theta = np.linspace(0.0, 2.0 * np.pi, n_panels + 1)
+    center = np.asarray(center, dtype=np.float64)
+    points = center + radius * np.column_stack([np.cos(theta), np.sin(theta)])
+    points[-1] = points[0]
+    return Airfoil(points=points, name=f"cylinder r={radius:g}")
+
+
+@dataclasses.dataclass(frozen=True)
+class CylinderFlow:
+    """Analytic reference flow over a cylinder."""
+
+    radius: float = 1.0
+    speed: float = 1.0
+    alpha: float = 0.0
+    circulation: float = 0.0  # clockwise-positive
+
+    def surface_speed(self, theta) -> np.ndarray:
+        """Flow speed on the surface at polar angle *theta*."""
+        theta = np.asarray(theta, dtype=np.float64)
+        rotational = self.circulation / (2.0 * np.pi * self.radius)
+        return np.abs(
+            2.0 * self.speed * np.sin(theta - self.alpha) + rotational
+        )
+
+    def pressure_coefficient(self, theta) -> np.ndarray:
+        """``Cp`` on the surface at polar angle *theta*."""
+        q = self.surface_speed(theta)
+        return 1.0 - (q / self.speed) ** 2
+
+    def velocity(self, points) -> np.ndarray:
+        """Velocity at exterior field points (doublet + vortex + stream)."""
+        points = np.asarray(points, dtype=np.float64)
+        x, y = points[..., 0], points[..., 1]
+        r_sq = x**2 + y**2
+        v = self.speed
+        a2 = self.radius**2
+        cos_a, sin_a = np.cos(self.alpha), np.sin(self.alpha)
+        # Doublet aligned with the stream.
+        x_r = x * cos_a + y * sin_a
+        y_r = -x * sin_a + y * cos_a
+        u_r = v * (1.0 - a2 * (x_r**2 - y_r**2) / r_sq**2)
+        v_r = -v * 2.0 * a2 * x_r * y_r / r_sq**2
+        u = u_r * cos_a - v_r * sin_a
+        w = u_r * sin_a + v_r * cos_a
+        # Clockwise vortex of strength `circulation`.
+        u += self.circulation * y / (2.0 * np.pi * r_sq)
+        w += -self.circulation * x / (2.0 * np.pi * r_sq)
+        return np.stack([u, w], axis=-1)
+
+    @property
+    def lift_coefficient(self) -> float:
+        """``cl`` referenced to the diameter (Kutta–Joukowski)."""
+        return 2.0 * self.circulation / (self.speed * 2.0 * self.radius)
+
+
+def control_point_angles(airfoil: Airfoil, center=(0.0, 0.0)) -> np.ndarray:
+    """Polar angle of each control point about *center*."""
+    offsets = airfoil.control_points - np.asarray(center, dtype=np.float64)
+    return np.arctan2(offsets[:, 1], offsets[:, 0])

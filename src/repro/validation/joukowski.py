@@ -1,0 +1,99 @@
+"""Joukowski airfoils: exact lifting solutions via conformal mapping.
+
+The Joukowski transform ``z = zeta + c^2 / zeta`` maps a circle passing
+through ``zeta = c`` to an airfoil with a cusped trailing edge.  The
+exact circulation enforcing the Kutta condition is known in closed
+form, giving an exact lift coefficient to validate the panel method
+against — the strongest available check of the Kutta-condition
+implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.airfoil import Airfoil
+
+
+@dataclasses.dataclass(frozen=True)
+class JoukowskiAirfoil:
+    """A Joukowski airfoil defined by its generating circle.
+
+    Parameters
+    ----------
+    thickness_parameter:
+        Shifts the circle centre to ``-epsilon_x``; larger values give
+        thicker sections (``~ 0.05 - 0.15``).
+    camber_parameter:
+        Lifts the circle centre to ``+epsilon_y``; larger values give
+        more camber.
+    """
+
+    thickness_parameter: float = 0.08
+    camber_parameter: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.thickness_parameter < 0.0:
+            raise GeometryError("thickness parameter must be non-negative")
+        if self.thickness_parameter == 0.0 and self.camber_parameter == 0.0:
+            raise GeometryError("degenerate Joukowski section (flat plate)")
+
+    @property
+    def center(self) -> complex:
+        """Centre of the generating circle in the zeta plane."""
+        return complex(-self.thickness_parameter, self.camber_parameter)
+
+    @property
+    def radius(self) -> float:
+        """Radius of the generating circle (passes through zeta = 1)."""
+        return abs(1.0 - self.center)
+
+    @property
+    def beta(self) -> float:
+        """The angle setting the zero-lift direction."""
+        return math.asin(self.camber_parameter / self.radius)
+
+    def circle_points(self, n: int) -> np.ndarray:
+        """``n + 1`` points around the generating circle (closed).
+
+        The parametrization starts at the point mapping to the trailing
+        edge (``zeta = 1``) and runs counter-clockwise.
+        """
+        start = np.angle(1.0 - self.center)
+        theta = start + np.linspace(0.0, 2.0 * np.pi, n + 1)
+        return self.center + self.radius * np.exp(1j * theta)
+
+    def airfoil(self, n_panels: int = 200) -> Airfoil:
+        """The mapped airfoil, discretized with *n_panels* panels."""
+        zeta = self.circle_points(n_panels)
+        z = zeta + 1.0 / zeta
+        z[-1] = z[0]  # the closing point maps exactly to the trailing edge
+        points = np.column_stack([z.real, z.imag])
+        return Airfoil.from_points(
+            points,
+            name=(f"Joukowski(t={self.thickness_parameter:g}, "
+                  f"c={self.camber_parameter:g})"),
+        )
+
+    def chord(self, n_panels: int = 400) -> float:
+        """Chord length of the mapped section (computed from geometry)."""
+        return self.airfoil(n_panels).chord
+
+    def exact_lift_coefficient(self, alpha: float, *, n_panels: int = 400) -> float:
+        """Exact ``cl`` at angle of attack *alpha* (radians).
+
+        The Kutta circulation of the mapped flow is
+        ``Gamma = 4 pi a V sin(alpha + beta)``; with ``L = rho V Gamma``
+        and the true (mapped) chord this gives
+        ``cl = 8 pi a sin(alpha + beta) / chord``.
+        """
+        return (8.0 * math.pi * self.radius * math.sin(alpha + self.beta)
+                / self.chord(n_panels))
+
+    def zero_lift_alpha(self) -> float:
+        """Angle of attack (radians) at which the exact lift vanishes."""
+        return -self.beta

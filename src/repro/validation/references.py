@@ -1,0 +1,89 @@
+"""Published reference values for standard sections.
+
+The paper validates its lift/drag outputs against Xfoil; without Xfoil
+available, this module collects the corresponding published numbers
+(Abbott & von Doenhoff section data and widely reproduced Xfoil
+inviscid results) together with the tolerances a 200-panel inviscid
+vortex method is expected to meet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class LiftReference:
+    """An expected inviscid lift coefficient for one configuration."""
+
+    designation: str
+    alpha_degrees: float
+    cl: float
+    tolerance: float
+
+    def matches(self, value: float) -> bool:
+        """True when *value* is within tolerance of the reference."""
+        return abs(value - self.cl) <= self.tolerance
+
+
+#: Inviscid lift references.  Panel methods (like Xfoil's inviscid mode)
+#: overshoot measured wind-tunnel lift slightly because there is no
+#: boundary-layer decambering; the tolerances account for discretization
+#: differences only.
+INVISCID_LIFT_REFERENCES: Tuple[LiftReference, ...] = (
+    # Symmetric section: zero lift at zero alpha, slope ~ 2 pi * 1.08.
+    LiftReference("0012", 0.0, 0.0, 0.005),
+    LiftReference("0012", 5.0, 0.60, 0.04),
+    LiftReference("0012", 10.0, 1.19, 0.08),
+    # NACA 2412 (the paper's Figure 1 section).
+    LiftReference("2412", 0.0, 0.25, 0.03),
+    LiftReference("2412", 4.0, 0.73, 0.04),
+    LiftReference("2412", 8.0, 1.20, 0.08),
+    # NACA 4412: strongly cambered.
+    LiftReference("4412", 0.0, 0.50, 0.05),
+    LiftReference("4412", 4.0, 0.98, 0.06),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MomentReference:
+    """Expected quarter-chord moment coefficient (inviscid)."""
+
+    designation: str
+    cm: float
+    tolerance: float
+
+
+#: Quarter-chord moment references (thin-airfoil theory values; the
+#: panel method picks up small thickness corrections).
+MOMENT_REFERENCES: Tuple[MomentReference, ...] = (
+    MomentReference("0012", 0.0, 0.01),
+    MomentReference("2412", -0.053, 0.015),
+    MomentReference("4412", -0.106, 0.025),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DragReference:
+    """An expected profile-drag band for one viscous configuration."""
+
+    designation: str
+    alpha_degrees: float
+    reynolds: float
+    cd_low: float
+    cd_high: float
+
+    def contains(self, value: float) -> bool:
+        """True when *value* falls inside the expected band."""
+        return self.cd_low <= value <= self.cd_high
+
+
+#: Coarse drag bands (Abbott & von Doenhoff / Xfoil ballparks).  The
+#: integral boundary-layer stack is expected to land in the band, not to
+#: match a specific decimal.
+DRAG_REFERENCES: Tuple[DragReference, ...] = (
+    DragReference("0012", 0.0, 1e6, 0.004, 0.013),
+    DragReference("2412", 0.0, 1e6, 0.004, 0.014),
+    DragReference("2412", 4.0, 1e6, 0.005, 0.018),
+)

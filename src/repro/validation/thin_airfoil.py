@@ -1,0 +1,61 @@
+"""Thin-airfoil theory predictions.
+
+For thin sections the lift curve is ``cl = 2 pi (alpha - alpha_L0)``
+with the zero-lift angle given by Glauert's integral over the camber
+line slope:
+
+    alpha_L0 = -(1/pi) * integral_0^pi dyc/dx (cos(theta) - 1) dtheta
+
+and the quarter-chord moment by
+
+    cm_c/4 = (1/2) * integral_0^pi dyc/dx (cos(2 theta) - cos(theta)) dtheta.
+
+These give independent closed-form-ish references for cambered NACA
+sections (the integrals are evaluated with high-resolution quadrature,
+which is exact for our polynomial camber lines to rounding error).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.naca import camber_line_4digit
+
+#: Thin-airfoil lift slope, per radian.
+LIFT_SLOPE = 2.0 * math.pi
+
+
+def zero_lift_alpha(camber: float, camber_pos: float, *, quadrature: int = 2001) -> float:
+    """Zero-lift angle (radians) of a NACA 4-digit camber line."""
+    theta = np.linspace(0.0, np.pi, quadrature)
+    x = 0.5 * (1.0 - np.cos(theta))
+    _, slope = camber_line_4digit(x, camber, camber_pos)
+    integrand = slope * (np.cos(theta) - 1.0)
+    return -float(np.trapezoid(integrand, theta)) / math.pi
+
+
+def lift_coefficient(alpha: float, camber: float = 0.0, camber_pos: float = 0.0) -> float:
+    """Thin-airfoil ``cl`` at *alpha* radians for a 4-digit camber line."""
+    if camber == 0.0 or camber_pos == 0.0:
+        return LIFT_SLOPE * alpha
+    return LIFT_SLOPE * (alpha - zero_lift_alpha(camber, camber_pos))
+
+
+def quarter_chord_moment(camber: float, camber_pos: float, *,
+                         quadrature: int = 2001) -> float:
+    """Thin-airfoil ``cm`` about the quarter chord (alpha independent)."""
+    if camber == 0.0 or camber_pos == 0.0:
+        return 0.0
+    theta = np.linspace(0.0, np.pi, quadrature)
+    x = 0.5 * (1.0 - np.cos(theta))
+    _, slope = camber_line_4digit(x, camber, camber_pos)
+    integrand = slope * (np.cos(2.0 * theta) - np.cos(theta))
+    return 0.5 * float(np.trapezoid(integrand, theta))
+
+
+def naca4_parameters(designation: str) -> tuple:
+    """``(camber, camber_pos)`` fractions from a 4-digit designation."""
+    digits = designation.strip()
+    return int(digits[0]) / 100.0, int(digits[1]) / 10.0

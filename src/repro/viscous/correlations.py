@@ -1,0 +1,89 @@
+"""Boundary-layer closure correlations.
+
+Thwaites' single-parameter laminar correlations (in the Cebeci–
+Bradshaw curve-fit form), the Ludwieg–Tillmann turbulent skin-friction
+law, and the shape-factor relations used by Head's entrainment method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ViscousError
+
+#: Thwaites' pressure-gradient parameter at laminar separation.
+LAMBDA_SEPARATION = -0.09
+
+#: Validity range of the Thwaites correlations.
+LAMBDA_MAX = 0.25
+
+
+def thwaites_l(lam):
+    """Thwaites' shear correlation ``l(lambda)``.
+
+    ``cf = 2 nu l / (U theta)``; Cebeci–Bradshaw two-branch fit.
+    """
+    lam = np.asarray(lam, dtype=np.float64)
+    clipped = np.clip(lam, LAMBDA_SEPARATION, LAMBDA_MAX)
+    positive = 0.22 + 1.57 * clipped - 1.8 * clipped**2
+    negative = 0.22 + 1.402 * clipped + 0.018 * clipped / (0.107 + clipped)
+    return np.where(clipped >= 0.0, positive, negative)
+
+
+def thwaites_h(lam):
+    """Thwaites' shape factor ``H(lambda)`` (Cebeci–Bradshaw fit)."""
+    lam = np.asarray(lam, dtype=np.float64)
+    clipped = np.clip(lam, LAMBDA_SEPARATION, LAMBDA_MAX)
+    positive = 2.61 - 3.75 * clipped + 5.24 * clipped**2
+    negative = 2.088 + 0.0731 / (0.14 + clipped)
+    return np.where(clipped >= 0.0, positive, negative)
+
+
+def ludwieg_tillmann_cf(h, re_theta):
+    """Turbulent skin-friction coefficient (Ludwieg–Tillmann).
+
+    ``cf = 0.246 * 10^(-0.678 H) * Re_theta^(-0.268)``
+    """
+    h = np.asarray(h, dtype=np.float64)
+    re_theta = np.asarray(re_theta, dtype=np.float64)
+    if np.any(re_theta <= 0.0):
+        raise ViscousError("Re_theta must be positive for Ludwieg-Tillmann")
+    return 0.246 * 10.0 ** (-0.678 * h) * re_theta ** (-0.268)
+
+
+def head_h1(h):
+    """Head's mass-flow shape factor ``H1(H)`` (Cebeci–Bradshaw fit)."""
+    h = np.asarray(h, dtype=np.float64)
+    low = 3.3 + 0.8234 * np.maximum(h - 1.1, 1e-6) ** (-1.287)
+    high = 3.3 + 1.5501 * np.maximum(h - 0.6778, 1e-6) ** (-3.064)
+    return np.where(h <= 1.6, low, high)
+
+
+def head_h_from_h1(h1):
+    """Invert :func:`head_h1` (the fit's own closed-form inverse)."""
+    h1 = np.asarray(h1, dtype=np.float64)
+    floor = 3.32  # below this the fit has no laminar-plausible inverse
+    h1 = np.maximum(h1, floor)
+    low = 1.1 + (0.8234 / (h1 - 3.3)) ** (1.0 / 1.287)  # branch H <= 1.6
+    high = 0.6778 + (1.5501 / (h1 - 3.3)) ** (1.0 / 3.064)  # branch H > 1.6
+    # The branches meet at H = 1.6 <-> H1 ~ 3.3 + 0.8234*0.5^-1.287;
+    # pick by which branch's H lands in its own validity region.
+    h1_at_16 = 3.3 + 0.8234 * 0.5 ** (-1.287)
+    return np.where(h1 >= h1_at_16, low, high)
+
+
+def head_entrainment(h1):
+    """Head's entrainment function ``F(H1) = 0.0306 (H1 - 3)^-0.6169``."""
+    h1 = np.asarray(h1, dtype=np.float64)
+    return 0.0306 * np.maximum(h1 - 3.0, 1e-3) ** (-0.6169)
+
+
+def michel_transition_re_theta(re_s):
+    """Michel's criterion: critical ``Re_theta`` at surface Reynolds ``Re_s``.
+
+    Transition is predicted where the running ``Re_theta`` first exceeds
+    ``1.174 (1 + 22400 / Re_s) Re_s^0.46``.
+    """
+    re_s = np.asarray(re_s, dtype=np.float64)
+    safe = np.maximum(re_s, 1.0)
+    return 1.174 * (1.0 + 22400.0 / safe) * safe**0.46

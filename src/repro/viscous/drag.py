@@ -1,0 +1,159 @@
+"""Drag prediction from boundary-layer solutions (Squire–Young) and the
+full viscous post-processing driver.
+
+The inviscid panel solution predicts zero drag (d'Alembert); the paper
+corrects it with Thwaites' method.  The driver here runs, per surface:
+
+1. Thwaites' laminar integration from the stagnation point,
+2. Michel's transition check (optionally Head's turbulent method past
+   transition — the library's extension beyond the paper),
+3. the Squire–Young formula at the trailing edge,
+
+and sums the two surfaces into a profile-drag coefficient.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import ViscousError
+from repro.panel.solution import PanelSolution
+from repro.viscous.edge_velocity import SurfaceDistribution, surface_distributions
+from repro.viscous.head import TurbulentResult, solve_head
+from repro.viscous.thwaites import LaminarResult, solve_thwaites
+
+
+def squire_young_drag(theta_te: float, u_te: float, h_te: float, *,
+                      v_inf: float = 1.0, chord: float = 1.0) -> float:
+    """Squire–Young drag of one surface.
+
+    ``cd = 2 theta_TE / c * (U_TE / V_inf) ** ((H_TE + 5) / 2)``
+
+    Extrapolates the trailing-edge momentum thickness to the far wake.
+    """
+    if theta_te < 0.0:
+        raise ViscousError(f"momentum thickness cannot be negative: {theta_te}")
+    if u_te <= 0.0 or v_inf <= 0.0 or chord <= 0.0:
+        raise ViscousError("velocities and chord must be positive")
+    return 2.0 * theta_te / chord * (u_te / v_inf) ** (0.5 * (h_te + 5.0))
+
+
+@dataclasses.dataclass(frozen=True)
+class SurfaceAnalysis:
+    """Boundary-layer outcome for one surface."""
+
+    laminar: LaminarResult
+    turbulent: Optional[TurbulentResult]
+    drag_coefficient: float
+    separated: bool
+
+    @property
+    def surface(self) -> SurfaceDistribution:
+        """The surface the analysis ran along."""
+        return self.laminar.surface
+
+    @property
+    def transition_s(self) -> Optional[float]:
+        """Arc length of the transition point, if transition occurred."""
+        index = self.laminar.transition_index
+        if index is None or self.turbulent is None:
+            return None
+        return float(self.laminar.surface.s[index])
+
+
+@dataclasses.dataclass(frozen=True)
+class ViscousAnalysis:
+    """Viscous correction of one panel solution."""
+
+    solution: PanelSolution
+    reynolds: float
+    upper: SurfaceAnalysis
+    lower: SurfaceAnalysis
+
+    @property
+    def drag_coefficient(self) -> float:
+        """Total profile-drag coefficient (both surfaces)."""
+        return self.upper.drag_coefficient + self.lower.drag_coefficient
+
+    @property
+    def lift_coefficient(self) -> float:
+        """Inviscid lift (the viscous correction leaves lift unchanged)."""
+        return self.solution.lift_coefficient
+
+    @property
+    def lift_to_drag(self) -> float:
+        """The paper's fitness quantity, ``cl / cd``."""
+        cd = self.drag_coefficient
+        if cd <= 0.0:
+            raise ViscousError(f"non-positive drag coefficient: {cd}")
+        return self.lift_coefficient / cd
+
+    @property
+    def separated(self) -> bool:
+        """True when either surface separated before the trailing edge."""
+        return self.upper.separated or self.lower.separated
+
+
+def _analyze_surface(surface: SurfaceDistribution, nu: float, *, v_inf: float,
+                     chord: float, use_head: bool) -> SurfaceAnalysis:
+    laminar = solve_thwaites(surface, nu)
+    turbulent: Optional[TurbulentResult] = None
+    last = len(surface.s) - 1
+
+    transition = laminar.transition_index
+    if laminar.separated or (transition is None and laminar.separation_index is not None):
+        # Laminar separation without transition: treat as separated and
+        # charge the surface with its state at the separation point.
+        index = laminar.separation_index
+        _, u_sep, theta_sep, h_sep = laminar.state_at(index)
+        drag = squire_young_drag(theta_sep, u_sep, h_sep, v_inf=v_inf, chord=chord)
+        return SurfaceAnalysis(laminar=laminar, turbulent=None,
+                               drag_coefficient=drag, separated=True)
+
+    if transition is not None and use_head and transition < last:
+        _, _, theta_tr, _ = laminar.state_at(transition)
+        turbulent = solve_head(surface, nu, start_index=transition,
+                               theta_start=theta_tr)
+        theta_te = turbulent.trailing_theta
+        h_te = turbulent.trailing_shape_factor
+        drag = squire_young_drag(theta_te, surface.trailing_edge_velocity, h_te,
+                                 v_inf=v_inf, chord=chord)
+        return SurfaceAnalysis(laminar=laminar, turbulent=turbulent,
+                               drag_coefficient=drag,
+                               separated=turbulent.separated)
+
+    # Fully laminar to the trailing edge (the paper's plain Thwaites path).
+    _, u_te, theta_te, h_te = laminar.state_at(last)
+    drag = squire_young_drag(theta_te, u_te, h_te, v_inf=v_inf, chord=chord)
+    return SurfaceAnalysis(laminar=laminar, turbulent=None,
+                           drag_coefficient=drag, separated=False)
+
+
+def analyze_viscous(solution: PanelSolution, reynolds: float, *,
+                    use_head: bool = True) -> ViscousAnalysis:
+    """Run the viscous correction on a panel solution.
+
+    Parameters
+    ----------
+    solution:
+        A solved (lifting) panel problem.
+    reynolds:
+        Chord Reynolds number ``V_inf c / nu``.
+    use_head:
+        Continue with Head's turbulent method past Michel transition.
+        With ``False`` the prediction is the paper's plain Thwaites
+        correction (laminar to the trailing edge unless separated).
+    """
+    if reynolds <= 0.0:
+        raise ViscousError(f"Reynolds number must be positive, got {reynolds}")
+    chord = solution.airfoil.chord
+    v_inf = solution.freestream.speed
+    nu = v_inf * chord / reynolds
+    upper_surface, lower_surface = surface_distributions(solution)
+    upper = _analyze_surface(upper_surface, nu, v_inf=v_inf, chord=chord,
+                             use_head=use_head)
+    lower = _analyze_surface(lower_surface, nu, v_inf=v_inf, chord=chord,
+                             use_head=use_head)
+    return ViscousAnalysis(solution=solution, reynolds=reynolds,
+                           upper=upper, lower=lower)

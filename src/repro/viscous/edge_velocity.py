@@ -1,0 +1,122 @@
+"""Extraction of boundary-layer edge velocities from a panel solution.
+
+The boundary-layer equations integrate along each surface from the
+stagnation point to the trailing edge.  This module locates the
+stagnation point (the sign change of the vortex-sheet strength near the
+leading edge), splits the outline there, and hands back per-surface
+arc-length / edge-velocity distributions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ViscousError
+from repro.panel.solution import PanelSolution
+
+
+@dataclasses.dataclass(frozen=True)
+class SurfaceDistribution:
+    """Edge conditions along one surface, stagnation point to trailing edge.
+
+    Attributes
+    ----------
+    name:
+        ``"upper"`` or ``"lower"``.
+    s:
+        Arc length from the stagnation point at each station
+        (monotonically increasing, starts near zero).
+    velocity:
+        Edge velocity ``U(s)`` (positive, in the flow direction).
+    panel_indices:
+        The original panel index of each station, for mapping results
+        back onto the airfoil.
+    """
+
+    name: str
+    s: np.ndarray
+    velocity: np.ndarray
+    panel_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.s) != len(self.velocity) or len(self.s) != len(self.panel_indices):
+            raise ViscousError("surface arrays must have equal length")
+        if len(self.s) < 3:
+            raise ViscousError(f"surface {self.name!r} has too few stations")
+        if np.any(np.diff(self.s) <= 0.0):
+            raise ViscousError(f"arc length on {self.name!r} must increase strictly")
+
+    @property
+    def trailing_edge_velocity(self) -> float:
+        """Edge velocity at the last (trailing-edge) station."""
+        return float(self.velocity[-1])
+
+    @property
+    def length(self) -> float:
+        """Arc length of the surface run."""
+        return float(self.s[-1])
+
+
+def stagnation_panel_index(solution: PanelSolution) -> int:
+    """Index of the last panel before the stagnation point.
+
+    The vortex-sheet strength changes sign exactly once on a simply
+    attached lifting solution; the crossing nearest the leading edge is
+    the stagnation point.  Raises :class:`ViscousError` when no crossing
+    exists (e.g. a zero-circulation cylinder at 90 degrees symmetry).
+    """
+    gamma = np.asarray(solution.gamma, dtype=np.float64)
+    sign = np.sign(gamma)
+    crossings = np.nonzero(np.diff(sign) != 0)[0]
+    if len(crossings) == 0:
+        raise ViscousError("no stagnation point found: gamma never changes sign")
+    le = solution.airfoil.leading_edge_index
+    return int(crossings[np.argmin(np.abs(crossings - le))])
+
+
+def surface_distributions(solution: PanelSolution) -> tuple:
+    """Split a solution into (upper, lower) edge-velocity distributions.
+
+    Station values live at the panel control points; the arc length is
+    measured from the stagnation point along the surface.  Stations
+    where the edge velocity is not strictly positive (inside the
+    stagnation region) are dropped.
+    """
+    airfoil = solution.airfoil
+    speeds = np.abs(np.asarray(solution.gamma, dtype=np.float64))
+    lengths = airfoil.panel_lengths
+    k = stagnation_panel_index(solution)
+
+    # Upper surface: traversal runs TE -> LE, flow runs LE -> TE, so the
+    # flow direction walks panel indices k, k-1, ..., 0.
+    upper_idx = np.arange(k, -1, -1)
+    upper = _build_surface("upper", upper_idx, speeds, lengths)
+
+    # Lower surface: flow direction and traversal agree: k+1 .. n-1.
+    lower_idx = np.arange(k + 1, airfoil.n_panels)
+    lower = _build_surface("lower", lower_idx, speeds, lengths)
+    return upper, lower
+
+
+def _build_surface(name: str, indices: np.ndarray, speeds: np.ndarray,
+                   lengths: np.ndarray) -> SurfaceDistribution:
+    if len(indices) < 3:
+        raise ViscousError(f"too few panels on the {name} surface")
+    # Arc length to each control point: half the first panel, then full
+    # panel steps between consecutive midpoints.
+    step = 0.5 * (lengths[indices[:-1]] + lengths[indices[1:]])
+    s = np.empty(len(indices))
+    s[0] = 0.5 * lengths[indices[0]]
+    s[1:] = s[0] + np.cumsum(step)
+    velocity = speeds[indices]
+    keep = velocity > 1e-12
+    if np.count_nonzero(keep) < 3:
+        raise ViscousError(f"edge velocity vanished along the {name} surface")
+    return SurfaceDistribution(
+        name=name,
+        s=s[keep],
+        velocity=velocity[keep],
+        panel_indices=np.asarray(indices)[keep],
+    )

@@ -1,0 +1,222 @@
+"""Exact Falkner–Skan similarity solutions of the laminar boundary layer.
+
+For wedge flows with edge velocity ``U(x) = C x^m`` the boundary-layer
+equations collapse to the ordinary differential equation
+
+    f''' + (m + 1)/2 * f f'' + m (1 - f'^2) = 0,
+    f(0) = f'(0) = 0,  f'(inf) = 1,
+
+whose solutions are exact.  Thwaites' method is a one-parameter *fit*
+to exactly this family, so integrating the ODE (RK4 + shooting on
+``f''(0)``) gives the library an independent, from-first-principles
+check of the whole laminar stack: momentum thickness, shape factor, and
+skin friction for any pressure-gradient parameter, including the
+separation profile at ``m ~ -0.0904``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import math
+
+import numpy as np
+
+from repro.errors import ViscousError
+
+#: The classical Blasius wall shear, f''(0) at m = 0.
+BLASIUS_WALL_SHEAR = 0.33206
+
+#: Wedge parameter at incipient separation (f''(0) = 0).
+SEPARATION_M = -0.0904
+
+
+def _integrate(m: float, wall_shear: float, *, eta_max: float,
+               n_steps: int) -> np.ndarray:
+    """RK4-integrate the Falkner–Skan ODE for a trial ``f''(0)``.
+
+    State vector ``(f, f', f'')``; returns the trajectory with shape
+    ``(n_steps + 1, 3)``.
+    """
+    def rhs(state: np.ndarray) -> np.ndarray:
+        f, fp, fpp = state
+        return np.array([
+            fp,
+            fpp,
+            -(0.5 * (m + 1.0)) * f * fpp - m * (1.0 - fp * fp),
+        ])
+
+    h = eta_max / n_steps
+    trajectory = np.empty((n_steps + 1, 3))
+    state = np.array([0.0, 0.0, wall_shear])
+    trajectory[0] = state
+    for index in range(n_steps):
+        k1 = rhs(state)
+        k2 = rhs(state + 0.5 * h * k1)
+        k3 = rhs(state + 0.5 * h * k2)
+        k4 = rhs(state + h * k3)
+        state = state + h / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)
+        if not np.all(np.isfinite(state)) or abs(state[1]) > 1e3:
+            # Diverging trial: freeze the remaining trajectory at a large
+            # velocity of the divergence's sign so the shooting sees a
+            # clean signed overshoot (too-small wall shear diverges
+            # negative, too-large positive).
+            sign = np.sign(state[1]) if np.isfinite(state[1]) else 1.0
+            trajectory[index + 1:] = [0.0, sign * 1e3 or 1e3, 0.0]
+            return trajectory
+        trajectory[index + 1] = state
+    return trajectory
+
+
+@dataclasses.dataclass(frozen=True)
+class FalknerSkanSolution:
+    """One similarity profile and its integral parameters.
+
+    The similarity variable is ``eta = y sqrt(U / (nu x))``; integral
+    quantities convert to physical ones as
+
+        theta  = theta_hat  * sqrt(nu x / U)
+        delta* = dstar_hat  * sqrt(nu x / U)
+        cf     = 2 f''(0) / sqrt(Re_x)
+        lambda = theta_hat^2 * m      (Thwaites' parameter)
+    """
+
+    m: float
+    wall_shear: float  # f''(0)
+    eta: np.ndarray
+    f_prime: np.ndarray  # velocity profile u/U
+
+    @property
+    def displacement_thickness(self) -> float:
+        """``delta*_hat = int (1 - f') d eta``."""
+        return float(np.trapezoid(1.0 - self.f_prime, self.eta))
+
+    @property
+    def momentum_thickness(self) -> float:
+        """``theta_hat = int f'(1 - f') d eta``."""
+        return float(np.trapezoid(self.f_prime * (1.0 - self.f_prime), self.eta))
+
+    @property
+    def shape_factor(self) -> float:
+        """``H = delta* / theta``."""
+        return self.displacement_thickness / self.momentum_thickness
+
+    @property
+    def thwaites_lambda(self) -> float:
+        """Thwaites' pressure-gradient parameter of this profile."""
+        return self.momentum_thickness**2 * self.m
+
+    @property
+    def thwaites_l(self) -> float:
+        """The exact shear correlate ``l = theta_hat * f''(0)``."""
+        return self.momentum_thickness * self.wall_shear
+
+    def cf(self, re_x: float) -> float:
+        """Skin-friction coefficient at streamwise Reynolds ``Re_x``."""
+        if re_x <= 0.0:
+            raise ViscousError(f"Re_x must be positive, got {re_x}")
+        return 2.0 * self.wall_shear / math.sqrt(re_x)
+
+
+def _bisect_wall_shear(m: float, eta_max: float, n_steps: int,
+                       tolerance: float) -> float:
+    """Bracket-and-bisect shooting (robust for m <= ~0.05)."""
+    def overshoot(wall_shear: float) -> float:
+        return _integrate(m, wall_shear, eta_max=eta_max,
+                          n_steps=n_steps)[-1, 1] - 1.0
+
+    low, high = 0.0, 2.5
+    f_low = overshoot(low)
+    if f_low * overshoot(high) > 0.0:
+        raise ViscousError(f"shooting bracket failed for m = {m}")
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        f_mid = overshoot(mid)
+        if abs(f_mid) < tolerance or high - low < tolerance:
+            break
+        if f_low * f_mid <= 0.0:
+            high = mid
+        else:
+            low, f_low = mid, f_mid
+    return 0.5 * (low + high)
+
+
+def _secant_wall_shear(m: float, guess: float, eta_max: float, n_steps: int,
+                       tolerance: float) -> float:
+    """Local secant refinement of ``f''(0)`` from a continuation guess.
+
+    Favourable-gradient profiles (m > 0) have an exponentially unstable
+    far field, so global bracketing fails; near the root the shooting
+    residual is smooth and a secant iteration converges in a few steps.
+    """
+    def residual(wall_shear: float) -> float:
+        return _integrate(m, wall_shear, eta_max=eta_max,
+                          n_steps=n_steps)[-1, 1] - 1.0
+
+    ws0, ws1 = guess, guess * 1.02 + 1e-4
+    r0, r1 = residual(ws0), residual(ws1)
+    for _ in range(80):
+        if abs(r1) < tolerance:
+            return ws1
+        denominator = r1 - r0
+        if denominator == 0.0:
+            break
+        step = r1 * (ws1 - ws0) / denominator
+        step = max(min(step, 0.2), -0.2)  # damp wild secant jumps
+        ws0, r0 = ws1, r1
+        ws1 = ws1 - step
+        r1 = residual(ws1)
+    if abs(r1) > 1e-6:
+        raise ViscousError(f"secant shooting failed to converge for m = {m}")
+    return ws1
+
+
+@functools.lru_cache(maxsize=64)
+def solve_falkner_skan(m: float, *, n_steps: int = 1600,
+                       tolerance: float = 1e-9) -> FalknerSkanSolution:
+    """Solve the Falkner–Skan equation for wedge parameter *m*.
+
+    Shooting on ``f''(0)`` to satisfy ``f'(inf) = 1``: bisection for
+    adverse/flat gradients, continuation-plus-secant for accelerated
+    flows whose far field is too unstable to bracket globally.  Valid
+    for attached flows, ``m > SEPARATION_M`` (raises otherwise: past
+    separation the similarity solution is not unique).
+
+    Results are memoized (the solution is deterministic and immutable).
+    """
+    if m <= SEPARATION_M:
+        raise ViscousError(
+            f"no attached similarity solution for m = {m} <= {SEPARATION_M}"
+        )
+    if m <= 0.05:
+        eta_max = 12.0
+        wall_shear = _bisect_wall_shear(m, eta_max, n_steps, tolerance)
+    else:
+        # Continuation from the flat plate in steps of <= 0.1 in m; the
+        # boundary layer thins as m grows, so eta_max = 6 suffices and
+        # keeps the unstable mode under control.
+        eta_max = 6.0
+        wall_shear = _bisect_wall_shear(0.0, 12.0, n_steps, tolerance)
+        steps = max(1, int(math.ceil(m / 0.1)))
+        for index in range(1, steps + 1):
+            m_here = m * index / steps
+            wall_shear = _secant_wall_shear(m_here, wall_shear, eta_max,
+                                            n_steps, tolerance)
+    trajectory = _integrate(m, wall_shear, eta_max=eta_max, n_steps=n_steps)
+    eta = np.linspace(0.0, eta_max, n_steps + 1)
+    return FalknerSkanSolution(
+        m=m,
+        wall_shear=wall_shear,
+        eta=eta,
+        f_prime=np.minimum(trajectory[:, 1], 1.0),
+    )
+
+
+def blasius() -> FalknerSkanSolution:
+    """The flat-plate (m = 0) profile."""
+    return solve_falkner_skan(0.0)
+
+
+def stagnation() -> FalknerSkanSolution:
+    """The plane stagnation-point (m = 1, Hiemenz) profile."""
+    return solve_falkner_skan(1.0)

@@ -1,0 +1,143 @@
+"""Head's entrainment method for the turbulent boundary layer.
+
+Downstream of transition the laminar correlations no longer hold; the
+paper notes that "more sophisticated schemes have been developed" — this
+module implements the classic one (Head 1958, in the Cebeci–Bradshaw
+formulation) as the library's optional turbulent extension:
+
+    d theta / ds          = cf/2 - (H + 2) (theta / U) dU/ds
+    d (U theta H1) / ds   = U F(H1)
+
+with ``H1(H)`` and the entrainment function ``F`` from
+:mod:`repro.viscous.correlations` and Ludwieg–Tillmann skin friction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ViscousError
+from repro.viscous.correlations import (
+    head_entrainment,
+    head_h1,
+    head_h_from_h1,
+    ludwieg_tillmann_cf,
+)
+from repro.viscous.edge_velocity import SurfaceDistribution
+
+#: Shape factor beyond which the turbulent layer is considered separated.
+H_SEPARATION = 2.4
+
+
+@dataclasses.dataclass(frozen=True)
+class TurbulentResult:
+    """Turbulent boundary-layer state from transition to the trailing edge."""
+
+    surface: SurfaceDistribution
+    start_index: int  # station where the turbulent integration began
+    theta: np.ndarray  # momentum thickness on stations start_index..end
+    shape_factor: np.ndarray
+    cf: np.ndarray
+    separation_index: Optional[int]  # station index (absolute) where H > 2.4
+
+    @property
+    def separated(self) -> bool:
+        """True when the turbulent layer separated before the trailing edge."""
+        return self.separation_index is not None
+
+    @property
+    def trailing_theta(self) -> float:
+        """Momentum thickness at the trailing edge."""
+        return float(self.theta[-1])
+
+    @property
+    def trailing_shape_factor(self) -> float:
+        """Shape factor at the trailing edge."""
+        return float(self.shape_factor[-1])
+
+
+def solve_head(surface: SurfaceDistribution, nu: float, *, start_index: int,
+               theta_start: float, h_start: float = 1.4) -> TurbulentResult:
+    """Integrate Head's method from a station to the trailing edge.
+
+    Parameters
+    ----------
+    surface:
+        Edge conditions along the surface.
+    nu:
+        Kinematic viscosity.
+    start_index:
+        Station at which the turbulent layer starts (transition point).
+    theta_start:
+        Momentum thickness handed over from the laminar solution
+        (momentum thickness is continuous across transition).
+    h_start:
+        Initial turbulent shape factor (a freshly transitioned layer is
+        close to 1.4).
+    """
+    if nu <= 0.0:
+        raise ViscousError(f"kinematic viscosity must be positive, got {nu}")
+    if theta_start <= 0.0:
+        raise ViscousError(f"theta at transition must be positive, got {theta_start}")
+    if not 0 <= start_index < len(surface.s) - 1:
+        raise ViscousError(
+            f"start_index {start_index} out of range for {len(surface.s)} stations"
+        )
+    s = surface.s
+    u = surface.velocity
+    du_ds = np.gradient(u, s)
+
+    n_stations = len(s) - start_index
+    theta = np.empty(n_stations)
+    shape = np.empty(n_stations)
+    cf_arr = np.empty(n_stations)
+    theta[0] = theta_start
+    shape[0] = h_start
+    separation_index: Optional[int] = None
+
+    def rates(si: float, th: float, h: float) -> tuple:
+        """Right-hand sides d(theta)/ds and d(U theta H1)/ds at arclength si."""
+        ui = np.interp(si, s, u)
+        dui = np.interp(si, s, du_ds)
+        re_theta = max(ui * th / nu, 1.0)
+        cf = float(ludwieg_tillmann_cf(h, re_theta))
+        h1 = float(head_h1(h))
+        d_theta = 0.5 * cf - (h + 2.0) * th / ui * dui
+        d_uth1 = ui * float(head_entrainment(h1))
+        return d_theta, d_uth1, cf, h1
+
+    for j in range(n_stations - 1):
+        i = start_index + j
+        ds = s[i + 1] - s[i]
+        th, h = theta[j], shape[j]
+        d_theta1, d_uth1_1, cf_here, h1 = rates(s[i], th, h)
+        cf_arr[j] = cf_here
+        uth1 = u[i] * th * h1
+        # Heun (RK2) step on (theta, U theta H1).
+        th_pred = max(th + ds * d_theta1, 1e-12)
+        uth1_pred = max(uth1 + ds * d_uth1_1, 1e-12)
+        h1_pred = uth1_pred / (u[i + 1] * th_pred)
+        h_pred = float(head_h_from_h1(h1_pred))
+        d_theta2, d_uth1_2, _, _ = rates(s[i + 1], th_pred, h_pred)
+        th_new = max(th + 0.5 * ds * (d_theta1 + d_theta2), 1e-12)
+        uth1_new = max(uth1 + 0.5 * ds * (d_uth1_1 + d_uth1_2), 1e-12)
+        h1_new = uth1_new / (u[i + 1] * th_new)
+        h_new = float(head_h_from_h1(h1_new))
+        theta[j + 1] = th_new
+        shape[j + 1] = h_new
+        if separation_index is None and h_new > H_SEPARATION:
+            separation_index = i + 1
+    re_theta_end = max(u[-1] * theta[-1] / nu, 1.0)
+    cf_arr[-1] = float(ludwieg_tillmann_cf(shape[-1], re_theta_end))
+
+    return TurbulentResult(
+        surface=surface,
+        start_index=start_index,
+        theta=theta,
+        shape_factor=shape,
+        cf=cf_arr,
+        separation_index=separation_index,
+    )

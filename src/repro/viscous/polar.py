@@ -1,0 +1,104 @@
+"""Drag polars: lift/drag/moment swept over angle of attack.
+
+A convenience driver combining the panel solver and the viscous
+correction; used by the examples and by Figure-2-style reporting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ViscousError
+from repro.geometry.airfoil import Airfoil
+from repro.panel.freestream import Freestream
+from repro.panel.solver import PanelSolver
+from repro.viscous.drag import ViscousAnalysis, analyze_viscous
+
+
+@dataclasses.dataclass(frozen=True)
+class PolarPoint:
+    """One row of a drag polar."""
+
+    alpha_degrees: float
+    cl: float
+    cd: Optional[float]
+    cm: float
+    separated: bool
+
+    @property
+    def lift_to_drag(self) -> Optional[float]:
+        """``cl / cd`` or ``None`` when drag is unavailable."""
+        if self.cd is None or self.cd <= 0.0:
+            return None
+        return self.cl / self.cd
+
+
+@dataclasses.dataclass(frozen=True)
+class Polar:
+    """A computed drag polar for one airfoil and Reynolds number."""
+
+    airfoil_name: str
+    reynolds: float
+    points: List[PolarPoint]
+
+    def alphas(self) -> np.ndarray:
+        """Angles of attack of the rows, in degrees."""
+        return np.array([point.alpha_degrees for point in self.points])
+
+    def lift_coefficients(self) -> np.ndarray:
+        """Lift coefficients of the rows."""
+        return np.array([point.cl for point in self.points])
+
+    def drag_coefficients(self) -> np.ndarray:
+        """Drag coefficients (NaN where unavailable)."""
+        return np.array([
+            point.cd if point.cd is not None else np.nan for point in self.points
+        ])
+
+    def best_lift_to_drag(self) -> PolarPoint:
+        """The row with the highest ``cl / cd``."""
+        usable = [point for point in self.points if point.lift_to_drag is not None]
+        if not usable:
+            raise ViscousError("polar has no rows with a valid drag value")
+        return max(usable, key=lambda point: point.lift_to_drag)
+
+    def lift_slope_per_radian(self) -> float:
+        """Least-squares ``d cl / d alpha`` in 1/radian (thin airfoil: 2 pi)."""
+        alphas = np.radians(self.alphas())
+        cls = self.lift_coefficients()
+        slope, _ = np.polyfit(alphas, cls, 1)
+        return float(slope)
+
+
+def compute_polar(airfoil: Airfoil, alphas_degrees: Sequence[float], *,
+                  reynolds: float = 1e6, solver: PanelSolver = None,
+                  use_head: bool = True) -> Polar:
+    """Sweep angle of attack and assemble a polar.
+
+    Rows where the viscous correction fails (e.g. massive separation)
+    keep their inviscid lift with ``cd = None`` rather than aborting the
+    sweep.
+    """
+    solver = solver or PanelSolver()
+    points: List[PolarPoint] = []
+    for alpha in alphas_degrees:
+        solution = solver.solve(airfoil, Freestream.from_degrees(alpha))
+        cl = solution.lift_coefficient
+        cm = solution.moment_coefficient()
+        cd: Optional[float] = None
+        separated = False
+        try:
+            viscous: ViscousAnalysis = analyze_viscous(
+                solution, reynolds, use_head=use_head
+            )
+            cd = viscous.drag_coefficient
+            separated = viscous.separated
+        except ViscousError:
+            separated = True
+        points.append(PolarPoint(
+            alpha_degrees=float(alpha), cl=cl, cd=cd, cm=cm, separated=separated,
+        ))
+    return Polar(airfoil_name=airfoil.name, reynolds=reynolds, points=points)

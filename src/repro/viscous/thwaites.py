@@ -1,0 +1,117 @@
+"""Thwaites' integral method for the laminar boundary layer.
+
+Thwaites' observation is that the momentum-integral equation is well
+approximated by the quadrature
+
+    theta^2(s) = 0.45 nu / U^6(s) * integral_0^s U^5(s') ds'
+
+after which the local pressure-gradient parameter
+``lambda = theta^2 / nu * dU/ds`` determines the shape factor and skin
+friction through single-parameter correlations.  This is the paper's
+viscosity correction (its Section 2 cites Thwaites explicitly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ViscousError
+from repro.viscous.correlations import (
+    LAMBDA_SEPARATION,
+    michel_transition_re_theta,
+    thwaites_h,
+    thwaites_l,
+)
+from repro.viscous.edge_velocity import SurfaceDistribution
+
+
+@dataclasses.dataclass(frozen=True)
+class LaminarResult:
+    """Laminar boundary-layer state along one surface.
+
+    All arrays are stations co-located with the input distribution.
+    """
+
+    surface: SurfaceDistribution
+    theta: np.ndarray  # momentum thickness
+    lam: np.ndarray  # Thwaites pressure-gradient parameter
+    shape_factor: np.ndarray  # H
+    cf: np.ndarray  # skin-friction coefficient
+    re_theta: np.ndarray  # momentum-thickness Reynolds number
+    separation_index: Optional[int]  # first station with lambda < -0.09
+    transition_index: Optional[int]  # first station past Michel's criterion
+
+    @property
+    def separated(self) -> bool:
+        """True when laminar separation occurred before any transition."""
+        if self.separation_index is None:
+            return False
+        if self.transition_index is None:
+            return True
+        return self.separation_index < self.transition_index
+
+    def state_at(self, index: int) -> tuple:
+        """``(s, U, theta, H)`` at a station, for handoff to Head's method."""
+        return (
+            float(self.surface.s[index]),
+            float(self.surface.velocity[index]),
+            float(self.theta[index]),
+            float(self.shape_factor[index]),
+        )
+
+
+def solve_thwaites(surface: SurfaceDistribution, nu: float) -> LaminarResult:
+    """Integrate Thwaites' method along one surface.
+
+    Parameters
+    ----------
+    surface:
+        Edge conditions from the stagnation point to the trailing edge.
+    nu:
+        Kinematic viscosity (in units consistent with the edge
+        velocities and arc length, i.e. ``1 / Re`` for unit chord and
+        unit free stream).
+    """
+    if nu <= 0.0:
+        raise ViscousError(f"kinematic viscosity must be positive, got {nu}")
+    s = surface.s
+    u = surface.velocity
+
+    # Trapezoidal running integral of U^5.
+    u5 = u**5
+    integral = np.empty_like(u5)
+    integral[0] = 0.5 * u5[0] * s[0]  # from the stagnation point, U ~ linear
+    integral[1:] = integral[0] + np.cumsum(
+        0.5 * (u5[1:] + u5[:-1]) * np.diff(s)
+    )
+    theta_sq = 0.45 * nu * integral / np.maximum(u, 1e-300) ** 6
+    theta = np.sqrt(theta_sq)
+
+    du_ds = np.gradient(u, s)
+    lam = theta_sq * du_ds / nu
+    shape_factor = thwaites_h(lam)
+    shear = thwaites_l(lam)
+    cf = 2.0 * nu * shear / np.maximum(u * theta, 1e-300)
+    re_theta = u * theta / nu
+
+    separation = np.nonzero(lam < LAMBDA_SEPARATION)[0]
+    separation_index = int(separation[0]) if len(separation) else None
+
+    re_s = u * s / nu
+    critical = michel_transition_re_theta(re_s)
+    past = np.nonzero(re_theta > critical)[0]
+    transition_index = int(past[0]) if len(past) else None
+
+    return LaminarResult(
+        surface=surface,
+        theta=theta,
+        lam=lam,
+        shape_factor=shape_factor,
+        cf=cf,
+        re_theta=re_theta,
+        separation_index=separation_index,
+        transition_index=transition_index,
+    )

@@ -1,0 +1,80 @@
+"""ASCII rendering of geometry and line series.
+
+The reproduction environment has no plotting stack, so every figure can
+be rendered as terminal art (SVG output lives in :mod:`repro.viz.svg`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry import points as pt
+from repro.geometry.airfoil import Airfoil
+
+
+def plot_points(points: np.ndarray, *, width: int = 72, height: int = 18,
+                marker: str = "*", connect: bool = False,
+                preserve_aspect: bool = True) -> str:
+    """Render a 2-D point set (optionally joined) on a character grid."""
+    points = pt.as_points(points)
+    low, high = pt.bounding_box(points)
+    span = np.maximum(high - low, 1e-12)
+    if preserve_aspect:
+        # Terminal cells are ~2x taller than wide; scale accordingly.
+        scale = min((width - 1) / span[0], 2.0 * (height - 1) / span[1])
+        x_scale, y_scale = scale, scale / 2.0
+    else:
+        x_scale = (width - 1) / span[0]
+        y_scale = (height - 1) / span[1]
+    canvas = [[" "] * width for _ in range(height)]
+
+    def place(point) -> tuple:
+        col = int(round((point[0] - low[0]) * x_scale))
+        row = height - 1 - int(round((point[1] - low[1]) * y_scale))
+        return min(max(row, 0), height - 1), min(max(col, 0), width - 1)
+
+    if connect:
+        for a, b in zip(points[:-1], points[1:]):
+            steps = max(2, int(np.hypot(*(b - a)) * max(x_scale, y_scale)) + 1)
+            for t in np.linspace(0.0, 1.0, steps):
+                row, col = place(a + t * (b - a))
+                canvas[row][col] = marker
+    for point in points:
+        row, col = place(point)
+        canvas[row][col] = marker
+    return "\n".join("".join(line).rstrip() for line in canvas)
+
+
+def plot_airfoil(airfoil: Airfoil, *, width: int = 72, height: int = 14,
+                 show_control_points: bool = False) -> str:
+    """Render an airfoil outline (Figure 1 style)."""
+    art = plot_points(airfoil.points, width=width, height=height,
+                      marker="#", connect=True)
+    if show_control_points:
+        lines = art.split("\n")
+        overlay = plot_points(airfoil.control_points, width=width,
+                              height=height, marker="o").split("\n")
+        merged = []
+        for base, over in zip(lines, overlay):
+            row = list(base.ljust(width))
+            for index, char in enumerate(over):
+                if char != " ":
+                    row[index] = char
+            merged.append("".join(row).rstrip())
+        art = "\n".join(merged)
+    return f"{airfoil.name} ({airfoil.n_panels} panels)\n{art}"
+
+
+def plot_series(x: Sequence[float], y: Sequence[float], *, width: int = 72,
+                height: int = 16, title: str = "", marker: str = "*") -> str:
+    """Render an ``y(x)`` series with axis annotations."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    body = plot_points(np.column_stack([x, y]), width=width, height=height,
+                       marker=marker, connect=True, preserve_aspect=False)
+    header = title or "series"
+    footer = (f"x: [{x.min():.4g}, {x.max():.4g}]   "
+              f"y: [{y.min():.4g}, {y.max():.4g}]")
+    return f"{header}\n{body}\n{footer}"

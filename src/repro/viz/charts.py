@@ -1,0 +1,59 @@
+"""ASCII charts for terminal reports: bar charts and comparisons.
+
+Used by the experiment reports to show magnitudes at a glance without a
+plotting stack — e.g. wall times or joules per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def bar_chart(values: Dict[str, float], *, width: int = 50,
+              title: str = "", unit: str = "",
+              reference: Optional[str] = None) -> str:
+    """Horizontal ASCII bar chart of labelled non-negative values.
+
+    ``reference`` names an entry to annotate the others against
+    (printed as a ratio), e.g. the CPU baseline.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if any(value < 0 for value in values.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    largest = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    reference_value = values.get(reference) if reference else None
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(1, round(width * value / largest)) if value else ""
+        note = ""
+        if reference_value:
+            note = f"  ({value / reference_value:.2f}x {reference})"
+            if label == reference:
+                note = "  (reference)"
+        lines.append(
+            f"{label:>{label_width}} |{bar:<{width}}| "
+            f"{value:.3g}{(' ' + unit) if unit else ''}{note}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_chart(simulated: Dict[str, float], paper: Dict[str, float], *,
+                     width: int = 40, title: str = "") -> str:
+    """Paired bars: simulated (``#``) vs paper (``=``) per label."""
+    labels = [label for label in simulated if label in paper]
+    if not labels:
+        raise ValueError("no common labels to compare")
+    largest = max(max(simulated[label], paper[label]) for label in labels) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label in labels:
+        sim_bar = "#" * max(1, round(width * simulated[label] / largest))
+        paper_bar = "=" * max(1, round(width * paper[label] / largest))
+        lines.append(f"{label:>{label_width}} sim   |{sim_bar:<{width}}| "
+                     f"{simulated[label]:.3g}")
+        lines.append(f"{'':>{label_width}} paper |{paper_bar:<{width}}| "
+                     f"{paper[label]:.3g}")
+    lines.append(f"{'':>{label_width}} legend: # simulated, = paper")
+    return "\n".join(lines)

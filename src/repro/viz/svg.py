@@ -1,0 +1,169 @@
+"""Minimal SVG writers (no external plotting dependency).
+
+Produces self-contained SVG documents for the two figure families of
+the paper: airfoil outlines (Figures 1-2) and pipeline Gantt charts
+(Figures 3-4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry import points as pt
+from repro.geometry.airfoil import Airfoil
+from repro.pipeline.task import TaskKind
+from repro.pipeline.trace import GanttTrace
+
+#: Figure 3/4 colours from the paper: green assembly, orange copy,
+#: blue solve.
+KIND_COLORS = {
+    TaskKind.ASSEMBLE: "#2ca02c",
+    TaskKind.TRANSFER: "#ff7f0e",
+    TaskKind.SOLVE: "#1f77b4",
+}
+
+
+def _document(width: int, height: int, body: List[str]) -> str:
+    content = "\n".join(body)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+        f'<rect width="{width}" height="{height}" fill="white"/>\n'
+        f"{content}\n</svg>\n"
+    )
+
+
+def airfoil_svg(airfoils: Sequence[Airfoil], *, width: int = 640,
+                row_height: int = 120, margin: int = 20,
+                show_control_points: bool = True) -> str:
+    """Airfoil outlines stacked vertically (Figure 1 / Figure 2 style)."""
+    airfoils = list(airfoils)
+    body: List[str] = []
+    height = margin + len(airfoils) * row_height
+    for index, airfoil in enumerate(airfoils):
+        low, high = pt.bounding_box(airfoil.points)
+        span = np.maximum(high - low, 1e-12)
+        scale = min(
+            (width - 2 * margin) / span[0],
+            (row_height - margin) / span[1],
+        )
+        y_offset = margin / 2 + index * row_height + row_height / 2
+        x_offset = margin
+
+        def to_svg(point, scale=scale, low=low, span=span,
+                   x_offset=x_offset, y_offset=y_offset):
+            x = x_offset + (point[0] - low[0]) * scale
+            y = y_offset + (span[1] / 2 + low[1] - point[1]) * scale
+            return x, y
+
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'} {x:.2f} {y:.2f}"
+            for i, (x, y) in enumerate(map(to_svg, airfoil.points))
+        )
+        body.append(
+            f'<path d="{path} Z" fill="none" stroke="#555" stroke-width="1.2"/>'
+        )
+        if show_control_points:
+            for point in airfoil.control_points:
+                x, y = to_svg(point)
+                body.append(f'<circle cx="{x:.2f}" cy="{y:.2f}" r="2.5" fill="#d62728"/>')
+        body.append(
+            f'<text x="{margin}" y="{margin / 2 + index * row_height + 12}" '
+            f'font-size="12" font-family="monospace">{airfoil.name}</text>'
+        )
+    return _document(width, height, body)
+
+
+def flow_svg(airfoil: Airfoil, streamlines, *, width: int = 720,
+             height: int = 420, margin: int = 30) -> str:
+    """An airfoil with traced streamlines (flow-visualization figure).
+
+    ``streamlines`` is a sequence of
+    :class:`~repro.panel.streamlines.Streamline` objects (or anything
+    with a ``points`` attribute holding an ``(m, 2)`` array).
+    """
+    all_points = [airfoil.points] + [line.points for line in streamlines]
+    stacked = np.vstack(all_points)
+    low, high = stacked.min(axis=0), stacked.max(axis=0)
+    span = np.maximum(high - low, 1e-12)
+    scale = min((width - 2 * margin) / span[0], (height - 2 * margin) / span[1])
+
+    def to_svg(point):
+        x = margin + (point[0] - low[0]) * scale
+        y = height - margin - (point[1] - low[1]) * scale
+        return x, y
+
+    body: List[str] = []
+    for line in streamlines:
+        path = " ".join(
+            f"{'M' if index == 0 else 'L'} {x:.2f} {y:.2f}"
+            for index, (x, y) in enumerate(map(to_svg, line.points))
+        )
+        body.append(
+            f'<path d="{path}" fill="none" stroke="#1f77b4" '
+            f'stroke-width="1.0" opacity="0.8"/>'
+        )
+    outline = " ".join(
+        f"{'M' if index == 0 else 'L'} {x:.2f} {y:.2f}"
+        for index, (x, y) in enumerate(map(to_svg, airfoil.points))
+    )
+    body.append(f'<path d="{outline} Z" fill="#ddd" stroke="#333" '
+                f'stroke-width="1.2"/>')
+    body.append(
+        f'<text x="{margin}" y="{margin - 10}" font-size="13" '
+        f'font-family="monospace">{airfoil.name}: streamlines</text>'
+    )
+    return _document(width, height, body)
+
+
+def gantt_svg(trace: GanttTrace, *, width: int = 720, row_height: int = 36,
+              margin: int = 60) -> str:
+    """A pipeline Gantt chart in the paper's Figure 3/4 colour scheme."""
+    rows = trace.rows
+    height = 2 * margin + len(rows) * row_height
+    scale = (width - margin - 20) / max(trace.makespan, 1e-12)
+    body: List[str] = [
+        f'<text x="{margin}" y="20" font-size="13" '
+        f'font-family="monospace">{trace.name} (W = {trace.makespan:.3f} s)</text>'
+    ]
+    for index, row in enumerate(rows):
+        top = margin + index * row_height
+        body.append(
+            f'<text x="4" y="{top + row_height * 0.6:.1f}" font-size="11" '
+            f'font-family="monospace">{row.resource}</text>'
+        )
+        for segment in row.segments:
+            x = margin + segment.start * scale
+            bar_width = max(segment.duration * scale, 0.5)
+            color = KIND_COLORS[segment.kind]
+            body.append(
+                f'<rect x="{x:.2f}" y="{top + 4}" width="{bar_width:.2f}" '
+                f'height="{row_height - 12}" fill="{color}" stroke="#333" '
+                f'stroke-width="0.3"><title>{segment.label}: '
+                f"{segment.start:.3f}-{segment.end:.3f}s</title></rect>"
+            )
+    axis_y = margin + len(rows) * row_height + 8
+    body.append(
+        f'<line x1="{margin}" y1="{axis_y}" x2="{margin + trace.makespan * scale:.1f}" '
+        f'y2="{axis_y}" stroke="#333" stroke-width="1"/>'
+    )
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = fraction * trace.makespan
+        x = margin + t * scale
+        body.append(
+            f'<text x="{x:.1f}" y="{axis_y + 16}" font-size="10" '
+            f'font-family="monospace" text-anchor="middle">{t:.2f}s</text>'
+        )
+    legend_x = margin
+    for kind, color in KIND_COLORS.items():
+        body.append(
+            f'<rect x="{legend_x}" y="{axis_y + 26}" width="12" height="12" fill="{color}"/>'
+        )
+        body.append(
+            f'<text x="{legend_x + 16}" y="{axis_y + 36}" font-size="11" '
+            f'font-family="monospace">{kind.value}</text>'
+        )
+        legend_x += 110
+    return _document(width, height, body)

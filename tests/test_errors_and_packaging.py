@@ -1,0 +1,83 @@
+"""Tests for the exception hierarchy and package-level surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CalibrationError,
+    ExperimentError,
+    GeometryError,
+    HardwareModelError,
+    LinalgError,
+    OptimizationError,
+    PanelMethodError,
+    ReproError,
+    ScheduleError,
+    ViscousError,
+)
+
+ALL_ERRORS = (
+    CalibrationError,
+    ExperimentError,
+    GeometryError,
+    HardwareModelError,
+    LinalgError,
+    OptimizationError,
+    PanelMethodError,
+    ScheduleError,
+    ViscousError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        assert issubclass(error, Exception)
+
+    def test_catching_base_catches_all(self):
+        for error in ALL_ERRORS:
+            with pytest.raises(ReproError):
+                raise error("boom")
+
+    def test_errors_are_distinct(self):
+        assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)
+
+    def test_library_raises_its_own_errors(self):
+        from repro.geometry import naca
+
+        with pytest.raises(ReproError):
+            naca("99", 100)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_exports(self):
+        for name in ("analyze", "optimize", "simulate_hybrid",
+                     "AirfoilAnalysis", "HybridExperiment", "Precision"):
+            assert hasattr(repro, name)
+            assert name in repro.__all__
+
+    @pytest.mark.parametrize("module", [
+        "repro.geometry", "repro.linalg", "repro.panel", "repro.viscous",
+        "repro.optimize", "repro.hardware", "repro.pipeline",
+        "repro.experiments", "repro.validation", "repro.viz",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        """Every name in __all__ is actually importable."""
+        import importlib
+
+        imported = importlib.import_module(module)
+        for name in imported.__all__:
+            assert hasattr(imported, name), f"{module}.{name} missing"
+
+    def test_report_command(self, capsys):
+        """The CLI 'report' command emits the EXPERIMENTS.md preamble."""
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# EXPERIMENTS")
+        assert "Table 3" in out and "headline" in out.lower()

@@ -1,0 +1,156 @@
+"""Tests for the experiment harness: report, registry, each experiment."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    REGISTRY,
+    ExperimentResult,
+    TextTable,
+    compare,
+    experiment_names,
+    run_experiment,
+)
+from repro.experiments import figure1, figure2, figure3, figure4
+from repro.experiments import table1, table2, table3, table4, table5
+from repro.experiments.report import ratio_note
+
+
+class TestTextTable:
+    def test_render_aligns_columns(self):
+        table = TextTable(headers=("a", "bbbb"))
+        table.add_row("x", 1)
+        table.add_row("yyyy", 22)
+        lines = table.render().splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_rendered(self):
+        table = TextTable(headers=("a",), title="My Table")
+        table.add_row(1)
+        assert table.render().startswith("My Table")
+
+    def test_wrong_cell_count(self):
+        table = TextTable(headers=("a", "b"))
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_compare_formats(self):
+        assert compare(1.953, 1.98) == "1.95 (1.98)"
+        assert compare(1.953, None) == "1.95"
+
+    def test_ratio_note(self):
+        assert ratio_note(1.1, 1.0) == "+10%"
+        assert ratio_note(1.0, None) == "-"
+
+
+class TestRegistry:
+    def test_twelve_experiments(self):
+        assert len(REGISTRY) == 12
+
+    def test_names_include_all_tables_and_figures(self):
+        names = experiment_names()
+        for index in range(1, 6):
+            assert f"table{index}" in names
+        for index in range(1, 5):
+            assert f"figure{index}" in names
+        for extra in ("headline", "convergence", "energy"):
+            assert extra in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("table99")
+
+    def test_name_normalization(self):
+        result = run_experiment("  TABLE1 ")
+        assert result.experiment_id == "table1"
+
+
+class TestTable1:
+    def test_five_rows(self):
+        result = table1.run()
+        assert len(result.rows) == 5
+
+    def test_text_mentions_devices(self):
+        text = table1.run().text
+        for name in ("E5-2630 v3", "Phi 7120", "0.5x K80", "1x K80"):
+            assert name in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run()
+
+    def test_eight_rows(self, result):
+        assert len(result.rows) == 8
+
+    def test_simulated_matches_paper_anchor(self, result):
+        for row in result.rows:
+            assert row["assembly_seconds"] == pytest.approx(
+                row["paper_assembly_seconds"], rel=0.02
+            )
+            assert row["solve_seconds"] == pytest.approx(
+                row["paper_solve_seconds"], rel=0.02
+            )
+
+    def test_notes_present(self, result):
+        assert "assembly/solve ratio" in result.text
+
+
+class TestTables345:
+    def test_table3_blocks(self):
+        result = table3.run()
+        assert len(result.rows) == 16  # 4 slices x 2 precisions x 2 sockets
+        assert "simulated optimum" in result.text
+
+    def test_table4_blocks(self):
+        result = table4.run()
+        assert len(result.rows) == 16
+        assert "GPU reference" in result.text
+
+    def test_table5_blocks(self):
+        result = table5.run()
+        assert len(result.rows) == 12  # 3 distributions x 4 blocks
+        assert "autotuned optimum" in result.text
+
+    def test_table3_rows_have_speedups(self):
+        for row in table3.run().rows:
+            assert row["speedup"] > 1.0
+
+
+class TestFigures:
+    def test_figure1_artifact_and_geometry(self):
+        result = figure1.run()
+        assert "figure1.svg" in result.artifacts
+        assert result.artifacts["figure1.svg"].startswith("<svg")
+        assert result.rows[0]["n_panels"] == 10
+        assert "NACA 2412" in result.text
+
+    def test_figure1_custom_section(self):
+        result = figure1.run(n_panels=16, designation="0012")
+        assert result.rows[0]["n_panels"] == 16
+
+    def test_figure2_improves_over_generations(self):
+        result = figure2.run(seed=5, generations=4)
+        best = [row["best_fitness"] for row in result.rows]
+        assert best[-1] >= best[0]
+        assert "champion" in result.text
+        assert "figure2.svg" in result.artifacts
+
+    def test_figure3_trace_rows(self):
+        result = figure3.run(n_slices=4)
+        resources = {row["resource"] for row in result.rows}
+        assert resources == {"accel", "cpu"}
+        assert "figure3.svg" in result.artifacts
+
+    def test_figure4_has_link_row(self):
+        result = figure4.run(n_slices=4)
+        resources = {row["resource"] for row in result.rows}
+        assert "link" in resources
+
+    def test_artifact_saving(self, tmp_path):
+        result = figure1.run()
+        written = result.save_artifacts(str(tmp_path))
+        assert len(written) == 1
+        with open(written[0]) as handle:
+            assert handle.read().startswith("<svg")

@@ -1,0 +1,75 @@
+"""Tests for the supplementary convergence and energy experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.convergence import PANEL_COUNTS, run as run_convergence
+from repro.experiments.energy_table import run as run_energy
+
+
+class TestConvergenceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_convergence()
+
+    def test_all_panel_counts_present(self, result):
+        assert [row["panels"] for row in result.rows] == list(PANEL_COUNTS)
+
+    def test_stream_function_errors_decrease_monotonically(self, result):
+        errors = [row["stream_error"] for row in result.rows]
+        assert all(b < a for a, b in zip(errors, errors[1:]))
+
+    def test_second_order_convergence(self, result):
+        """Error ratios between doublings approach 4 (order 2)."""
+        errors = [row["stream_error"] for row in result.rows]
+        orders = np.log2(np.array(errors[:-1]) / np.array(errors[1:]))
+        assert 1.6 < np.mean(orders) < 2.4
+
+    def test_error_small_at_paper_resolution(self, result):
+        n200 = next(row for row in result.rows if row["panels"] == 200)
+        assert n200["stream_error"] < 1e-3
+
+    def test_hess_smith_converges_slower_on_cusp(self, result):
+        """The cusped trailing edge degrades Hess-Smith's order."""
+        coarse = result.rows[0]
+        fine = result.rows[-1]
+        assert fine["hess_error"] < coarse["hess_error"]
+        stream_gain = coarse["stream_error"] / fine["stream_error"]
+        hess_gain = coarse["hess_error"] / fine["hess_error"]
+        assert stream_gain > 10 * hess_gain
+
+    def test_repaneling_helps_at_low_counts(self, result):
+        n50 = next(row for row in result.rows if row["panels"] == 50)
+        assert n50["adaptive_error"] < n50["stream_error"]
+
+    def test_registry_entry(self):
+        assert run_experiment("convergence").experiment_id == "convergence"
+
+
+class TestEnergyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_energy()
+
+    def test_eight_rows(self, result):
+        assert len(result.rows) == 8
+
+    def test_gpu_wins_both_axes(self, result):
+        for precision in ("single", "double"):
+            block = {row["configuration"]: row for row in result.rows
+                     if row["precision"] == precision}
+            assert block["k80-half"]["energy_ratio_vs_cpu"] < 0.7
+            assert block["k80-half"]["wall"] < block["none"]["wall"]
+
+    def test_phi_energy_penalty_visible(self, result):
+        for precision in ("single", "double"):
+            block = {row["configuration"]: row for row in result.rows
+                     if row["precision"] == precision}
+            assert block["phi"]["energy_ratio_vs_cpu"] > 1.0
+
+    def test_text_mentions_conclusion(self, result):
+        assert "MORE energy" in result.text
+
+    def test_registry_entry(self):
+        assert run_experiment("energy").experiment_id == "energy"

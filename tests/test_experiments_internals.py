@@ -1,0 +1,92 @@
+"""Tests for experiment-harness internals: sweeps, metrics, markdown."""
+
+import pytest
+
+from repro.experiments import hybrid_tables as ht
+from repro.experiments.markdown import generate_experiments_markdown
+from repro.experiments.paper_data import BASELINES, PaperRow
+from repro.pipeline import lower_bound_gap
+from repro.precision import Precision
+
+
+class TestPaperData:
+    def test_baseline_identity(self):
+        """Every published baseline satisfies W = A + L (sanity of the
+        transcription)."""
+        for row in BASELINES.values():
+            assert row.wall == pytest.approx(row.assembly + row.solve,
+                                             abs=0.05)
+
+    def test_hybrid_rows_satisfy_o_equals_w_minus_l(self):
+        """The paper's own tables obey O = W - L (our adopted definition
+        is consistent with the transcription)."""
+        from repro.experiments.paper_data import TABLE3, TABLE4
+
+        for table in (TABLE3, TABLE4):
+            for block in table.values():
+                for row in block.values():
+                    assert row.overhead == pytest.approx(
+                        row.wall - row.solve, abs=0.02
+                    )
+
+    def test_paper_row_defaults(self):
+        row = PaperRow(1.0, 0.5, 0.4)
+        assert row.overhead is None and row.speedup is None
+
+
+class TestHybridTables:
+    def test_baseline_metrics_cached_shape(self):
+        metrics = ht.baseline_metrics(Precision.DOUBLE, 2)
+        assert metrics.overhead == pytest.approx(metrics.assembly_busy)
+        assert metrics.speedup is None
+
+    def test_sweep_lengths(self):
+        metrics = ht.hybrid_sweep("k80-half", Precision.SINGLE, 1, (1, 10))
+        assert len(metrics) == 2
+        assert metrics[0].speedup is not None
+
+    def test_dual_sweep_custom_grid(self):
+        metrics = ht.dual_sweep(Precision.SINGLE, 2, distributions=(0.6, 0.9))
+        assert len(metrics) == 2
+
+    def test_metrics_to_rows_keys(self):
+        metrics = ht.hybrid_sweep("phi", Precision.DOUBLE, 2, (5,))
+        rows = ht.metrics_to_rows("slices", (5,), metrics,
+                                  precision=Precision.DOUBLE, sockets=2)
+        assert set(rows[0]) == {"slices", "precision", "sockets", "wall",
+                                "assembly", "solve", "overhead", "speedup"}
+
+    def test_lower_bound_gap_in_paper_band(self):
+        metrics = ht.hybrid_sweep("k80-half", Precision.DOUBLE, 2, (10,))[0]
+        assert 0.0 < lower_bound_gap(metrics) < 0.25
+
+
+class TestMarkdownGeneration:
+    @pytest.fixture(scope="class")
+    def markdown(self):
+        return generate_experiments_markdown()
+
+    def test_all_sections_present(self, markdown):
+        for heading in ("## Table 1", "## Table 2", "## Table 3",
+                        "## Table 4", "## Table 5", "## Figures",
+                        "## Section 7 headline claims",
+                        "## Beyond the paper"):
+            assert heading in markdown
+
+    def test_every_headline_passes(self, markdown):
+        claims_section = markdown.split("## Section 7 headline claims")[1]
+        claims_table = claims_section.split("##")[0]
+        assert "FAIL" not in claims_table
+        assert claims_table.count("PASS") == 7
+
+    def test_deviation_annotations_present(self, markdown):
+        # Every hybrid row carries a signed percentage deviation.
+        assert markdown.count("%") > 40
+
+    def test_worst_deviation_reported_small(self, markdown):
+        import re
+
+        worst = [int(match) for match in
+                 re.findall(r"Worst wall-time deviation[^:]*: (\d+)%",
+                            markdown)]
+        assert worst and max(worst) <= 15

@@ -1,0 +1,129 @@
+"""Tests for the NACA section generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import naca, naca4, naca5
+from repro.geometry.naca import camber_line_4digit, thickness_distribution
+
+
+class TestThickness:
+    def test_zero_at_endpoints_when_closed(self):
+        x = np.array([0.0, 1.0])
+        y = thickness_distribution(x, 0.12, closed_te=True)
+        assert y[0] == pytest.approx(0.0)
+        assert y[1] == pytest.approx(0.0, abs=1e-4)
+
+    def test_open_te_has_finite_thickness(self):
+        y = thickness_distribution(np.array([1.0]), 0.12, closed_te=False)
+        assert y[0] > 1e-3
+
+    def test_max_thickness_value(self):
+        x = np.linspace(0, 1, 2001)
+        y = thickness_distribution(x, 0.12)
+        assert 2.0 * y.max() == pytest.approx(0.12, abs=2e-3)
+
+    def test_max_thickness_location(self):
+        x = np.linspace(0, 1, 2001)
+        y = thickness_distribution(x, 0.12)
+        assert x[np.argmax(y)] == pytest.approx(0.30, abs=0.02)
+
+    def test_scales_linearly(self):
+        x = np.linspace(0.05, 0.95, 10)
+        assert thickness_distribution(x, 0.24) == pytest.approx(
+            2.0 * thickness_distribution(x, 0.12)
+        )
+
+
+class TestCamberLine:
+    def test_symmetric_is_flat(self):
+        x = np.linspace(0, 1, 11)
+        y, slope = camber_line_4digit(x, 0.0, 0.0)
+        assert np.all(y == 0.0) and np.all(slope == 0.0)
+
+    def test_max_camber_at_position(self):
+        x = np.linspace(0, 1, 4001)
+        y, _ = camber_line_4digit(x, 0.02, 0.4)
+        assert y.max() == pytest.approx(0.02, abs=1e-5)
+        assert x[np.argmax(y)] == pytest.approx(0.4, abs=0.01)
+
+    def test_slope_zero_at_max_camber(self):
+        _, slope = camber_line_4digit(np.array([0.4]), 0.02, 0.4)
+        assert slope[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_slope_continuous_at_junction(self):
+        eps = 1e-9
+        _, before = camber_line_4digit(np.array([0.4 - eps]), 0.02, 0.4)
+        _, after = camber_line_4digit(np.array([0.4 + eps]), 0.02, 0.4)
+        assert before[0] == pytest.approx(after[0], abs=1e-6)
+
+
+class TestNaca4:
+    def test_panel_count(self):
+        assert naca4("2412", 100).n_panels == 100
+
+    def test_name(self):
+        assert naca4("2412", 40).name == "NACA 2412"
+
+    def test_symmetric_section_is_symmetric(self):
+        foil = naca4("0012", 200)
+        upper, lower = foil.surfaces()
+        x = np.linspace(0.02, 0.98, 50)
+        y_up = np.interp(x, upper[:, 0], upper[:, 1])
+        y_lo = np.interp(x, lower[:, 0], lower[:, 1])
+        assert y_up == pytest.approx(-y_lo, abs=1e-10)
+
+    def test_cambered_section_asymmetric(self):
+        foil = naca4("4412", 200)
+        upper, lower = foil.surfaces()
+        assert upper[:, 1].max() > -lower[:, 1].min()
+
+    def test_invalid_designation(self):
+        with pytest.raises(GeometryError):
+            naca4("24", 100)
+        with pytest.raises(GeometryError):
+            naca4("24a2", 100)
+
+    def test_odd_panel_count_rejected(self):
+        with pytest.raises(GeometryError, match="even"):
+            naca4("2412", 101)
+
+    def test_zero_thickness_rejected(self):
+        with pytest.raises(GeometryError, match="thickness"):
+            naca4("2400", 100)
+
+    def test_closed_trailing_edge(self):
+        foil = naca4("2412", 100)
+        assert np.allclose(foil.points[0], foil.points[-1])
+
+    def test_uniform_spacing_option(self):
+        foil = naca4("0012", 60, spacing_kind="uniform")
+        assert foil.n_panels == 60
+
+
+class TestNaca5:
+    def test_23012_generates(self):
+        foil = naca5("23012", 120)
+        assert foil.n_panels == 120
+        assert foil.max_thickness == pytest.approx(0.12, abs=0.01)
+
+    def test_unknown_camber_code(self):
+        with pytest.raises(GeometryError, match="camber code"):
+            naca5("99912", 100)
+
+    def test_invalid_length(self):
+        with pytest.raises(GeometryError):
+            naca5("2301", 100)
+
+
+class TestDispatch:
+    def test_four_digit(self):
+        assert naca("2412", 60).name == "NACA 2412"
+
+    def test_five_digit(self):
+        assert naca("23012", 60).name == "NACA 23012"
+
+    def test_bad_length(self):
+        with pytest.raises(GeometryError, match="unsupported"):
+            naca("241", 60)

@@ -1,0 +1,106 @@
+"""Tests for the PARSEC airfoil parametrization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import ParsecAirfoil
+from repro.panel import solve_airfoil
+
+
+class TestSurfaceConditions:
+    """The six defining conditions must be met exactly by construction."""
+
+    section = ParsecAirfoil()
+
+    def test_crest_position_and_height(self):
+        x = np.array([self.section.upper_crest_x])
+        y = self.section.surface_heights(x, upper=True)
+        assert y[0] == pytest.approx(self.section.upper_crest_y, abs=1e-12)
+
+    def test_crest_is_a_maximum(self):
+        h = 1e-6
+        x0 = self.section.upper_crest_x
+        values = self.section.surface_heights(
+            np.array([x0 - h, x0, x0 + h]), upper=True
+        )
+        assert values[1] >= values[0] and values[1] >= values[2]
+
+    def test_crest_curvature(self):
+        h = 1e-4
+        x0 = self.section.upper_crest_x
+        values = self.section.surface_heights(
+            np.array([x0 - h, x0, x0 + h]), upper=True
+        )
+        curvature = (values[0] - 2 * values[1] + values[2]) / h**2
+        assert curvature == pytest.approx(
+            self.section.upper_crest_curvature, abs=1e-4
+        )
+
+    def test_trailing_edge_closes(self):
+        x = np.array([1.0])
+        assert self.section.surface_heights(x, upper=True)[0] == pytest.approx(0.0, abs=1e-12)
+        assert self.section.surface_heights(x, upper=False)[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_trailing_edge_wedge(self):
+        h = 1e-6
+        x = np.array([1.0 - h, 1.0])
+        upper_slope = np.diff(self.section.surface_heights(x, upper=True))[0] / h
+        lower_slope = np.diff(self.section.surface_heights(x, upper=False))[0] / h
+        wedge = math.atan(lower_slope) - math.atan(upper_slope)
+        assert wedge == pytest.approx(self.section.te_wedge, abs=1e-4)
+
+    def test_leading_edge_radius(self):
+        """Near the nose y ~ sqrt(2 r x), so y^2/(2x) -> r_le."""
+        x = np.array([1e-8])
+        y = self.section.surface_heights(x, upper=True)
+        implied = float((y**2 / (2 * x))[0])
+        assert implied == pytest.approx(self.section.le_radius_upper, rel=1e-3)
+
+
+class TestAirfoilGeneration:
+    def test_default_section_is_sane(self):
+        foil = ParsecAirfoil().to_airfoil(160)
+        assert foil.n_panels == 160
+        assert foil.chord == pytest.approx(1.0, abs=0.01)
+        assert 0.08 < foil.max_thickness < 0.14
+
+    def test_feasibility(self):
+        assert ParsecAirfoil().is_feasible(min_thickness=0.005)
+
+    def test_crossed_section_infeasible(self):
+        crossed = ParsecAirfoil(upper_crest_y=-0.02, lower_crest_y=0.02)
+        assert not crossed.is_feasible()
+
+    def test_panel_solution(self):
+        foil = ParsecAirfoil().to_airfoil(160)
+        solution = solve_airfoil(foil, 2.0)
+        assert 0.2 < solution.lift_coefficient < 0.7
+        assert solution.boundary_residual() < 1e-9
+
+    def test_camber_raises_lift(self):
+        neutral = ParsecAirfoil(upper_crest_y=0.05, lower_crest_y=-0.05,
+                                te_direction=0.0)
+        cambered = ParsecAirfoil(upper_crest_y=0.08, lower_crest_y=-0.02,
+                                 te_direction=math.radians(-8.0))
+        cl_neutral = solve_airfoil(neutral.to_airfoil(120), 0.0).lift_coefficient
+        cl_cambered = solve_airfoil(cambered.to_airfoil(120), 0.0).lift_coefficient
+        assert cl_cambered > cl_neutral + 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GeometryError):
+            ParsecAirfoil(le_radius_upper=0.0).upper_coefficients()
+        with pytest.raises(GeometryError):
+            ParsecAirfoil(upper_crest_x=0.999).upper_coefficients()
+
+    def test_odd_panels_rejected(self):
+        with pytest.raises(GeometryError):
+            ParsecAirfoil().to_airfoil(81)
+
+    def test_max_thickness_helper(self):
+        section = ParsecAirfoil()
+        assert section.max_thickness() == pytest.approx(
+            section.to_airfoil(300).max_thickness, abs=0.003
+        )

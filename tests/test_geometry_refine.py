@@ -1,0 +1,80 @@
+"""Tests for curvature-adaptive repaneling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import naca, repanel, outline_curvature
+from repro.panel import solve_airfoil
+from repro.validation import cylinder_airfoil
+
+
+class TestCurvature:
+    def test_cylinder_curvature_constant(self):
+        cylinder = cylinder_airfoil(120, radius=2.0)
+        curvature = outline_curvature(cylinder)
+        assert curvature == pytest.approx(np.full(120, 0.5), rel=1e-3)
+
+    def test_radius_scaling(self):
+        small = outline_curvature(cylinder_airfoil(100, radius=1.0)).mean()
+        large = outline_curvature(cylinder_airfoil(100, radius=4.0)).mean()
+        assert small == pytest.approx(4.0 * large, rel=1e-6)
+
+    def test_nose_is_curved(self, naca2412):
+        curvature = outline_curvature(naca2412)
+        le = naca2412.leading_edge_index
+        mid_upper = le // 2
+        assert curvature[le] > 10 * curvature[mid_upper]
+
+
+class TestRepanel:
+    def test_preserves_shape(self, naca2412):
+        resampled = repanel(naca2412, 200, curvature_weight=3.0)
+        assert resampled.area == pytest.approx(naca2412.area, rel=5e-3)
+        assert resampled.chord == pytest.approx(naca2412.chord, rel=1e-3)
+        assert resampled.n_panels == 200
+
+    def test_preserves_trailing_edge(self, naca2412):
+        resampled = repanel(naca2412, 80)
+        assert resampled.trailing_edge == pytest.approx(
+            naca2412.trailing_edge, abs=1e-12
+        )
+
+    def test_default_panel_count(self, naca2412):
+        assert repanel(naca2412).n_panels == naca2412.n_panels
+
+    def test_zero_weight_gives_uniform_arcs(self, naca2412):
+        resampled = repanel(naca2412, 64, curvature_weight=0.0)
+        lengths = resampled.panel_lengths
+        assert lengths.max() / lengths.min() < 1.2
+
+    def test_weight_concentrates_at_curved_regions(self, naca2412):
+        resampled = repanel(naca2412, 64, curvature_weight=4.0)
+        lengths = resampled.panel_lengths
+        le = resampled.leading_edge_index
+        nose_lengths = lengths[le - 3:le + 3]
+        # Panels shrink at the nose...
+        assert nose_lengths.mean() < 0.65 * lengths.mean()
+        # ... and shrink hardest at the sharp trailing-edge corner, the
+        # highest-curvature feature of the closed outline.
+        assert lengths[0] < 0.35 * lengths.mean()
+        assert lengths[-1] < 0.35 * lengths.mean()
+
+    def test_improves_solution_convergence(self):
+        """The headline claim: same budget, better answer."""
+        uniform = naca("2412", 60, spacing_kind="uniform")
+        adaptive = repanel(uniform, 60, curvature_weight=3.0)
+        reference = solve_airfoil(naca("2412", 400), 4.0).lift_coefficient
+        error_uniform = abs(
+            solve_airfoil(uniform, 4.0).lift_coefficient - reference
+        )
+        error_adaptive = abs(
+            solve_airfoil(adaptive, 4.0).lift_coefficient - reference
+        )
+        assert error_adaptive < 0.5 * error_uniform
+
+    def test_invalid_arguments(self, naca2412):
+        with pytest.raises(GeometryError):
+            repanel(naca2412, 2)
+        with pytest.raises(GeometryError):
+            repanel(naca2412, 64, curvature_weight=-1.0)

@@ -1,0 +1,248 @@
+"""Tests for the device specs, calibration, and kernel cost models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, HardwareModelError
+from repro.hardware import (
+    DUAL_E5_2630_V3,
+    E5_2630_V3,
+    FULL_K80,
+    HALF_K80,
+    PAPER_TABLE2,
+    REFERENCE_BATCH,
+    REFERENCE_N,
+    TABLE1_DEVICES,
+    XEON_PHI_7120,
+    DeviceKind,
+    DeviceSpec,
+    KernelModel,
+    PCIeLinkSpec,
+    SimulatedDevice,
+    Workstation,
+    calibrate,
+    cpu_spec,
+    implied_efficiencies,
+    paper_workstation,
+)
+from repro.geometry import naca
+from repro.panel import Freestream, PanelSolver
+from repro.precision import Precision
+
+
+class TestSpecs:
+    def test_table1_values(self):
+        assert E5_2630_V3.peak_tflops_double == 0.3
+        assert DUAL_E5_2630_V3.peak_tflops_single == 1.2
+        assert XEON_PHI_7120.memory_bandwidth_gbs == 352.0
+        assert HALF_K80.peak_tflops_single == 4.4
+        assert FULL_K80.peak_tflops_double == 2.9
+
+    def test_five_devices(self):
+        assert len(TABLE1_DEVICES) == 5
+
+    def test_peak_flops_by_precision(self):
+        assert E5_2630_V3.peak_flops("sp") == pytest.approx(0.6e12)
+        assert E5_2630_V3.peak_flops("dp") == pytest.approx(0.3e12)
+
+    def test_accelerator_flag(self):
+        assert not E5_2630_V3.is_accelerator
+        assert XEON_PHI_7120.is_accelerator
+        assert HALF_K80.is_accelerator
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(HardwareModelError):
+            DeviceSpec(name="bad", kind=DeviceKind.CPU, peak_tflops_single=0.0,
+                       peak_tflops_double=1.0, memory_bandwidth_gbs=10.0)
+
+    def test_link_transfer_time(self):
+        link = PCIeLinkSpec(effective_bandwidth=1e9, latency=1e-3)
+        assert link.transfer_time(1e9) == pytest.approx(1.001)
+
+    def test_link_negative_bytes(self):
+        link = PCIeLinkSpec(effective_bandwidth=1e9)
+        with pytest.raises(HardwareModelError):
+            link.transfer_time(-1.0)
+
+
+class TestCalibration:
+    def test_all_eight_anchors_present(self):
+        assert len(PAPER_TABLE2) == 8
+
+    def test_per_matrix_times(self):
+        calibration = calibrate(HALF_K80, Precision.SINGLE)
+        assert calibration.assembly_per_matrix == pytest.approx(0.46 / 4000)
+        assert calibration.solve_per_matrix == pytest.approx(3.70 / 4000)
+
+    def test_uncalibrated_device_raises(self):
+        with pytest.raises(CalibrationError, match="no Table 2 anchor"):
+            calibrate(FULL_K80, Precision.SINGLE)
+
+    def test_efficiencies_sub_unity(self):
+        for (_, _), (assembly_eff, solve_eff) in implied_efficiencies().items():
+            assert 0.0 < assembly_eff < 1.0
+            assert 0.0 < solve_eff < 1.0
+
+    def test_cpu_solves_more_efficiently_than_gpu(self):
+        table = implied_efficiencies()
+        assert table[("E5-2630 v3", "dp")][1] > table[("0.5x K80", "dp")][1]
+
+    def test_gpu_assembles_more_efficiently_than_it_solves(self):
+        table = implied_efficiencies()
+        assembly_eff, solve_eff = table[("0.5x K80", "dp")]
+        assert assembly_eff > solve_eff
+
+
+class TestKernelModel:
+    @pytest.fixture(scope="class")
+    def gpu(self):
+        return KernelModel.for_device(HALF_K80, "single")
+
+    @pytest.fixture(scope="class")
+    def cpu(self):
+        return KernelModel.for_device(DUAL_E5_2630_V3, "single")
+
+    def test_reference_workload_matches_anchor(self, gpu):
+        cost = gpu.assembly(REFERENCE_BATCH, REFERENCE_N)
+        assert cost.seconds == pytest.approx(0.46, abs=0.01)
+
+    def test_solve_reference_matches_anchor(self, cpu):
+        cost = cpu.solve(REFERENCE_BATCH, REFERENCE_N)
+        assert cost.seconds == pytest.approx(1.07, abs=0.02)
+
+    def test_assembly_scales_quadratically(self, gpu):
+        small = gpu.assembly(1000, 100).seconds - HALF_K80.kernel_setup
+        large = gpu.assembly(1000, 200).seconds - HALF_K80.kernel_setup
+        assert large / small == pytest.approx(4.0, rel=1e-6)
+
+    def test_solve_scales_cubically(self, cpu):
+        small = cpu.solve(1000, 100).seconds - DUAL_E5_2630_V3.solve_call_setup
+        large = cpu.solve(1000, 200).seconds - DUAL_E5_2630_V3.solve_call_setup
+        # (2/3 n^3 + 2 n^2) ratio, slightly below 8 for these sizes.
+        expected = (2 / 3 * 200**3 + 2 * 200**2) / (2 / 3 * 100**3 + 2 * 100**2)
+        assert large / small == pytest.approx(expected, rel=1e-6)
+
+    def test_assembly_linear_in_batch(self, gpu):
+        one = gpu.assembly(1000, 200).seconds - HALF_K80.kernel_setup
+        two = gpu.assembly(2000, 200).seconds - HALF_K80.kernel_setup
+        assert two == pytest.approx(2.0 * one, rel=1e-9)
+
+    def test_setup_cost_penalizes_small_calls(self, cpu):
+        whole = cpu.solve(4000, 200).seconds
+        split = sum(cpu.solve(200, 200).seconds for _ in range(20))
+        assert split > whole
+        assert split - whole == pytest.approx(19 * DUAL_E5_2630_V3.solve_call_setup)
+
+    def test_throughput_fraction(self, cpu):
+        full = cpu.solve(4000, 200).seconds - DUAL_E5_2630_V3.solve_call_setup
+        reduced = cpu.solve(4000, 200, throughput_fraction=0.5).seconds \
+            - DUAL_E5_2630_V3.solve_call_setup
+        assert reduced == pytest.approx(2.0 * full, rel=1e-9)
+
+    def test_bad_throughput_fraction(self, cpu):
+        with pytest.raises(HardwareModelError):
+            cpu.solve(100, 50, throughput_fraction=0.0)
+
+    def test_transfer_bytes(self, gpu):
+        cost = gpu.transfer(1000, 200)
+        expected_bytes = 1000 * (200 * 200 + 200) * 4
+        assert cost.bytes_moved == expected_bytes
+        assert cost.seconds == pytest.approx(
+            HALF_K80.link.latency + expected_bytes / HALF_K80.link.effective_bandwidth
+        )
+
+    def test_cpu_has_no_link(self, cpu):
+        with pytest.raises(HardwareModelError, match="no host link"):
+            cpu.transfer(100, 200)
+
+    def test_bad_workload(self, gpu):
+        with pytest.raises(HardwareModelError):
+            gpu.assembly(0, 200)
+        with pytest.raises(HardwareModelError):
+            gpu.assembly(10, 1)
+
+    def test_paper_table2_shape_cpu_assembly_dominates(self):
+        """Section 3: on the CPU assembly is 2.5-3.5x the solve."""
+        for precision in ("single", "double"):
+            for spec in (E5_2630_V3, DUAL_E5_2630_V3):
+                model = KernelModel.for_device(spec, precision)
+                ratio = (model.assembly(4000, 200).seconds
+                         / model.solve(4000, 200).seconds)
+                assert 2.4 < ratio < 3.6
+
+    def test_paper_table2_shape_accelerators_reversed(self):
+        """Section 3: on accelerators the solve dominates."""
+        for precision in ("single", "double"):
+            for spec in (XEON_PHI_7120, HALF_K80):
+                model = KernelModel.for_device(spec, precision)
+                assert (model.solve(4000, 200).seconds
+                        > model.assembly(4000, 200).seconds)
+
+
+class TestWorkstation:
+    def test_cpu_spec_choices(self):
+        assert cpu_spec(1) is E5_2630_V3
+        assert cpu_spec(2) is DUAL_E5_2630_V3
+        with pytest.raises(HardwareModelError):
+            cpu_spec(4)
+
+    def test_cpu_only(self):
+        station = paper_workstation(sockets=2)
+        assert not station.has_accelerator
+        with pytest.raises(HardwareModelError):
+            station.accelerator
+
+    def test_phi_configuration(self):
+        station = paper_workstation(accelerator="phi", precision="single")
+        assert station.accelerator.spec is XEON_PHI_7120
+
+    def test_dual_k80(self):
+        station = paper_workstation(accelerator="k80-dual")
+        assert len(station.accelerators) == 2
+        assert all(d.spec is HALF_K80 for d in station.accelerators)
+
+    def test_unknown_accelerator(self):
+        with pytest.raises(HardwareModelError, match="unknown accelerator"):
+            paper_workstation(accelerator="tpu")
+
+    def test_describe(self):
+        station = paper_workstation(sockets=1, accelerator="k80-half")
+        assert "E5-2630 v3" in station.describe()
+        assert "K80" in station.describe()
+
+
+class TestFunctionalExecution:
+    def test_functional_assembly_and_solve_match_direct(self):
+        """The device's functional path returns the same physics."""
+        device = SimulatedDevice.create(HALF_K80, "double")
+        foils = [naca("2412", 50), naca("0012", 50)]
+        fs = Freestream.from_degrees(3.0)
+        assembly = device.run_assembly(foils, fs)
+        solve = device.run_solve(assembly)
+        direct = PanelSolver().solve_batch(foils, fs)
+        for functional, reference in zip(solve.solutions, direct):
+            assert functional.lift_coefficient == pytest.approx(
+                reference.lift_coefficient, abs=1e-10
+            )
+
+    def test_costs_are_positive(self):
+        device = SimulatedDevice.create(XEON_PHI_7120, "single")
+        foils = [naca("2412", 40)]
+        assembly = device.run_assembly(foils, Freestream())
+        assert assembly.cost.seconds > 0
+        solve = device.run_solve(assembly)
+        assert solve.cost.seconds > 0
+
+    def test_run_solve_requires_functional_input(self):
+        from repro.hardware.device import AssemblyOutput
+        from repro.hardware.kernels import KernelCost
+
+        device = SimulatedDevice.create(HALF_K80, "single")
+        timing_only = AssemblyOutput(cost=KernelCost(1.0, 0.0, 0.0))
+        with pytest.raises(ValueError, match="functional"):
+            device.run_solve(timing_only)
+
+    def test_timing_interface(self):
+        device = SimulatedDevice.create(HALF_K80, "single")
+        assert device.assembly_seconds(4000, 200) == pytest.approx(0.46, abs=0.01)
+        assert device.transfer_seconds(4000, 200) > 0.5

@@ -1,0 +1,90 @@
+"""Tests for the energy-to-solution model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware import (
+    configuration_energy,
+    device_power,
+    estimate_energy,
+    paper_workstation,
+)
+from repro.hardware.energy import DEVICE_TDP_W, IDLE_FRACTION
+from repro.pipeline import Workload, cpu_only, hybrid, simulate
+
+
+class TestDevicePower:
+    def test_published_tdps(self):
+        assert DEVICE_TDP_W["Phi 7120"] == 300.0
+        assert DEVICE_TDP_W["0.5x K80"] == 150.0
+
+    def test_idle_below_tdp(self):
+        for name in DEVICE_TDP_W:
+            tdp, idle = device_power(name)
+            assert 0.0 < idle < tdp
+
+    def test_unknown_device(self):
+        with pytest.raises(HardwareModelError):
+            device_power("FPGA")
+
+
+class TestEstimateEnergy:
+    def test_cpu_only_runs_at_tdp(self):
+        """The baseline keeps the CPU busy the whole run: E = TDP * W."""
+        station = paper_workstation(sockets=2, precision="double")
+        workload = Workload.paper_reference("double")
+        timeline = simulate(cpu_only(workload, station.cpu))
+        estimate = estimate_energy(timeline, cpu_name=station.cpu.name)
+        assert estimate.average_watts == pytest.approx(170.0, rel=1e-6)
+
+    def test_hybrid_charges_idle_accelerator_time(self):
+        """The accelerator draws idle power even while the host solves."""
+        station = paper_workstation(sockets=2, accelerator="k80-half",
+                                    precision="double")
+        workload = Workload.paper_reference("double")
+        timeline = simulate(hybrid(workload, station, 10))
+        estimate = estimate_energy(
+            timeline, cpu_name=station.cpu.name,
+            accelerator_names=[station.accelerator.name],
+        )
+        gpu_energy = estimate.per_device_joules["0.5x K80"]
+        _, idle = device_power("0.5x K80")
+        assert gpu_energy > idle * timeline.makespan  # idle floor + bursts
+        assert gpu_energy < 150.0 * timeline.makespan  # never 100 % busy
+
+    def test_dual_gpu_devices_separated(self):
+        estimate = configuration_energy(accelerator="k80-dual")
+        labels = set(estimate.per_device_joules)
+        assert "0.5x K80 #0" in labels and "0.5x K80 #1" in labels
+
+
+class TestConfigurationComparison:
+    @pytest.fixture(scope="class")
+    def estimates(self):
+        return {
+            accel: configuration_energy(accelerator=accel)
+            for accel in ("none", "phi", "k80-half", "k80-dual")
+        }
+
+    def test_gpu_saves_time_and_energy(self, estimates):
+        """The K80 hybrid wins on both axes against the CPU baseline."""
+        assert estimates["k80-half"].wall_time < estimates["none"].wall_time
+        assert estimates["k80-half"].total_joules < estimates["none"].total_joules
+
+    def test_phi_saves_time_but_not_energy(self, estimates):
+        """The Phi's 300 W board with high idle draw costs more energy
+        than the CPU-only run despite being 2.3x faster — the classic
+        accelerator energy trap, and a conclusion the paper's
+        time-only evaluation cannot see."""
+        assert estimates["phi"].wall_time < estimates["none"].wall_time
+        assert estimates["phi"].total_joules > estimates["none"].total_joules
+
+    def test_second_gpu_costs_energy_for_its_speed(self, estimates):
+        """Using both K80 halves is faster but less energy-efficient
+        than one half (the second board mostly idles at 30 W)."""
+        assert estimates["k80-dual"].wall_time < estimates["k80-half"].wall_time
+        assert estimates["k80-dual"].total_joules > estimates["k80-half"].total_joules
+
+    def test_energy_ordering(self, estimates):
+        best = min(estimates, key=lambda key: estimates[key].total_joules)
+        assert best == "k80-half"

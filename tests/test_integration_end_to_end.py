@@ -1,0 +1,126 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These runs exercise the same composite code paths the paper's system
+does: GA -> panel solves -> viscous fitness; and the functional hybrid
+pipeline (simulated clock + real numerics) against the plain solver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BSplineAirfoil, naca
+from repro.hardware import HALF_K80, XEON_PHI_7120, SimulatedDevice
+from repro.optimize import FitnessEvaluator, GAConfig, GenomeLayout, GeneticOptimizer
+from repro.panel import Freestream, PanelSolver
+from repro.pipeline import Workload, evaluate, hybrid, simulate
+from repro.hardware.host import paper_workstation
+from repro.viscous import analyze_viscous
+
+
+class TestFunctionalHybridPipeline:
+    """The hybrid pipeline's functional mode must reproduce the physics."""
+
+    @pytest.mark.parametrize("spec", [HALF_K80, XEON_PHI_7120],
+                             ids=["gpu", "phi"])
+    def test_sliced_offload_matches_direct_solve(self, spec):
+        device = SimulatedDevice.create(spec, "double")
+        foils = [naca("2412", 60), naca("0012", 60), naca("4412", 60),
+                 naca("2212", 60), naca("4312", 60)]
+        fs = Freestream.from_degrees(3.0)
+
+        # Slice the batch the way the hybrid schedule would, run each
+        # slice through the device's functional kernels.
+        functional_cls = []
+        for start in range(0, len(foils), 2):
+            chunk = foils[start:start + 2]
+            assembly = device.run_assembly(chunk, fs)
+            solve = device.run_solve(assembly)
+            functional_cls.extend(
+                s.lift_coefficient for s in solve.solutions
+            )
+
+        direct = PanelSolver().solve_batch(foils, fs)
+        assert functional_cls == pytest.approx(
+            [s.lift_coefficient for s in direct], abs=1e-12
+        )
+
+    def test_single_precision_device_loses_accuracy_gracefully(self):
+        device_sp = SimulatedDevice.create(HALF_K80, "single")
+        device_dp = SimulatedDevice.create(HALF_K80, "double")
+        foils = [naca("2412", 100)]
+        fs = Freestream.from_degrees(4.0)
+        cl_sp = device_sp.run_solve(device_sp.run_assembly(foils, fs)).solutions[0]
+        cl_dp = device_dp.run_solve(device_dp.run_assembly(foils, fs)).solutions[0]
+        difference = abs(cl_sp.lift_coefficient - cl_dp.lift_coefficient)
+        assert 0.0 < difference < 5e-3  # sp differs, but only slightly
+
+
+class TestWorkloadScaleConsistency:
+    def test_ga_workload_equals_pipeline_batch(self):
+        """The GA's evaluation count is the pipeline's batch size."""
+        config = GAConfig(population_size=400, generations=10)
+        assert config.total_evaluations == Workload.paper_reference().batch
+
+    def test_simulated_seconds_scale_with_ga_size(self):
+        station = paper_workstation(sockets=2, accelerator="k80-half",
+                                    precision="double")
+        small = Workload(batch=1000, n=200, precision="double")
+        large = Workload(batch=4000, n=200, precision="double")
+        w_small = evaluate(simulate(hybrid(small, station, 10))).wall_time
+        w_large = evaluate(simulate(hybrid(large, station, 10))).wall_time
+        # Slightly sublinear: fixed per-slice setups amortize with size.
+        assert 3.2 * w_small < w_large < 4.05 * w_small
+
+
+class TestOptimizationPipeline:
+    @pytest.fixture(scope="class")
+    def run(self):
+        layout = GenomeLayout(n_upper=5, n_lower=5)
+        evaluator = FitnessEvaluator(layout=layout, n_panels=60, reynolds=4e5)
+        optimizer = GeneticOptimizer(
+            evaluator=evaluator,
+            config=GAConfig(population_size=16, generations=5),
+        )
+        return layout, optimizer.run(np.random.default_rng(11))
+
+    def test_fitness_improves(self, run):
+        _, history = run
+        trace = history.best_fitness_trace()
+        assert trace[-1] > trace[0]
+
+    def test_champion_geometry_is_analyzable(self, run):
+        layout, history = run
+        champion = layout.to_parametrization(history.champion.genome)
+        foil = champion.to_airfoil(100)
+        solution = PanelSolver().solve(foil, Freestream())
+        viscous = analyze_viscous(solution, 4e5)
+        assert solution.lift_coefficient > 0
+        assert viscous.drag_coefficient > 0
+
+    def test_champion_fitness_reproducible_from_genome(self, run):
+        layout, history = run
+        evaluator = FitnessEvaluator(layout=layout, n_panels=60, reynolds=4e5)
+        record = evaluator.evaluate(history.champion.genome)
+        assert record.fitness == pytest.approx(history.champion.fitness, rel=1e-9)
+
+
+class TestPrecisionStory:
+    """Single precision is usable end to end (the paper runs both)."""
+
+    def test_sp_lift_within_tolerance_of_dp(self):
+        foil = naca("2412", 200)
+        fs = Freestream.from_degrees(4.0)
+        cl_sp = PanelSolver(precision="single").solve(foil, fs).lift_coefficient
+        cl_dp = PanelSolver(precision="double").solve(foil, fs).lift_coefficient
+        assert cl_sp == pytest.approx(cl_dp, abs=2e-3)
+
+    def test_sp_pipeline_is_faster_than_dp(self):
+        station_sp = paper_workstation(sockets=2, accelerator="k80-half",
+                                       precision="single")
+        station_dp = paper_workstation(sockets=2, accelerator="k80-half",
+                                       precision="double")
+        w_sp = evaluate(simulate(hybrid(
+            Workload.paper_reference("single"), station_sp, 10))).wall_time
+        w_dp = evaluate(simulate(hybrid(
+            Workload.paper_reference("double"), station_dp, 10))).wall_time
+        assert w_sp < w_dp

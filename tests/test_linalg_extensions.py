@@ -1,0 +1,117 @@
+"""Tests for blocked LU and mixed-precision iterative refinement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinalgError
+from repro.geometry import naca
+from repro.linalg import (
+    blocked_lu_factor,
+    blocked_solve,
+    lu_factor,
+    refine_solve,
+    relative_residual,
+    solve,
+)
+from repro.panel import Freestream, assemble
+
+
+def panel_system(n=120, alpha=4.0):
+    system = assemble(naca("2412", n), Freestream.from_degrees(alpha))
+    return (np.asarray(system.matrix, np.float64),
+            np.asarray(system.rhs, np.float64))
+
+
+class TestBlockedLU:
+    @pytest.mark.parametrize("n,block", [(10, 4), (33, 8), (64, 32), (50, 64)])
+    def test_identical_to_unblocked(self, rng, n, block):
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        blocked = blocked_lu_factor(a, block_size=block)
+        unblocked = lu_factor(a)
+        assert blocked.lu == pytest.approx(unblocked.lu, abs=1e-12)
+        assert np.array_equal(blocked.pivots, unblocked.pivots)
+        assert blocked.n_swaps == unblocked.n_swaps
+
+    def test_block_size_one(self, rng):
+        a = rng.standard_normal((12, 12)) + 12 * np.eye(12)
+        assert blocked_lu_factor(a, block_size=1).lu == pytest.approx(
+            lu_factor(a).lu
+        )
+
+    def test_requires_pivoting(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        x = blocked_solve(a, np.array([2.0, 3.0]))
+        assert x == pytest.approx([3.0, 2.0])
+
+    def test_singular_detected(self):
+        with pytest.raises(LinalgError, match="singular"):
+            blocked_lu_factor(np.zeros((4, 4)))
+
+    def test_invalid_block_size(self, rng):
+        with pytest.raises(LinalgError):
+            blocked_lu_factor(np.eye(4), block_size=0)
+
+    def test_panel_matrix(self):
+        matrix, rhs = panel_system()
+        x = blocked_solve(matrix, rhs)
+        assert relative_residual(matrix, x, rhs) < 1e-14
+
+    def test_solution_matches_numpy(self, rng):
+        a = rng.standard_normal((77, 77)) + 77 * np.eye(77)
+        b = rng.standard_normal(77)
+        assert blocked_solve(a, b) == pytest.approx(
+            np.linalg.solve(a, b), abs=1e-9
+        )
+
+
+class TestIterativeRefinement:
+    def test_reaches_double_precision_on_panel_system(self):
+        matrix, rhs = panel_system()
+        result = refine_solve(matrix, rhs)
+        assert result.converged
+        assert result.residual_norms[-1] < 1e-12
+        reference = solve(matrix, rhs)
+        assert result.solution == pytest.approx(reference, abs=1e-8)
+
+    def test_few_iterations_suffice(self):
+        """Well-conditioned panel systems refine in 1-3 sweeps."""
+        matrix, rhs = panel_system()
+        result = refine_solve(matrix, rhs)
+        assert result.iterations <= 3
+
+    def test_residual_decreases(self):
+        matrix, rhs = panel_system(n=80)
+        result = refine_solve(matrix, rhs)
+        norms = result.residual_norms
+        assert norms[-1] < norms[0]
+
+    def test_first_residual_is_single_precision(self):
+        """Before refinement the residual sits at float32 accuracy."""
+        matrix, rhs = panel_system(n=80)
+        result = refine_solve(matrix, rhs)
+        assert 1e-9 < result.residual_norms[0] < 1e-4
+
+    def test_random_well_conditioned(self, rng):
+        a = rng.standard_normal((60, 60)) + 60 * np.eye(60)
+        b = rng.standard_normal(60)
+        result = refine_solve(a, b)
+        assert result.converged
+        assert result.solution == pytest.approx(np.linalg.solve(a, b), abs=1e-9)
+
+    def test_shape_errors(self):
+        with pytest.raises(LinalgError):
+            refine_solve(np.ones((2, 3)), np.ones(2))
+        with pytest.raises(LinalgError):
+            refine_solve(np.eye(3), np.ones(4))
+
+    def test_zero_matrix(self):
+        with pytest.raises(LinalgError):
+            refine_solve(np.zeros((3, 3)), np.ones(3))
+
+    def test_iteration_cap_respected(self, rng):
+        # A nastier matrix: moderate conditioning still converges but
+        # the cap must bound the work.
+        a = rng.standard_normal((40, 40)) + 8 * np.eye(40)
+        b = rng.standard_normal(40)
+        result = refine_solve(a, b, max_iterations=2)
+        assert result.iterations <= 2

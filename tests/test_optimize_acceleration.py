@@ -1,0 +1,53 @@
+"""Tests for the GA-on-accelerator timing model."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.optimize import ga_speedup, time_ga_run
+
+
+class TestTimeGARun:
+    def test_generation_count(self):
+        result = time_ga_run(population=400, generations=10,
+                             accelerator="k80-half")
+        assert len(result.per_generation_seconds) == 10
+        assert result.total_seconds > sum(result.per_generation_seconds)
+
+    def test_matches_paper_batch_on_cpu(self):
+        """10 generations of 400 = the 4000-candidate reference batch;
+        on the CPU (no pipeline) the totals agree up to per-call setup."""
+        result = time_ga_run(population=400, generations=10,
+                             accelerator="none", precision="double")
+        # Paper 2x CPU dp baseline: 7.20 s for the flat batch.
+        assert result.total_seconds == pytest.approx(7.25, abs=0.4)
+
+    def test_accelerator_helps(self):
+        cpu = time_ga_run(accelerator="none")
+        gpu = time_ga_run(accelerator="k80-half")
+        assert gpu.total_seconds < cpu.total_seconds
+
+    def test_generation_sync_costs_speedup(self):
+        """Per-generation batches amortize the pipeline fill worse than
+        one flat batch: the end-to-end GA speedup is below the flat
+        Table 3 speedup (a prediction beyond the paper's tables)."""
+        speedup = ga_speedup("k80-half", population=400, generations=10,
+                             precision="double")
+        assert 1.5 < speedup < 3.1  # flat-batch value is ~3.1
+
+    def test_bigger_population_recovers_speedup(self):
+        small = ga_speedup("k80-half", population=200, generations=20)
+        large = ga_speedup("k80-half", population=2000, generations=2)
+        assert large > small
+
+    def test_dual_gpu_best(self):
+        gpu = ga_speedup("k80-half", population=1000, generations=4)
+        dual = ga_speedup("k80-dual", population=1000, generations=4)
+        assert dual > gpu
+
+    def test_invalid_population(self):
+        with pytest.raises(ScheduleError):
+            time_ga_run(population=0)
+
+    def test_configuration_label(self):
+        result = time_ga_run(accelerator="phi", sockets=1)
+        assert "Phi" in result.configuration

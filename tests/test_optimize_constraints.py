@@ -1,0 +1,130 @@
+"""Tests for the constrained genetic optimization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.geometry import naca
+from repro.optimize import (
+    ConstrainedEvaluator,
+    DesignConstraints,
+    FitnessEvaluator,
+    GAConfig,
+    GenomeLayout,
+    GeneticOptimizer,
+)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return GenomeLayout(n_upper=5, n_lower=5)
+
+
+@pytest.fixture(scope="module")
+def base(layout):
+    return FitnessEvaluator(layout=layout, n_panels=60, reynolds=4e5)
+
+
+THICK_GENOME = np.array([0.06, 0.09, 0.09, 0.07, 0.04,
+                         -0.04, -0.05, -0.05, -0.04, -0.02])
+# Feasible for the base evaluator but only ~0.07 thick.
+THIN_GENOME = np.array([0.04, 0.05, 0.05, 0.04, 0.025,
+                        -0.015, -0.02, -0.02, -0.015, -0.01])
+
+
+class TestDesignConstraints:
+    def test_satisfied_section_has_zero_violation(self, naca2412):
+        constraints = DesignConstraints(min_thickness=0.10)
+        assert constraints.total_violation(naca2412) == 0.0
+
+    def test_thickness_violation_magnitude(self, naca2412):
+        constraints = DesignConstraints(min_thickness=0.20)
+        violation = constraints.violations(naca2412)["thickness"]
+        assert violation == pytest.approx(0.20 - naca2412.max_thickness,
+                                          abs=1e-3)
+
+    def test_camber_constraint(self):
+        constraints = DesignConstraints(min_thickness=None, max_camber=0.01)
+        cambered = naca("4412", 120)
+        symmetric = naca("0012", 120)
+        assert constraints.total_violation(cambered) > 0.0
+        assert constraints.total_violation(symmetric) == pytest.approx(0.0, abs=1e-4)
+
+    def test_area_constraint(self, naca2412):
+        constraints = DesignConstraints(min_thickness=None, min_area=1.0)
+        assert constraints.total_violation(naca2412) > 0.5
+
+    def test_moment_constraint_needs_cm(self, naca2412):
+        constraints = DesignConstraints(min_thickness=None,
+                                        max_nose_down_moment=0.02)
+        # Without a cm value the moment constraint is not evaluated.
+        assert "moment" not in constraints.violations(naca2412)
+        assert constraints.violations(naca2412, cm=-0.06)["moment"] == pytest.approx(0.04)
+
+    def test_disabled_constraints_ignore_everything(self, naca2412):
+        constraints = DesignConstraints(min_thickness=None)
+        assert constraints.total_violation(naca2412) == 0.0
+
+
+class TestConstrainedEvaluator:
+    def test_thick_candidate_unpenalized(self, base):
+        constrained = ConstrainedEvaluator(
+            base=base, constraints=DesignConstraints(min_thickness=0.08)
+        )
+        raw = base.evaluate(THICK_GENOME)
+        wrapped = constrained.evaluate(THICK_GENOME)
+        assert wrapped.fitness == pytest.approx(raw.fitness)
+
+    def test_thin_candidate_penalized(self, base):
+        constrained = ConstrainedEvaluator(
+            base=base, constraints=DesignConstraints(min_thickness=0.10)
+        )
+        raw = base.evaluate(THIN_GENOME)
+        wrapped = constrained.evaluate(THIN_GENOME)
+        assert raw.feasible
+        assert wrapped.fitness < 0.8 * raw.fitness
+        assert "constraint violation" in wrapped.failure
+
+    def test_penalty_monotone_in_violation(self, base):
+        loose = ConstrainedEvaluator(
+            base=base, constraints=DesignConstraints(min_thickness=0.09)
+        )
+        tight = ConstrainedEvaluator(
+            base=base, constraints=DesignConstraints(min_thickness=0.14)
+        )
+        assert tight.evaluate(THIN_GENOME).fitness < loose.evaluate(
+            THIN_GENOME
+        ).fitness
+
+    def test_infeasible_passthrough(self, base):
+        constrained = ConstrainedEvaluator(base=base)
+        crossed = np.concatenate([np.full(5, 0.02), np.full(5, 0.03)])
+        record = constrained.evaluate(crossed)
+        assert not record.feasible
+
+    def test_invalid_penalty_scale(self, base):
+        with pytest.raises(OptimizationError):
+            ConstrainedEvaluator(base=base, penalty_scale=0.0)
+
+    def test_ga_respects_camber_constraint(self, base, layout):
+        """L/D maximization loves camber; capping it steers the GA to a
+        visibly straighter champion at a lower (penalized-free) score."""
+        config = GAConfig(population_size=16, generations=5)
+        cap = DesignConstraints(min_thickness=None, max_camber=0.02)
+        unconstrained = GeneticOptimizer(evaluator=base, config=config).run(
+            np.random.default_rng(4)
+        )
+        constrained_eval = ConstrainedEvaluator(base=base, constraints=cap)
+        constrained = GeneticOptimizer(
+            evaluator=constrained_eval, config=config
+        ).run(np.random.default_rng(4))
+
+        def champion_violation(history):
+            parametrization = layout.to_parametrization(history.champion.genome)
+            return cap.total_violation(parametrization.to_airfoil(60))
+
+        assert champion_violation(unconstrained) > 0.01  # camber-hungry
+        assert champion_violation(constrained) < champion_violation(unconstrained)
+        # Constraints cost performance: the capped champion cannot beat
+        # the unconstrained one.
+        assert constrained.champion.fitness <= unconstrained.champion.fitness

@@ -1,0 +1,131 @@
+"""Tests for the alternative selection operators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optimize.selection import (
+    SelectionMethod,
+    measure_selection_pressure,
+    rank_select,
+    roulette_select,
+)
+
+FITNESSES = [10.0, 50.0, 30.0, -math.inf, 20.0]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestRoulette:
+    def test_never_picks_infeasible(self, rng):
+        for _ in range(300):
+            assert roulette_select(rng, FITNESSES) != 3
+
+    def test_prefers_fitter(self, rng):
+        picks = np.array([roulette_select(rng, FITNESSES) for _ in range(3000)])
+        counts = np.bincount(picks, minlength=5)
+        assert counts[1] > counts[0]  # 50 beats 10
+        assert counts[1] > counts[4]  # 50 beats 20
+
+    def test_uniform_when_equal(self, rng):
+        picks = [roulette_select(rng, [5.0, 5.0, 5.0]) for _ in range(900)]
+        counts = np.bincount(picks, minlength=3)
+        assert counts.min() > 200
+
+    def test_all_infeasible_raises(self, rng):
+        with pytest.raises(OptimizationError):
+            roulette_select(rng, [-math.inf, -math.inf])
+
+
+class TestRank:
+    def test_never_picks_infeasible(self, rng):
+        for _ in range(300):
+            assert rank_select(rng, FITNESSES) != 3
+
+    def test_scaling_invariance(self, rng):
+        """Rank selection ignores the fitness magnitudes entirely."""
+        base = [1.0, 2.0, 3.0, 4.0]
+        scaled = [1.0, 2.0, 3.0, 4000.0]
+        picks_base = np.bincount(
+            [rank_select(np.random.default_rng(9), base) for _ in range(1)]
+        )
+        # Statistical check on distributions with a common seed stream:
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        same = [rank_select(rng_a, base) == rank_select(rng_b, scaled)
+                for _ in range(500)]
+        assert all(same)
+
+    def test_pressure_bounds(self, rng):
+        with pytest.raises(OptimizationError):
+            rank_select(rng, [1.0, 2.0], pressure=1.0)
+        with pytest.raises(OptimizationError):
+            rank_select(rng, [1.0, 2.0], pressure=2.5)
+
+    def test_single_feasible(self, rng):
+        assert rank_select(rng, [-math.inf, 7.0]) == 1
+
+    def test_higher_pressure_favours_best(self):
+        def best_rate(pressure):
+            rng = np.random.default_rng(11)
+            picks = [rank_select(rng, [1.0, 2.0, 3.0, 4.0], pressure=pressure)
+                     for _ in range(2000)]
+            return np.mean(np.array(picks) == 3)
+
+        assert best_rate(2.0) > best_rate(1.2)
+
+
+class TestSelectionMethod:
+    def test_selector_dispatch(self, rng):
+        for method in SelectionMethod:
+            selector = method.selector()
+            index = selector(rng, FITNESSES)
+            assert 0 <= index < len(FITNESSES)
+            assert index != 3  # infeasible never chosen
+
+    def test_pressure_ordering(self):
+        """Tournament (k=3) is the greediest of the three defaults."""
+        stats = {
+            method: measure_selection_pressure(method, FITNESSES, trials=3000)
+            for method in SelectionMethod
+        }
+        assert all(s.feasible_only for s in stats.values())
+        assert (stats[SelectionMethod.TOURNAMENT].best_probability
+                > stats[SelectionMethod.RANK].best_probability)
+        assert (stats[SelectionMethod.RANK].best_probability
+                >= stats[SelectionMethod.ROULETTE].best_probability * 0.8)
+
+    def test_every_method_beats_uniform(self):
+        uniform = 1.0 / 4  # four feasible individuals
+        for method in SelectionMethod:
+            stats = measure_selection_pressure(method, FITNESSES, trials=3000)
+            assert stats.best_probability > uniform
+
+
+class TestGAIntegration:
+    """The selection strategies plug into the GA loop unchanged."""
+
+    @pytest.mark.parametrize("selection", ["tournament", "roulette", "rank"])
+    def test_ga_runs_with_each_method(self, selection):
+        from repro.optimize import (FitnessEvaluator, GAConfig, GenomeLayout,
+                                    GeneticOptimizer)
+
+        evaluator = FitnessEvaluator(layout=GenomeLayout(n_upper=5, n_lower=5),
+                                     n_panels=60, reynolds=4e5)
+        config = GAConfig(population_size=10, generations=3,
+                          selection=selection)
+        history = GeneticOptimizer(evaluator=evaluator, config=config).run(
+            np.random.default_rng(8)
+        )
+        trace = history.best_fitness_trace()
+        assert trace[-1] >= trace[0]
+
+    def test_unknown_selection_rejected(self):
+        from repro.optimize import GAConfig
+
+        with pytest.raises(OptimizationError, match="unknown selection"):
+            GAConfig(selection="lottery")

@@ -1,0 +1,110 @@
+"""Tests for the panel-system assembly and closures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PanelMethodError
+from repro.geometry import naca
+from repro.panel import Closure, Freestream, assemble, assemble_batch
+from repro.linalg import condition_estimate_1norm
+
+
+class TestClosureParse:
+    def test_member_passthrough(self):
+        assert Closure.parse(Closure.KUTTA) is Closure.KUTTA
+
+    def test_string_values(self):
+        assert Closure.parse("kutta") is Closure.KUTTA
+        assert Closure.parse("ZERO-CIRCULATION") is Closure.ZERO_CIRCULATION
+
+    def test_unknown_raises(self):
+        with pytest.raises(PanelMethodError, match="unknown closure"):
+            Closure.parse("free")
+
+
+class TestKuttaAssembly:
+    def test_square_system(self, naca2412):
+        system = assemble(naca2412, Freestream())
+        n = naca2412.n_panels
+        assert system.matrix.shape == (n, n)
+        assert system.rhs.shape == (n,)
+
+    def test_constant_column_is_ones(self, naca2412):
+        system = assemble(naca2412, Freestream())
+        assert system.matrix[:, -1] == pytest.approx(np.ones(naca2412.n_panels))
+
+    def test_rhs_is_freestream_streamfunction(self, naca2412):
+        fs = Freestream.from_degrees(3.0)
+        system = assemble(naca2412, fs)
+        assert system.rhs == pytest.approx(
+            fs.stream_function(naca2412.control_points)
+        )
+
+    def test_kutta_elimination_folds_last_column(self, naca2412):
+        system = assemble(naca2412, Freestream())
+        a = system.influence
+        n = naca2412.n_panels
+        assert system.matrix[:, 0] == pytest.approx(a[:, 0] - a[:, n - 1])
+
+    def test_well_conditioned(self, naca2412):
+        system = assemble(naca2412, Freestream())
+        assert condition_estimate_1norm(np.asarray(system.matrix, np.float64)) < 1e7
+
+    def test_expand_solution_enforces_kutta(self, naca2412):
+        system = assemble(naca2412, Freestream())
+        unknowns = np.arange(naca2412.n_panels, dtype=float)
+        gamma, constant = system.expand_solution(unknowns)
+        assert gamma[-1] == pytest.approx(-gamma[0])
+        assert constant == pytest.approx(unknowns[-1])
+
+    def test_dtype_controls_matrix(self, naca2412):
+        system = assemble(naca2412, Freestream(), dtype=np.float32)
+        assert system.matrix.dtype == np.float32
+        assert system.rhs.dtype == np.float32
+
+
+class TestZeroCirculationAssembly:
+    def test_shape_one_larger(self, naca2412):
+        system = assemble(naca2412, Freestream(), closure="zero-circulation")
+        n = naca2412.n_panels
+        assert system.matrix.shape == (n + 1, n + 1)
+
+    def test_last_row_is_panel_lengths(self, naca2412):
+        system = assemble(naca2412, Freestream(), closure="zero-circulation")
+        n = naca2412.n_panels
+        assert system.matrix[n, :n] == pytest.approx(naca2412.panel_lengths)
+        assert system.matrix[n, n] == 0.0
+        assert system.rhs[n] == 0.0
+
+    def test_expand_solution_keeps_all_gammas(self, naca2412):
+        system = assemble(naca2412, Freestream(), closure="zero-circulation")
+        unknowns = np.arange(naca2412.n_panels + 1, dtype=float)
+        gamma, constant = system.expand_solution(unknowns)
+        assert len(gamma) == naca2412.n_panels
+        assert constant == pytest.approx(unknowns[-1])
+
+
+class TestBatchAssembly:
+    def test_stacks(self):
+        foils = [naca("2412", 40), naca("0012", 40), naca("4412", 40)]
+        matrices, rhs, systems = assemble_batch(foils, Freestream())
+        assert matrices.shape == (3, 40, 40)
+        assert rhs.shape == (3, 40)
+        assert len(systems) == 3
+
+    def test_rows_match_individual_assembly(self):
+        foils = [naca("2412", 30), naca("0012", 30)]
+        fs = Freestream.from_degrees(2.0)
+        matrices, rhs, _ = assemble_batch(foils, fs)
+        for foil, matrix, vector in zip(foils, matrices, rhs):
+            single = assemble(foil, fs)
+            assert matrix == pytest.approx(single.matrix)
+            assert vector == pytest.approx(single.rhs)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(PanelMethodError, match="same panel count"):
+            assemble_batch([naca("2412", 40), naca("0012", 60)], Freestream())
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(PanelMethodError, match="at least one"):
+            assemble_batch([], Freestream())

@@ -1,0 +1,132 @@
+"""Tests for the influence coefficients and free stream."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import PanelMethodError
+from repro.geometry import naca
+from repro.panel import (
+    ASSEMBLY_FLOPS_PER_ENTRY,
+    Freestream,
+    assembly_flops,
+    stream_influence_matrix,
+    velocity_influence,
+)
+
+
+class TestFreestream:
+    def test_velocity_at_zero_alpha(self):
+        assert Freestream(speed=2.0).velocity == pytest.approx([2.0, 0.0])
+
+    def test_velocity_at_alpha(self):
+        fs = Freestream.from_degrees(90.0, speed=1.0)
+        assert fs.velocity == pytest.approx([0.0, 1.0], abs=1e-12)
+
+    def test_alpha_degrees_roundtrip(self):
+        assert Freestream.from_degrees(4.0).alpha_degrees == pytest.approx(4.0)
+
+    def test_stream_function_linear(self):
+        fs = Freestream.from_degrees(0.0, speed=3.0)
+        points = np.array([[0.0, 1.0], [0.0, 2.0], [5.0, 2.0]])
+        psi = fs.stream_function(points)
+        assert psi == pytest.approx([3.0, 6.0, 6.0])
+
+    def test_stream_function_constant_along_streamline(self):
+        fs = Freestream.from_degrees(30.0)
+        direction = fs.velocity
+        start = np.array([0.3, -0.2])
+        points = start + np.outer(np.linspace(0, 5, 7), direction)
+        psi = fs.stream_function(points)
+        assert psi == pytest.approx(np.full(7, psi[0]), abs=1e-12)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(PanelMethodError):
+            Freestream(speed=0.0)
+
+
+class TestStreamInfluence:
+    def test_shape(self, naca2412):
+        points = np.array([[2.0, 0.5], [0.5, 1.0]])
+        matrix = stream_influence_matrix(points, naca2412)
+        assert matrix.shape == (2, naca2412.n_panels)
+
+    def test_finite_on_surface_points(self, naca2412):
+        # Control points and even panel endpoints must evaluate finite.
+        values = stream_influence_matrix(naca2412.points[:-1], naca2412)
+        assert np.all(np.isfinite(values))
+
+    def test_finite_at_control_points(self, naca2412):
+        values = stream_influence_matrix(naca2412.control_points, naca2412)
+        assert np.all(np.isfinite(values))
+
+    def test_decays_in_far_field(self, naca2412):
+        near = stream_influence_matrix(np.array([[2.0, 0.0]]), naca2412)
+        far = stream_influence_matrix(np.array([[200.0, 0.0]]), naca2412)
+        # Stream function of a vortex grows like log r, but the panel
+        # integral scale (per unit gamma) stays bounded relative to log.
+        assert np.all(np.abs(far) < 10 * np.max(np.abs(near)) * math.log(200.0))
+
+    def test_single_precision_dtype(self, naca2412):
+        matrix = stream_influence_matrix(
+            naca2412.control_points, naca2412, dtype=np.float32
+        )
+        assert matrix.dtype == np.float32
+
+    def test_single_close_to_double(self, naca2412):
+        points = naca2412.control_points
+        double = stream_influence_matrix(points, naca2412)
+        single = stream_influence_matrix(
+            points.astype(np.float32), naca2412, dtype=np.float32
+        )
+        assert np.max(np.abs(single - double)) < 1e-4
+
+
+class TestVelocityInfluence:
+    def test_shape(self, naca2412):
+        points = np.array([[2.0, 0.5]])
+        assert velocity_influence(points, naca2412).shape == (1, naca2412.n_panels, 2)
+
+    def test_consistent_with_stream_gradient(self, naca2412):
+        """V = (d psi / dy, -d psi / dx) per unit CCW vortex strength.
+
+        The paper's F equals minus the CCW stream function, so the
+        velocity influence equals *minus* the perpendicular gradient of
+        the stream influence.
+        """
+        point = np.array([[1.8, 0.6]])
+        h = 1e-6
+        v = velocity_influence(point, naca2412)[0]
+        psi_yp = stream_influence_matrix(point + [0.0, h], naca2412)[0]
+        psi_ym = stream_influence_matrix(point - [0.0, h], naca2412)[0]
+        psi_xp = stream_influence_matrix(point + [h, 0.0], naca2412)[0]
+        psi_xm = stream_influence_matrix(point - [h, 0.0], naca2412)[0]
+        u_from_psi = -(psi_yp - psi_ym) / (2 * h)
+        w_from_psi = (psi_xp - psi_xm) / (2 * h)
+        assert v[:, 0] == pytest.approx(u_from_psi, abs=1e-6)
+        assert v[:, 1] == pytest.approx(w_from_psi, abs=1e-6)
+
+    def test_far_field_decay(self, naca2412):
+        far = velocity_influence(np.array([[500.0, 0.0]]), naca2412)
+        # A unit panel's far velocity ~ length / (2 pi r).
+        assert np.max(np.abs(far)) < 1e-3
+
+    def test_circulation_theorem_far_field(self, naca2412):
+        """The far velocity of all panels together ~ a point vortex."""
+        r = 300.0
+        point = np.array([[r, 0.0]])
+        total = velocity_influence(point, naca2412)[0]
+        # Each panel's influence is already integrated over its length,
+        # so the plain sum is a point vortex of strength = perimeter.
+        combined = total.sum(axis=0)
+        expected_speed = naca2412.perimeter / (2 * np.pi * r)
+        assert np.linalg.norm(combined) == pytest.approx(expected_speed, rel=0.02)
+
+
+class TestFlopAccounting:
+    def test_per_entry_constant(self):
+        assert ASSEMBLY_FLOPS_PER_ENTRY == 130
+
+    def test_assembly_flops(self):
+        assert assembly_flops(10, 20) == 10 * 20 * ASSEMBLY_FLOPS_PER_ENTRY

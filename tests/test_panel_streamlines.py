@@ -1,0 +1,73 @@
+"""Tests for the streamline tracer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PanelMethodError
+from repro.geometry import naca
+from repro.panel import solve_airfoil, trace_streamline, trace_streamlines
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return solve_airfoil(naca("2412", 120), 5.0)
+
+
+class TestTraceStreamline:
+    def test_follows_stream_function_contour(self, flow):
+        line = trace_streamline(flow, (-1.0, 0.3), step=0.03, n_steps=120)
+        assert line.stream_function_drift < 1e-5
+
+    def test_moves_downstream(self, flow):
+        line = trace_streamline(flow, (-1.0, 0.5), step=0.05, n_steps=80)
+        assert line.points[-1, 0] > line.points[0, 0] + 1.0
+
+    def test_arc_length_matches_steps(self, flow):
+        steps, size = 60, 0.05
+        line = trace_streamline(flow, (-1.0, 0.8), step=size, n_steps=steps)
+        assert line.length == pytest.approx(steps * size, rel=0.01)
+
+    def test_does_not_enter_body(self, flow):
+        line = trace_streamline(flow, (-1.0, 0.05), step=0.02, n_steps=200)
+        foil = flow.airfoil
+        # No traced point may be strictly inside the outline: inside
+        # points have the boundary stream-function value.
+        psi = flow.stream_function_at(line.points)
+        interior = np.abs(psi - flow.constant) < 1e-9
+        body_band = (line.points[:, 0] > 0.0) & (line.points[:, 0] < 1.0)
+        assert not np.any(interior & body_band)
+
+    def test_stops_near_stagnation(self, flow):
+        # Seed aimed at the stagnation streamline with a generous budget:
+        # tracing may stop early but must never blow up.
+        line = trace_streamline(flow, (-2.0, 0.0), step=0.02, n_steps=400)
+        assert np.all(np.isfinite(line.points))
+
+    def test_invalid_parameters(self, flow):
+        with pytest.raises(PanelMethodError):
+            trace_streamline(flow, (0, 1), step=0.0)
+        with pytest.raises(PanelMethodError):
+            trace_streamline(flow, (0, 1), n_steps=0)
+
+
+class TestTraceFan:
+    def test_line_count(self, flow):
+        lines = trace_streamlines(flow, n_lines=5, step=0.05, n_steps=40)
+        assert len(lines) == 5
+
+    def test_lines_do_not_cross(self, flow):
+        """Streamlines are ordered by their psi value and stay ordered."""
+        lines = trace_streamlines(flow, n_lines=5, step=0.04, n_steps=100)
+        psi_values = [
+            float(flow.stream_function_at(line.points[:1])[0]) for line in lines
+        ]
+        assert psi_values == sorted(psi_values)
+        # At a common downstream station the y-order matches the psi-order.
+        station = 2.2
+        heights = []
+        for line in lines:
+            xs = line.points[:, 0]
+            if xs.max() < station:
+                continue
+            heights.append(float(np.interp(station, xs, line.points[:, 1])))
+        assert heights == sorted(heights)

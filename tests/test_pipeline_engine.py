@@ -1,0 +1,177 @@
+"""Tests for tasks, schedules, and the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.pipeline import (
+    Schedule,
+    TaskKind,
+    Workload,
+    simulate,
+    slice_sizes,
+)
+
+
+class TestTask:
+    def test_negative_duration_rejected(self):
+        schedule = Schedule(name="t")
+        with pytest.raises(ScheduleError, match="negative"):
+            schedule.add(TaskKind.SOLVE, "cpu", -1.0)
+
+    def test_forward_dependency_rejected(self):
+        schedule = Schedule(name="t")
+        schedule.add(TaskKind.ASSEMBLE, "gpu", 1.0)
+        with pytest.raises(ScheduleError, match="not earlier"):
+            schedule.add(TaskKind.SOLVE, "cpu", 1.0, dependencies=(5,))
+
+    def test_dense_ids(self):
+        schedule = Schedule(name="t")
+        first = schedule.add(TaskKind.ASSEMBLE, "gpu", 1.0)
+        second = schedule.add(TaskKind.SOLVE, "cpu", 1.0)
+        assert (first.task_id, second.task_id) == (0, 1)
+
+    def test_resources_in_first_use_order(self):
+        schedule = Schedule(name="t")
+        schedule.add(TaskKind.ASSEMBLE, "gpu", 1.0)
+        schedule.add(TaskKind.SOLVE, "cpu", 1.0)
+        schedule.add(TaskKind.ASSEMBLE, "gpu", 1.0)
+        assert schedule.resources == ["gpu", "cpu"]
+
+    def test_total_duration_by_kind(self):
+        schedule = Schedule(name="t")
+        schedule.add(TaskKind.ASSEMBLE, "gpu", 1.0)
+        schedule.add(TaskKind.ASSEMBLE, "gpu", 2.0)
+        schedule.add(TaskKind.SOLVE, "cpu", 4.0)
+        assert schedule.total_duration(TaskKind.ASSEMBLE) == 3.0
+        assert schedule.total_duration(TaskKind.SOLVE, "cpu") == 4.0
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ScheduleError, match="empty"):
+            simulate(Schedule(name="empty"))
+
+
+class TestEngine:
+    def test_serial_chain(self):
+        schedule = Schedule(name="chain")
+        a = schedule.add(TaskKind.ASSEMBLE, "gpu", 2.0)
+        b = schedule.add(TaskKind.TRANSFER, "link", 1.0, dependencies=(a.task_id,))
+        schedule.add(TaskKind.SOLVE, "cpu", 3.0, dependencies=(b.task_id,))
+        timeline = simulate(schedule)
+        assert timeline.makespan == pytest.approx(6.0)
+
+    def test_resource_fifo_serializes(self):
+        schedule = Schedule(name="fifo")
+        schedule.add(TaskKind.ASSEMBLE, "gpu", 2.0)
+        schedule.add(TaskKind.ASSEMBLE, "gpu", 2.0)
+        timeline = simulate(schedule)
+        records = timeline.records_for("gpu")
+        assert records[0].end == pytest.approx(2.0)
+        assert records[1].start == pytest.approx(2.0)
+
+    def test_independent_resources_overlap(self):
+        schedule = Schedule(name="parallel")
+        schedule.add(TaskKind.ASSEMBLE, "gpu", 2.0)
+        schedule.add(TaskKind.SOLVE, "cpu", 2.0)
+        assert simulate(schedule).makespan == pytest.approx(2.0)
+
+    def test_pipeline_overlap(self):
+        """Classic 2-stage software pipeline: W = fill + n * bottleneck."""
+        schedule = Schedule(name="pipe")
+        previous_copy = None
+        for index in range(10):
+            assemble = schedule.add(TaskKind.ASSEMBLE, "gpu", 1.0)
+            deps = (assemble.task_id,)
+            solve = schedule.add(TaskKind.SOLVE, "cpu", 2.0, dependencies=deps)
+            previous_copy = solve
+        timeline = simulate(schedule)
+        # Fill = 1 (first assembly), then ten 2-second solves back to back.
+        assert timeline.makespan == pytest.approx(1.0 + 10 * 2.0)
+
+    def test_busy_seconds(self):
+        schedule = Schedule(name="busy")
+        schedule.add(TaskKind.ASSEMBLE, "gpu", 2.0)
+        schedule.add(TaskKind.TRANSFER, "gpu", 1.0)
+        timeline = simulate(schedule)
+        assert timeline.busy_seconds("gpu") == pytest.approx(3.0)
+        assert timeline.busy_seconds("gpu", TaskKind.ASSEMBLE) == pytest.approx(2.0)
+
+    def test_first_start(self):
+        schedule = Schedule(name="start")
+        a = schedule.add(TaskKind.ASSEMBLE, "gpu", 2.5)
+        schedule.add(TaskKind.SOLVE, "cpu", 1.0, dependencies=(a.task_id,))
+        timeline = simulate(schedule)
+        assert timeline.first_start(TaskKind.SOLVE) == pytest.approx(2.5)
+        assert timeline.first_start(TaskKind.TRANSFER) == float("inf")
+
+    def test_utilization(self):
+        schedule = Schedule(name="util")
+        a = schedule.add(TaskKind.ASSEMBLE, "gpu", 1.0)
+        schedule.add(TaskKind.SOLVE, "cpu", 3.0, dependencies=(a.task_id,))
+        timeline = simulate(schedule)
+        assert timeline.utilization("gpu") == pytest.approx(0.25)
+        assert timeline.utilization("cpu") == pytest.approx(0.75)
+
+    def test_deterministic(self):
+        schedule = Schedule(name="det")
+        a = schedule.add(TaskKind.ASSEMBLE, "gpu", 1.5)
+        schedule.add(TaskKind.SOLVE, "cpu", 2.5, dependencies=(a.task_id,))
+        assert simulate(schedule).makespan == simulate(schedule).makespan
+
+
+class TestWorkload:
+    def test_paper_reference(self):
+        workload = Workload.paper_reference("single")
+        assert workload.batch == 4000
+        assert workload.n == 200
+        assert workload.matrix_bytes == (200 * 200 + 200) * 4
+
+    def test_total_bytes(self):
+        workload = Workload(batch=10, n=100, precision="double")
+        assert workload.total_bytes == 10 * (100 * 100 + 100) * 8
+
+    def test_with_batch(self):
+        assert Workload(batch=100, n=50).with_batch(7).batch == 7
+
+    def test_split_sizes_sum(self):
+        workload = Workload(batch=4000, n=200)
+        first, second = workload.split_sizes(0.75)
+        assert first + second == 4000
+        assert first == 3000
+
+    def test_split_full(self):
+        first, second = Workload(batch=100, n=50).split_sizes(1.0)
+        assert (first, second) == (100, 0)
+
+    def test_split_bad_fraction(self):
+        with pytest.raises(ScheduleError):
+            Workload(batch=100, n=50).split_sizes(0.0)
+
+    def test_invalid_workload(self):
+        with pytest.raises(ScheduleError):
+            Workload(batch=0, n=50)
+        with pytest.raises(ScheduleError):
+            Workload(batch=10, n=1)
+
+
+class TestSliceSizes:
+    def test_even_split(self):
+        assert slice_sizes(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_distributed(self):
+        sizes = slice_sizes(103, 4)
+        assert sizes == [26, 26, 26, 25]
+        assert sum(sizes) == 103
+
+    def test_single_slice(self):
+        assert slice_sizes(7, 1) == [7]
+
+    def test_all_positive(self):
+        assert all(size > 0 for size in slice_sizes(10, 10))
+
+    def test_too_many_slices(self):
+        with pytest.raises(ScheduleError):
+            slice_sizes(5, 6)
+
+    def test_zero_slices(self):
+        with pytest.raises(ScheduleError):
+            slice_sizes(5, 0)

@@ -1,0 +1,96 @@
+"""Tests for the functional hybrid-pipeline executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.geometry import naca
+from repro.hardware import paper_workstation
+from repro.panel import Closure, Freestream, PanelSolver
+from repro.pipeline import Workload, execute_hybrid, hybrid, simulate
+
+
+@pytest.fixture(scope="module")
+def foils():
+    return [naca(code, 60) for code in
+            ("2412", "0012", "4412", "2212", "4312", "0010")] * 2
+
+
+@pytest.fixture(scope="module")
+def station():
+    return paper_workstation(sockets=2, accelerator="k80-half",
+                             precision="double")
+
+
+class TestFunctionalExecution:
+    def test_physics_matches_direct_solver(self, foils, station):
+        fs = Freestream.from_degrees(3.0)
+        result = execute_hybrid(foils, station, 4, freestream=fs)
+        direct = PanelSolver().solve_batch(foils, fs)
+        assert result.lift_coefficients() == pytest.approx(
+            [s.lift_coefficient for s in direct], abs=1e-12
+        )
+
+    def test_order_preserved(self, foils, station):
+        result = execute_hybrid(foils, station, 5)
+        for foil, solution in zip(foils, result.solutions):
+            assert solution.airfoil is foil
+
+    def test_timeline_matches_duration_only_schedule(self, foils, station):
+        result = execute_hybrid(foils, station, 4)
+        workload = Workload(batch=len(foils), n=60, precision="double")
+        reference = simulate(hybrid(workload, station, 4)).makespan
+        assert result.wall_time == pytest.approx(reference, abs=1e-12)
+
+    def test_slicing_invariance_of_physics(self, foils, station):
+        one = execute_hybrid(foils, station, 1)
+        many = execute_hybrid(foils, station, 6)
+        assert one.lift_coefficients() == pytest.approx(
+            many.lift_coefficients(), abs=1e-12
+        )
+
+    def test_single_precision_device(self, foils):
+        station = paper_workstation(sockets=2, accelerator="phi",
+                                    precision="single")
+        result = execute_hybrid(foils, station, 3)
+        double = execute_hybrid(
+            foils,
+            paper_workstation(sockets=2, accelerator="phi", precision="double"),
+            3,
+        )
+        difference = np.max(np.abs(
+            result.lift_coefficients() - double.lift_coefficients()
+        ))
+        assert 0.0 < difference < 5e-3
+
+    def test_zero_circulation_closure(self, station):
+        from repro.validation import cylinder_airfoil
+
+        cylinders = [cylinder_airfoil(60) for _ in range(3)]
+        result = execute_hybrid(cylinders, station, 2,
+                                closure=Closure.ZERO_CIRCULATION)
+        assert result.lift_coefficients() == pytest.approx(
+            np.zeros(3), abs=1e-9
+        )
+
+    def test_metrics_populated(self, foils, station):
+        result = execute_hybrid(foils, station, 4)
+        assert result.metrics.wall_time > 0
+        assert result.metrics.solve_busy > 0
+        assert result.metrics.overhead == pytest.approx(
+            result.metrics.wall_time - result.metrics.solve_busy
+        )
+
+    def test_requires_airfoils(self, station):
+        with pytest.raises(ScheduleError, match="at least one"):
+            execute_hybrid([], station, 1)
+
+    def test_requires_accelerator(self, foils):
+        cpu_only_station = paper_workstation(sockets=2, precision="double")
+        with pytest.raises(ScheduleError, match="accelerator"):
+            execute_hybrid(foils, cpu_only_station, 2)
+
+    def test_mismatched_panel_counts(self, station):
+        mixed = [naca("2412", 60), naca("0012", 80)]
+        with pytest.raises(ScheduleError, match="panel count"):
+            execute_hybrid(mixed, station, 1)

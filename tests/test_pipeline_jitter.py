@@ -1,0 +1,83 @@
+"""Tests for stochastic (jittered) schedule simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.hardware import paper_workstation
+from repro.pipeline import Workload, cpu_only, evaluate, hybrid, simulate
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = Workload.paper_reference("double")
+    station = paper_workstation(sockets=2, accelerator="k80-half",
+                                precision="double")
+    schedule = hybrid(workload, station, 10)
+    return workload, station, schedule
+
+
+class TestJitteredSimulation:
+    def test_zero_jitter_is_exact_default(self, setup):
+        _, _, schedule = setup
+        assert simulate(schedule).makespan == simulate(
+            schedule, jitter=0.0
+        ).makespan
+
+    def test_negative_jitter_rejected(self, setup):
+        _, _, schedule = setup
+        with pytest.raises(ScheduleError):
+            simulate(schedule, jitter=-0.1)
+
+    def test_reproducible_with_seed(self, setup):
+        _, _, schedule = setup
+        first = simulate(schedule, jitter=0.05,
+                         rng=np.random.default_rng(1)).makespan
+        second = simulate(schedule, jitter=0.05,
+                          rng=np.random.default_rng(1)).makespan
+        assert first == second
+
+    def test_jitter_centres_on_exact_value(self, setup):
+        """Mean-one noise: the average makespan stays near the exact one
+        (slightly above — max operations are convex)."""
+        _, _, schedule = setup
+        exact = simulate(schedule).makespan
+        rng = np.random.default_rng(3)
+        samples = [simulate(schedule, jitter=0.05, rng=rng).makespan
+                   for _ in range(60)]
+        assert np.mean(samples) == pytest.approx(exact, rel=0.03)
+        assert np.mean(samples) >= exact * 0.99
+
+    def test_spread_grows_with_jitter(self, setup):
+        _, _, schedule = setup
+        rng = np.random.default_rng(4)
+        narrow = np.std([simulate(schedule, jitter=0.02, rng=rng).makespan
+                         for _ in range(40)])
+        wide = np.std([simulate(schedule, jitter=0.10, rng=rng).makespan
+                       for _ in range(40)])
+        assert wide > 2.0 * narrow
+
+    def test_dependencies_still_respected(self, setup):
+        _, _, schedule = setup
+        timeline = simulate(schedule, jitter=0.2,
+                            rng=np.random.default_rng(5))
+        for record in timeline.records:
+            for dep in record.task.dependencies:
+                assert record.start >= timeline.records[dep].end - 1e-12
+
+    def test_conclusions_survive_measurement_noise(self, setup):
+        """Under 5 % per-task noise (a generous bound for the paper's
+        timing runs), the hybrid beats the baseline in every trial and
+        the speedup stays in Table 3's neighbourhood."""
+        workload, station, schedule = setup
+        host = paper_workstation(sockets=2, precision="double")
+        rng = np.random.default_rng(6)
+        speedups = []
+        for _ in range(40):
+            base = simulate(cpu_only(workload, host.cpu), jitter=0.05,
+                            rng=rng).makespan
+            wall = simulate(schedule, jitter=0.05, rng=rng).makespan
+            speedups.append(base / wall)
+        speedups = np.array(speedups)
+        assert np.all(speedups > 2.0)
+        assert 2.7 < np.median(speedups) < 3.4

@@ -1,0 +1,243 @@
+"""Tests for the hybrid schedules, metrics, traces, and autotuner."""
+
+import math
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.hardware import paper_workstation
+from repro.pipeline import (
+    TaskKind,
+    Workload,
+    build_trace,
+    cpu_only,
+    default_stages,
+    dual_accelerator,
+    evaluate,
+    hybrid,
+    lower_bound_gap,
+    predicted_optimum_distribution,
+    render_ascii,
+    sequential_offload,
+    simulate,
+    tune_distribution,
+    tune_slices,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.paper_reference("single")
+
+
+@pytest.fixture(scope="module")
+def gpu_station():
+    return paper_workstation(sockets=2, accelerator="k80-half", precision="single")
+
+
+@pytest.fixture(scope="module")
+def phi_station():
+    return paper_workstation(sockets=2, accelerator="phi", precision="single")
+
+
+@pytest.fixture(scope="module")
+def dual_station():
+    return paper_workstation(sockets=2, accelerator="k80-dual", precision="single")
+
+
+@pytest.fixture(scope="module")
+def cpu_baseline(workload):
+    station = paper_workstation(sockets=2, precision="single")
+    return evaluate(simulate(cpu_only(workload, station.cpu)))
+
+
+class TestCpuOnly:
+    def test_wall_is_assembly_plus_solve(self, cpu_baseline):
+        assert cpu_baseline.wall_time == pytest.approx(
+            cpu_baseline.assembly_busy + cpu_baseline.solve_busy
+        )
+
+    def test_matches_paper_baseline(self, cpu_baseline):
+        # Paper: 2x CPU single precision W = 3.80.
+        assert cpu_baseline.wall_time == pytest.approx(3.80, abs=0.1)
+
+
+class TestHybridSchedule:
+    def test_needs_accelerator(self, workload):
+        station = paper_workstation(sockets=2, precision="single")
+        with pytest.raises(ScheduleError, match="accelerator"):
+            hybrid(workload, station, 5)
+
+    def test_default_stages(self, gpu_station, phi_station):
+        assert default_stages(gpu_station.accelerator) == 2
+        assert default_stages(phi_station.accelerator) == 3
+
+    def test_invalid_stages(self, workload, gpu_station):
+        with pytest.raises(ScheduleError, match="stages"):
+            hybrid(workload, gpu_station, 5, stages=4)
+
+    def test_two_stage_copy_on_accelerator_queue(self, workload, gpu_station):
+        schedule = hybrid(workload, gpu_station, 4, stages=2)
+        copies = [t for t in schedule.tasks if t.kind is TaskKind.TRANSFER
+                  and t.resource != "cpu"]
+        assert all(task.resource == "accel" for task in copies)
+
+    def test_three_stage_copy_on_link(self, workload, phi_station):
+        schedule = hybrid(workload, phi_station, 4, stages=3)
+        copies = [t for t in schedule.tasks if t.kind is TaskKind.TRANSFER
+                  and t.resource != "cpu"]
+        assert all(task.resource == "link" for task in copies)
+
+    def test_slices_cover_batch(self, workload, gpu_station):
+        schedule = hybrid(workload, gpu_station, 7)
+        solves = [t for t in schedule.tasks if t.kind is TaskKind.SOLVE]
+        assert sum(task.batch for task in solves) == workload.batch
+
+    def test_sequential_offload_is_one_slice(self, workload, gpu_station):
+        sequential = simulate(sequential_offload(workload, gpu_station)).makespan
+        one_slice = simulate(hybrid(workload, gpu_station, 1)).makespan
+        assert sequential == pytest.approx(one_slice)
+
+    def test_interleaving_beats_sequential(self, workload, gpu_station):
+        sequential = simulate(sequential_offload(workload, gpu_station)).makespan
+        interleaved = simulate(hybrid(workload, gpu_station, 10)).makespan
+        assert interleaved < sequential
+
+    def test_hybrid_beats_cpu_only(self, workload, gpu_station, cpu_baseline):
+        metrics = evaluate(simulate(hybrid(workload, gpu_station, 10)))
+        assert metrics.wall_time < cpu_baseline.wall_time
+
+    def test_overhead_identity(self, workload, gpu_station):
+        metrics = evaluate(simulate(hybrid(workload, gpu_station, 10)))
+        assert metrics.overhead == pytest.approx(
+            metrics.wall_time - metrics.solve_busy
+        )
+
+    def test_overhead_shrinks_with_slices(self, workload, gpu_station):
+        one = evaluate(simulate(hybrid(workload, gpu_station, 1))).overhead
+        ten = evaluate(simulate(hybrid(workload, gpu_station, 10))).overhead
+        assert ten < one / 3
+
+    def test_solve_busy_grows_with_slices(self, workload, gpu_station):
+        few = evaluate(simulate(hybrid(workload, gpu_station, 1))).solve_busy
+        many = evaluate(simulate(hybrid(workload, gpu_station, 40))).solve_busy
+        assert many > few
+
+    def test_exposed_assembly_shrinks_with_slices(self, workload, phi_station):
+        few = evaluate(simulate(hybrid(workload, phi_station, 1)))
+        many = evaluate(simulate(hybrid(workload, phi_station, 20)))
+        assert many.assembly_exposed < few.assembly_exposed / 5
+
+    def test_phi_overhead_exceeds_gpu(self, workload, gpu_station, phi_station):
+        gpu = evaluate(simulate(hybrid(workload, gpu_station, 20)))
+        phi = evaluate(simulate(hybrid(workload, phi_station, 20)))
+        assert phi.overhead > gpu.overhead
+
+    def test_lower_bound_gap(self, workload, gpu_station):
+        metrics = evaluate(simulate(hybrid(workload, gpu_station, 10)))
+        gap = lower_bound_gap(metrics)
+        # Paper: within 10-20 % of the solve-time lower bound.
+        assert 0.0 < gap < 0.25
+
+
+class TestDualAccelerator:
+    def test_needs_two_accelerators(self, workload, gpu_station):
+        with pytest.raises(ScheduleError, match="two accelerators"):
+            dual_accelerator(workload, gpu_station, 0.75, 10)
+
+    def test_gpu2_tasks_present(self, workload, dual_station):
+        schedule = dual_accelerator(workload, dual_station, 0.75, 10)
+        gpu2 = [t for t in schedule.tasks if t.resource == "accel1"]
+        assert len(gpu2) == 2  # one assembly, one solve
+        assert {t.kind for t in gpu2} == {TaskKind.ASSEMBLE, TaskKind.SOLVE}
+
+    def test_distribution_one_has_no_gpu2_work(self, workload, dual_station):
+        schedule = dual_accelerator(workload, dual_station, 1.0, 10)
+        assert not [t for t in schedule.tasks if t.resource == "accel1"]
+
+    def test_batch_conservation(self, workload, dual_station):
+        schedule = dual_accelerator(workload, dual_station, 0.7, 10)
+        solves = [t for t in schedule.tasks if t.kind is TaskKind.SOLVE]
+        assert sum(task.batch for task in solves) == workload.batch
+
+    def test_dual_beats_single_gpu(self, workload, dual_station, gpu_station):
+        dual = simulate(dual_accelerator(workload, dual_station, 0.75, 10)).makespan
+        single = simulate(hybrid(workload, gpu_station, 10)).makespan
+        assert dual < single
+
+    def test_reduced_cpu_pool_slows_solves(self, workload, dual_station):
+        full = simulate(dual_accelerator(workload, dual_station, 1.0, 10,
+                                         cpu_solve_fraction=1.0))
+        reduced = simulate(dual_accelerator(workload, dual_station, 1.0, 10))
+        assert evaluate(reduced).solve_busy > evaluate(full).solve_busy
+
+    def test_bad_distribution(self, workload, dual_station):
+        with pytest.raises(ScheduleError):
+            dual_accelerator(workload, dual_station, 0.0, 10)
+
+
+class TestTrace:
+    def test_rows_cover_resources(self, workload, phi_station):
+        timeline = simulate(hybrid(workload, phi_station, 5))
+        trace = build_trace(timeline)
+        assert [row.resource for row in trace.rows] == ["accel", "link", "cpu"]
+
+    def test_segments_ordered_and_disjoint(self, workload, gpu_station):
+        trace = build_trace(simulate(hybrid(workload, gpu_station, 8)))
+        for row in trace.rows:
+            for before, after in zip(row.segments[:-1], row.segments[1:]):
+                assert after.start >= before.end - 1e-12
+
+    def test_busy_matches_timeline(self, workload, gpu_station):
+        timeline = simulate(hybrid(workload, gpu_station, 8))
+        trace = build_trace(timeline)
+        for row in trace.rows:
+            assert row.busy() == pytest.approx(timeline.busy_seconds(row.resource))
+
+    def test_unknown_resource_raises(self, workload, gpu_station):
+        trace = build_trace(simulate(hybrid(workload, gpu_station, 2)))
+        with pytest.raises(KeyError):
+            trace.row("fpga")
+
+    def test_ascii_render_contains_rows_and_legend(self, workload, phi_station):
+        trace = build_trace(simulate(hybrid(workload, phi_station, 5)))
+        art = render_ascii(trace)
+        assert "accel" in art and "link" in art and "cpu" in art
+        assert "legend" in art
+        assert "a = assembly" in art
+
+    def test_ascii_width_respected(self, workload, gpu_station):
+        trace = build_trace(simulate(hybrid(workload, gpu_station, 3)))
+        art = render_ascii(trace, width=40)
+        for line in art.splitlines():
+            assert len(line) <= 40 + 20  # label + bars + border
+
+
+class TestAutotune:
+    def test_slice_optimum_in_paper_range(self, workload, gpu_station):
+        result = tune_slices(workload, gpu_station)
+        assert 5 <= result.best_parameter <= 32
+
+    def test_sweep_contains_all_candidates(self, workload, gpu_station):
+        result = tune_slices(workload, gpu_station, candidates=(1, 5, 10))
+        assert [p for p, _ in result.sweep] == [1.0, 5.0, 10.0]
+
+    def test_best_is_minimum(self, workload, gpu_station):
+        result = tune_slices(workload, gpu_station)
+        walls = [metrics.wall_time for _, metrics in result.sweep]
+        assert result.best_wall_time == pytest.approx(min(walls))
+
+    def test_distribution_optimum_near_three_quarters(self, workload, dual_station):
+        result = tune_distribution(workload, dual_station)
+        assert 0.6 <= result.best_parameter <= 0.9
+
+    def test_empty_candidates_raise(self, workload, gpu_station):
+        with pytest.raises(ScheduleError):
+            tune_slices(workload, gpu_station, candidates=())
+
+    def test_closed_form_distribution(self):
+        # Equal unit costs -> split in half.
+        assert predicted_optimum_distribution(1.0, 1.0) == pytest.approx(0.5)
+        # Paper's regime: hybrid ~3x faster per candidate -> distr ~0.75.
+        assert predicted_optimum_distribution(1.0, 3.0) == pytest.approx(0.75)
+        assert predicted_optimum_distribution(0.0, 0.0) is None

@@ -1,0 +1,114 @@
+"""Tests for the closed-form pipeline model vs. the event engine."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.hardware import paper_workstation
+from repro.pipeline import (
+    Workload,
+    hybrid,
+    optimal_slice_count,
+    predict_hybrid,
+    predict_wall_time,
+    simulate,
+    stage_times,
+    tune_slices,
+)
+
+
+@pytest.fixture(scope="module")
+def stations():
+    return {
+        (accel, precision): paper_workstation(
+            sockets=2, accelerator=accel, precision=precision
+        )
+        for accel in ("k80-half", "phi")
+        for precision in ("single", "double")
+    }
+
+
+class TestClosedFormExactness:
+    @pytest.mark.parametrize("accel", ["k80-half", "phi"])
+    @pytest.mark.parametrize("precision", ["single", "double"])
+    @pytest.mark.parametrize("n_slices", [1, 4, 8, 10, 20, 40])
+    def test_matches_event_engine_exactly(self, stations, accel, precision,
+                                          n_slices):
+        """For uniform slices the formula IS the schedule."""
+        workstation = stations[(accel, precision)]
+        workload = Workload.paper_reference(precision)
+        simulated = simulate(hybrid(workload, workstation, n_slices)).makespan
+        predicted = predict_hybrid(workload, workstation, n_slices)
+        assert predicted == pytest.approx(simulated, abs=1e-9)
+
+    def test_other_workload_sizes(self, stations):
+        workstation = stations[("k80-half", "double")]
+        for batch, n, n_slices in ((1000, 100, 8), (2000, 400, 5), (600, 50, 3)):
+            workload = Workload(batch=batch, n=n, precision="double")
+            simulated = simulate(hybrid(workload, workstation, n_slices)).makespan
+            predicted = predict_hybrid(workload, workstation, n_slices)
+            assert predicted == pytest.approx(simulated, abs=1e-9)
+
+    def test_non_uniform_slices_rejected(self, stations):
+        workstation = stations[("k80-half", "double")]
+        workload = Workload(batch=1000, n=200, precision="double")
+        with pytest.raises(ScheduleError, match="uniform"):
+            stage_times(workload, workstation, 7)
+
+    def test_invalid_stage_count(self, stations):
+        workstation = stations[("k80-half", "double")]
+        times = stage_times(Workload.paper_reference("double"), workstation, 10)
+        with pytest.raises(ScheduleError):
+            predict_wall_time(times, stages=5)
+
+
+class TestClosedFormStructure:
+    def test_solve_bound_regime_flat_in_slices(self, stations):
+        """Once solve-bound, more slices only add per-slice costs."""
+        workstation = stations[("k80-half", "double")]
+        workload = Workload.paper_reference("double")
+        w20 = predict_hybrid(workload, workstation, 20)
+        w40 = predict_hybrid(workload, workstation, 40)
+        assert w40 > w20  # penalty side of the U-curve
+
+    def test_three_stages_never_slower_than_two(self, stations):
+        """Overlapping the copy can only help (same per-slice costs)."""
+        workstation = stations[("phi", "double")]
+        workload = Workload.paper_reference("double")
+        times = stage_times(workload, workstation, 10)
+        assert predict_wall_time(times, stages=3) <= predict_wall_time(
+            times, stages=2
+        )
+
+    def test_host_time_includes_management(self, stations):
+        times = stage_times(Workload.paper_reference("double"),
+                            stations[("phi", "double")], 10)
+        assert times.host == pytest.approx(times.management + times.solve)
+        assert times.management > 0
+
+
+class TestOptimalSliceCount:
+    @pytest.mark.parametrize("accel", ["k80-half", "phi"])
+    @pytest.mark.parametrize("precision", ["single", "double"])
+    def test_tracks_autotuner(self, stations, accel, precision):
+        workstation = stations[(accel, precision)]
+        workload = Workload.paper_reference(precision)
+        closed_form = optimal_slice_count(workload, workstation)
+        tuned = tune_slices(workload, workstation).best_parameter
+        assert 0.5 * tuned <= closed_form <= 2.0 * tuned
+
+    def test_in_papers_band(self, stations):
+        """The paper: 10-20 slices near-optimal in most circumstances."""
+        for (accel, precision), workstation in stations.items():
+            workload = Workload.paper_reference(precision)
+            assert 5 <= optimal_slice_count(workload, workstation) <= 32
+
+    def test_scales_with_work(self, stations):
+        """More work amortizes per-slice costs: s* grows with the batch."""
+        workstation = stations[("k80-half", "double")]
+        small = optimal_slice_count(
+            Workload(batch=500, n=200, precision="double"), workstation
+        )
+        large = optimal_slice_count(
+            Workload(batch=20000, n=200, precision="double"), workstation
+        )
+        assert large > small

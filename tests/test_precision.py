@@ -1,0 +1,67 @@
+"""Tests for repro.precision."""
+
+import numpy as np
+import pytest
+
+from repro.precision import DOUBLE, SINGLE, Precision, as_dtype, tolerance_for
+
+
+class TestParse:
+    def test_identity(self):
+        assert Precision.parse(SINGLE) is SINGLE
+        assert Precision.parse(DOUBLE) is DOUBLE
+
+    @pytest.mark.parametrize("spelling", ["single", "sp", "float32", "f4", "32", "SP"])
+    def test_single_spellings(self, spelling):
+        assert Precision.parse(spelling) is SINGLE
+
+    @pytest.mark.parametrize("spelling", ["double", "dp", "float64", "f8", "64"])
+    def test_double_spellings(self, spelling):
+        assert Precision.parse(spelling) is DOUBLE
+
+    def test_numpy_dtypes(self):
+        assert Precision.parse(np.float32) is SINGLE
+        assert Precision.parse(np.dtype(np.float64)) is DOUBLE
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            Precision.parse("half")
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            Precision.parse(np.int32)
+
+
+class TestProperties:
+    def test_dtypes(self):
+        assert SINGLE.dtype == np.float32
+        assert DOUBLE.dtype == np.float64
+
+    def test_itemsize(self):
+        assert SINGLE.itemsize == 4
+        assert DOUBLE.itemsize == 8
+
+    def test_eps_ordering(self):
+        assert SINGLE.eps > DOUBLE.eps
+        assert DOUBLE.eps == pytest.approx(2.220446049250313e-16)
+
+    def test_short_names(self):
+        assert SINGLE.short_name == "sp"
+        assert DOUBLE.short_name == "dp"
+
+    def test_str(self):
+        assert str(SINGLE) == "single"
+        assert str(DOUBLE) == "double"
+
+
+class TestHelpers:
+    def test_as_dtype(self):
+        assert as_dtype("sp") == np.float32
+
+    def test_tolerance_scales_with_eps(self):
+        assert tolerance_for("sp") / tolerance_for("dp") == pytest.approx(
+            SINGLE.eps / DOUBLE.eps
+        )
+
+    def test_tolerance_factor(self):
+        assert tolerance_for("dp", factor=1.0) == DOUBLE.eps

@@ -1,0 +1,104 @@
+"""Property-based tests for geometry invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Airfoil, BSplineAirfoil, naca4, rotate, scale, translate
+from repro.geometry import points as pt
+from repro.geometry.bspline import basis_functions, open_uniform_knots
+
+
+def naca_designations():
+    return st.tuples(
+        st.integers(0, 6), st.sampled_from([0, 2, 3, 4, 5, 6]),
+        st.integers(6, 24),
+    ).map(lambda t: f"{t[0]}{t[1] if t[0] else 0}{t[2]:02d}")
+
+
+class TestNacaInvariants:
+    @given(designation=naca_designations(), n_half=st.integers(10, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_airfoil_is_valid(self, designation, n_half):
+        foil = naca4(designation, 2 * n_half)
+        assert foil.n_panels == 2 * n_half
+        assert foil.area > 0
+        assert foil.chord == pytest.approx(1.0, abs=0.01)
+        assert not pt.is_clockwise(foil.points)
+
+    @given(designation=naca_designations())
+    @settings(max_examples=30, deadline=None)
+    def test_thickness_matches_designation(self, designation):
+        foil = naca4(designation, 200)
+        expected = int(designation[2:]) / 100.0
+        assert foil.max_thickness == pytest.approx(expected, abs=0.015)
+
+    @given(designation=naca_designations())
+    @settings(max_examples=30, deadline=None)
+    def test_perimeter_bounds(self, designation):
+        """2c < perimeter < 2c + 2 * pi * t (crude isoperimetric bounds)."""
+        foil = naca4(designation, 160)
+        assert 2.0 < foil.perimeter < 2.0 + 2 * np.pi * foil.max_thickness + 0.2
+
+
+class TestTransformInvariants:
+    @given(
+        angle=st.floats(-np.pi, np.pi),
+        dx=st.floats(-5, 5), dy=st.floats(-5, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rigid_motion_preserves_area_and_perimeter(self, angle, dx, dy):
+        foil = naca4("2412", 60)
+        moved = Airfoil.from_points(
+            translate(rotate(foil.points, angle), (dx, dy))
+        )
+        assert moved.area == pytest.approx(foil.area, rel=1e-9)
+        assert moved.perimeter == pytest.approx(foil.perimeter, rel=1e-9)
+
+    @given(factor=st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_scales_area_quadratically(self, factor):
+        foil = naca4("0012", 60)
+        scaled = Airfoil.from_points(scale(foil.points, factor))
+        assert scaled.area == pytest.approx(foil.area * factor**2, rel=1e-9)
+
+
+class TestBSplineInvariants:
+    @given(
+        n_control=st.integers(5, 12),
+        degree=st.integers(2, 4),
+        t=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_basis_partition_of_unity(self, n_control, degree, t):
+        assume(n_control > degree)
+        knots = open_uniform_knots(n_control, degree)
+        basis = basis_functions(knots, degree, np.array([t]))
+        assert basis.sum() == pytest.approx(1.0, abs=1e-10)
+        assert np.all(basis >= -1e-12)
+
+    @given(
+        upper=st.lists(st.floats(0.02, 0.15), min_size=4, max_size=8),
+        lower=st.lists(st.floats(-0.12, -0.02), min_size=4, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_separated_surfaces_always_feasible(self, upper, lower):
+        """Upper heights > 0 > lower heights implies positive thickness."""
+        parametrization = BSplineAirfoil(
+            upper_heights=np.array(upper), lower_heights=np.array(lower)
+        )
+        assert parametrization.is_feasible()
+        foil = parametrization.to_airfoil(60)
+        assert foil.area > 0
+
+    @given(
+        upper=st.lists(st.floats(0.03, 0.15), min_size=4, max_size=6),
+        lower=st.lists(st.floats(-0.1, -0.03), min_size=4, max_size=6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_airfoil_interpolates_pinned_edges(self, upper, lower):
+        foil = BSplineAirfoil(
+            upper_heights=np.array(upper), lower_heights=np.array(lower)
+        ).to_airfoil(40)
+        assert foil.trailing_edge == pytest.approx([1.0, 0.0], abs=1e-9)

@@ -1,0 +1,141 @@
+"""Property-based tests for pipeline and panel-method invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import naca4
+from repro.hardware import paper_workstation
+from repro.panel import solve_airfoil
+from repro.pipeline import (
+    TaskKind,
+    Workload,
+    cpu_only,
+    dual_accelerator,
+    evaluate,
+    hybrid,
+    simulate,
+    slice_sizes,
+)
+
+
+def workloads():
+    return st.builds(
+        Workload,
+        batch=st.integers(64, 8000),
+        n=st.integers(50, 400),
+        precision=st.sampled_from(["single", "double"]),
+    )
+
+
+class TestSliceProperties:
+    @given(batch=st.integers(1, 10000), data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_sizes_partition_batch(self, batch, data):
+        n_slices = data.draw(st.integers(1, batch))
+        sizes = slice_sizes(batch, n_slices)
+        assert sum(sizes) == batch
+        assert len(sizes) == n_slices
+        assert max(sizes) - min(sizes) <= 1
+        assert min(sizes) >= 1
+
+
+class TestPipelineInvariants:
+    @given(workload=workloads(), n_slices=st.integers(1, 32),
+           accel=st.sampled_from(["phi", "k80-half"]),
+           sockets=st.sampled_from([1, 2]))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_and_bounds(self, workload, n_slices, accel, sockets):
+        workstation = paper_workstation(
+            sockets=sockets, accelerator=accel, precision=workload.precision
+        )
+        schedule = hybrid(workload, workstation, n_slices)
+        timeline = simulate(schedule)
+        metrics = evaluate(timeline)
+
+        # W >= busy time of every resource (no resource overcommitted).
+        for resource in schedule.resources:
+            assert timeline.busy_seconds(resource) <= metrics.wall_time + 1e-9
+
+        # W >= the solve lower bound and >= exposed fill time.
+        assert metrics.wall_time >= metrics.solve_busy - 1e-9
+        assert metrics.wall_time >= metrics.assembly_exposed - 1e-9
+
+        # O = W - L by definition; both non-negative.
+        assert metrics.overhead == pytest.approx(
+            metrics.wall_time - metrics.solve_busy
+        )
+        assert metrics.overhead > 0
+
+        # Solve tasks cover the whole batch exactly once.
+        solves = [t for t in schedule.tasks if t.kind is TaskKind.SOLVE]
+        assert sum(task.batch for task in solves) == workload.batch
+
+    @given(
+        batch=st.integers(1000, 8000),
+        n=st.integers(120, 400),
+        precision=st.sampled_from(["single", "double"]),
+        sockets=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_interleaving_wins_in_amortizing_regime(self, batch, n, precision,
+                                                    sockets):
+        """In the paper's workload regime 10 slices beat 1 slice.
+
+        (For tiny workloads per-slice setup dominates and the property
+        genuinely fails — see examples/design_space.py.)
+        """
+        workload = Workload(batch=batch, n=n, precision=precision)
+        workstation = paper_workstation(
+            sockets=sockets, accelerator="k80-half", precision=precision
+        )
+        sequential = simulate(hybrid(workload, workstation, 1)).makespan
+        interleaved = simulate(hybrid(workload, workstation, 10)).makespan
+        assert interleaved <= sequential + 1e-9
+
+    @given(workload=workloads(),
+           distribution=st.floats(0.5, 1.0),
+           n_slices=st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_dual_gpu_batch_conserved(self, workload, distribution, n_slices):
+        workstation = paper_workstation(
+            sockets=2, accelerator="k80-dual", precision=workload.precision
+        )
+        n_slices = min(n_slices, max(1, round(workload.batch * distribution)))
+        schedule = dual_accelerator(workload, workstation, distribution, n_slices)
+        solves = [t for t in schedule.tasks if t.kind is TaskKind.SOLVE]
+        assert sum(task.batch for task in solves) == workload.batch
+
+    @given(workload=workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_cpu_baseline_additivity(self, workload):
+        station = paper_workstation(sockets=2, precision=workload.precision)
+        metrics = evaluate(simulate(cpu_only(workload, station.cpu)))
+        assert metrics.wall_time == pytest.approx(
+            metrics.assembly_busy + metrics.solve_busy
+        )
+
+
+class TestPanelMethodProperties:
+    @given(
+        camber=st.integers(0, 4),
+        thickness=st.integers(8, 18),
+        alpha=st.floats(-6.0, 8.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_physical_invariants(self, camber, thickness, alpha):
+        designation = f"{camber}{4 if camber else 0}{thickness:02d}"
+        solution = solve_airfoil(naca4(designation, 80), alpha)
+        # Boundary condition satisfied.
+        assert solution.boundary_residual() < 1e-8
+        # Kutta condition enforced.
+        assert solution.gamma[0] == pytest.approx(-solution.gamma[-1])
+        # Stagnation pressure never exceeded.
+        assert solution.pressure_coefficients.max() <= 1.0 + 1e-9
+        # Kutta-Joukowski and pressure integration agree.
+        assert solution.lift_coefficient == pytest.approx(
+            solution.lift_coefficient_pressure, abs=0.02
+        )
+        # d'Alembert: negligible pressure drag.
+        assert abs(solution.pressure_drag_coefficient) < 0.01

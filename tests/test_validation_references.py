@@ -1,0 +1,155 @@
+"""Tests of the panel method against the analytic validation substrate.
+
+This file plays the role of the paper's Xfoil comparison: every check
+here compares the library's output to an independent closed-form (or
+published) result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import naca
+from repro.panel import Closure, Freestream, PanelSolver, solve_airfoil
+from repro.validation import (
+    INVISCID_LIFT_REFERENCES,
+    MOMENT_REFERENCES,
+    CylinderFlow,
+    JoukowskiAirfoil,
+    control_point_angles,
+    cylinder_airfoil,
+    lift_coefficient as thin_cl,
+    naca4_parameters,
+    quarter_chord_moment,
+    zero_lift_alpha,
+)
+
+
+class TestCylinder:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        return solve_airfoil(cylinder_airfoil(160), 0.0,
+                             closure=Closure.ZERO_CIRCULATION)
+
+    def test_surface_speed_matches_2_v_sin_theta(self, solution):
+        theta = control_point_angles(solution.airfoil)
+        exact = CylinderFlow().surface_speed(theta)
+        assert solution.surface_speeds == pytest.approx(exact, abs=5e-3)
+
+    def test_zero_lift(self, solution):
+        assert abs(solution.lift_coefficient) < 1e-10
+
+    def test_pressure_extremes(self, solution):
+        cp = solution.pressure_coefficients
+        assert cp.max() == pytest.approx(1.0, abs=0.01)  # stagnation
+        assert cp.min() == pytest.approx(-3.0, abs=0.05)  # 1 - 4 sin^2
+
+    def test_field_velocity_matches_doublet(self, solution):
+        flow = CylinderFlow()
+        points = np.array([[1.9, 0.3], [0.0, -1.6], [-1.4, 1.4]])
+        assert solution.velocity_at(points) == pytest.approx(
+            flow.velocity(points), abs=2e-3
+        )
+
+    def test_alpha_rotates_solution(self):
+        rotated = solve_airfoil(cylinder_airfoil(160), 30.0,
+                                closure=Closure.ZERO_CIRCULATION)
+        theta = control_point_angles(rotated.airfoil)
+        exact = CylinderFlow(alpha=np.radians(30.0)).surface_speed(theta)
+        assert rotated.surface_speeds == pytest.approx(exact, abs=5e-3)
+
+    def test_convergence_with_resolution(self):
+        errors = []
+        for n in (40, 80, 160):
+            sol = solve_airfoil(cylinder_airfoil(n), 0.0,
+                                closure=Closure.ZERO_CIRCULATION)
+            theta = control_point_angles(sol.airfoil)
+            exact = CylinderFlow().surface_speed(theta)
+            errors.append(np.max(np.abs(sol.surface_speeds - exact)))
+        assert errors[2] < errors[1] < errors[0]
+
+
+class TestJoukowski:
+    @pytest.mark.parametrize("thickness,camber", [
+        (0.08, 0.05), (0.10, 0.0), (0.05, 0.08), (0.12, 0.03),
+    ])
+    @pytest.mark.parametrize("alpha", [0.0, 4.0])
+    def test_exact_lift(self, thickness, camber, alpha):
+        section = JoukowskiAirfoil(thickness, camber)
+        solution = solve_airfoil(section.airfoil(300), alpha)
+        exact = section.exact_lift_coefficient(np.radians(alpha))
+        assert solution.lift_coefficient == pytest.approx(exact, abs=6e-3)
+
+    def test_zero_lift_angle(self):
+        section = JoukowskiAirfoil(0.08, 0.05)
+        alpha0 = np.degrees(section.zero_lift_alpha())
+        solution = solve_airfoil(section.airfoil(300), alpha0)
+        assert abs(solution.lift_coefficient) < 0.01
+
+    def test_symmetric_section_zero_lift_at_zero_alpha(self):
+        section = JoukowskiAirfoil(0.10, 0.0)
+        solution = solve_airfoil(section.airfoil(200), 0.0)
+        assert abs(solution.lift_coefficient) < 1e-6
+
+    def test_panel_convergence_to_exact(self):
+        section = JoukowskiAirfoil(0.08, 0.05)
+        exact = section.exact_lift_coefficient(np.radians(4.0))
+        errors = []
+        for n in (50, 100, 200):
+            sol = solve_airfoil(section.airfoil(n), 4.0)
+            errors.append(abs(sol.lift_coefficient - exact))
+        assert errors[2] < errors[0]
+
+
+class TestThinAirfoilTheory:
+    def test_naca_zero_lift_angles(self):
+        """alpha_L0 of the 2412 is about -2.07 degrees."""
+        camber, position = naca4_parameters("2412")
+        assert np.degrees(zero_lift_alpha(camber, position)) == pytest.approx(
+            -2.07, abs=0.05
+        )
+
+    def test_panel_zero_lift_matches_theory(self):
+        camber, position = naca4_parameters("2412")
+        alpha0 = np.degrees(zero_lift_alpha(camber, position))
+        solution = solve_airfoil(naca("2412", 200), alpha0)
+        assert abs(solution.lift_coefficient) < 0.03
+
+    def test_thin_cl_slope(self):
+        assert thin_cl(np.radians(1.0)) == pytest.approx(
+            2 * np.pi * np.radians(1.0)
+        )
+
+    def test_quarter_chord_moment_2412(self):
+        camber, position = naca4_parameters("2412")
+        assert quarter_chord_moment(camber, position) == pytest.approx(
+            -0.053, abs=0.005
+        )
+
+    def test_panel_moment_matches_theory(self, solved_2412):
+        camber, position = naca4_parameters("2412")
+        theory = quarter_chord_moment(camber, position)
+        assert solved_2412.moment_coefficient() == pytest.approx(theory, abs=0.02)
+
+    def test_symmetric_has_zero_moment(self, naca0012):
+        solution = solve_airfoil(naca0012, 4.0)
+        assert abs(solution.moment_coefficient()) < 0.01
+
+
+class TestPublishedReferences:
+    @pytest.mark.parametrize("reference", INVISCID_LIFT_REFERENCES,
+                             ids=lambda r: f"{r.designation}@{r.alpha_degrees}")
+    def test_inviscid_lift(self, reference):
+        solution = solve_airfoil(naca(reference.designation, 200),
+                                 reference.alpha_degrees)
+        assert reference.matches(solution.lift_coefficient), (
+            f"cl = {solution.lift_coefficient:.4f}, expected "
+            f"{reference.cl} +- {reference.tolerance}"
+        )
+
+    @pytest.mark.parametrize("reference", MOMENT_REFERENCES,
+                             ids=lambda r: r.designation)
+    def test_moments(self, reference):
+        solution = solve_airfoil(naca(reference.designation, 200), 2.0)
+        assert solution.moment_coefficient() == pytest.approx(
+            reference.cm, abs=reference.tolerance
+        )

@@ -1,0 +1,124 @@
+"""Tests for Squire-Young drag, the viscous driver, and polars."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ViscousError
+from repro.geometry import naca
+from repro.panel import solve_airfoil
+from repro.validation import DRAG_REFERENCES
+from repro.viscous import analyze_viscous, compute_polar, squire_young_drag
+
+
+class TestSquireYoung:
+    def test_formula_value(self):
+        # theta = 0.001, U_TE = 0.9, H = 1.5: cd = 2*0.001*0.9^3.25
+        expected = 2 * 0.001 * 0.9 ** ((1.5 + 5.0) / 2.0)
+        assert squire_young_drag(0.001, 0.9, 1.5) == pytest.approx(expected)
+
+    def test_scales_with_theta(self):
+        assert squire_young_drag(0.002, 1.0, 1.5) == pytest.approx(
+            2 * squire_young_drag(0.001, 1.0, 1.5)
+        )
+
+    def test_chord_normalization(self):
+        assert squire_young_drag(0.001, 1.0, 1.5, chord=2.0) == pytest.approx(
+            0.5 * squire_young_drag(0.001, 1.0, 1.5, chord=1.0)
+        )
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ViscousError):
+            squire_young_drag(-1e-4, 1.0, 1.5)
+
+    def test_bad_velocity_rejected(self):
+        with pytest.raises(ViscousError):
+            squire_young_drag(1e-4, 0.0, 1.5)
+
+
+class TestViscousDriver:
+    def test_drag_positive(self, solved_2412):
+        analysis = analyze_viscous(solved_2412, 1e6)
+        assert analysis.drag_coefficient > 0
+
+    def test_drag_in_published_band(self):
+        for reference in DRAG_REFERENCES:
+            solution = solve_airfoil(
+                naca(reference.designation, 160), reference.alpha_degrees
+            )
+            analysis = analyze_viscous(solution, reference.reynolds)
+            assert reference.contains(analysis.drag_coefficient), (
+                f"{reference.designation} at {reference.alpha_degrees} deg: "
+                f"cd = {analysis.drag_coefficient:.5f} outside "
+                f"[{reference.cd_low}, {reference.cd_high}]"
+            )
+
+    def test_drag_decreases_with_reynolds_laminar(self, solved_2412):
+        low = analyze_viscous(solved_2412, 1e5, use_head=False)
+        high = analyze_viscous(solved_2412, 1e6, use_head=False)
+        assert high.drag_coefficient < low.drag_coefficient
+
+    def test_turbulent_drag_exceeds_laminar(self, solved_2412):
+        laminar = analyze_viscous(solved_2412, 2e6, use_head=False)
+        turbulent = analyze_viscous(solved_2412, 2e6, use_head=True)
+        assert turbulent.drag_coefficient > laminar.drag_coefficient
+
+    def test_lift_unchanged_by_viscous_pass(self, solved_2412):
+        analysis = analyze_viscous(solved_2412, 1e6)
+        assert analysis.lift_coefficient == solved_2412.lift_coefficient
+
+    def test_lift_to_drag(self, solved_2412):
+        analysis = analyze_viscous(solved_2412, 1e6)
+        assert analysis.lift_to_drag == pytest.approx(
+            analysis.lift_coefficient / analysis.drag_coefficient
+        )
+
+    def test_transition_detected_at_high_re(self, solved_2412):
+        analysis = analyze_viscous(solved_2412, 5e6)
+        assert analysis.upper.transition_s is not None
+        assert analysis.upper.transition_s < 0.5
+
+    def test_transition_moves_forward_with_re(self, solved_2412):
+        low = analyze_viscous(solved_2412, 1e6)
+        high = analyze_viscous(solved_2412, 8e6)
+        if low.upper.transition_s and high.upper.transition_s:
+            assert high.upper.transition_s <= low.upper.transition_s
+
+    def test_bad_reynolds(self, solved_2412):
+        with pytest.raises(ViscousError):
+            analyze_viscous(solved_2412, -1.0)
+
+    def test_symmetric_section_symmetric_drag(self, naca0012):
+        solution = solve_airfoil(naca0012, 0.0)
+        analysis = analyze_viscous(solution, 1e6)
+        assert analysis.upper.drag_coefficient == pytest.approx(
+            analysis.lower.drag_coefficient, rel=0.05
+        )
+
+
+class TestPolar:
+    @pytest.fixture(scope="class")
+    def polar(self):
+        return compute_polar(naca("2412", 120), [-4, 0, 4], reynolds=1e6)
+
+    def test_row_count(self, polar):
+        assert len(polar.points) == 3
+
+    def test_lift_monotonic(self, polar):
+        assert np.all(np.diff(polar.lift_coefficients()) > 0)
+
+    def test_lift_slope(self, polar):
+        slope = polar.lift_slope_per_radian()
+        assert 5.8 < slope < 7.5
+
+    def test_drag_values_present(self, polar):
+        drags = polar.drag_coefficients()
+        assert np.all(np.isfinite(drags))
+        assert np.all(drags[np.isfinite(drags)] > 0)
+
+    def test_best_lift_to_drag(self, polar):
+        best = polar.best_lift_to_drag()
+        others = [p.lift_to_drag for p in polar.points if p.lift_to_drag]
+        assert best.lift_to_drag == max(others)
+
+    def test_alphas_preserved(self, polar):
+        assert polar.alphas() == pytest.approx([-4.0, 0.0, 4.0])

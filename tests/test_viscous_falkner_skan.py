@@ -1,0 +1,105 @@
+"""Tests of the Falkner-Skan solver and Thwaites' fits against it."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ViscousError
+from repro.viscous import (
+    BLASIUS_WALL_SHEAR,
+    SEPARATION_M,
+    blasius,
+    solve_falkner_skan,
+    stagnation,
+    thwaites_h,
+    thwaites_l,
+)
+
+
+class TestClassicalValues:
+    """Check against the tabulated similarity constants."""
+
+    def test_blasius_wall_shear(self):
+        assert blasius().wall_shear == pytest.approx(BLASIUS_WALL_SHEAR, abs=2e-5)
+
+    def test_blasius_momentum_thickness(self):
+        assert blasius().momentum_thickness == pytest.approx(0.6641, abs=2e-3)
+
+    def test_blasius_displacement_thickness(self):
+        assert blasius().displacement_thickness == pytest.approx(1.7208, abs=5e-3)
+
+    def test_blasius_shape_factor(self):
+        assert blasius().shape_factor == pytest.approx(2.591, abs=0.01)
+
+    def test_hiemenz_wall_shear(self):
+        assert stagnation().wall_shear == pytest.approx(1.23259, abs=1e-4)
+
+    def test_hiemenz_shape_factor(self):
+        assert stagnation().shape_factor == pytest.approx(2.216, abs=0.01)
+
+    def test_near_separation_shear_vanishes(self):
+        near = solve_falkner_skan(-0.0900)
+        assert near.wall_shear < 0.03
+
+    def test_near_separation_shape_factor(self):
+        near = solve_falkner_skan(-0.0900)
+        assert 3.4 < near.shape_factor < 4.2
+
+    def test_separated_m_rejected(self):
+        with pytest.raises(ViscousError, match="no attached"):
+            solve_falkner_skan(SEPARATION_M - 0.01)
+
+
+class TestProfileProperties:
+    @pytest.mark.parametrize("m", [-0.05, 0.0, 0.2, 1.0])
+    def test_profile_monotone_and_bounded(self, m):
+        solution = solve_falkner_skan(m)
+        assert np.all(solution.f_prime >= -1e-9)
+        assert np.all(solution.f_prime <= 1.0 + 1e-9)
+        assert solution.f_prime[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_favourable_gradient_thins_layer(self):
+        assert (stagnation().momentum_thickness
+                < blasius().momentum_thickness)
+
+    def test_adverse_gradient_thickens_layer(self):
+        adverse = solve_falkner_skan(-0.06)
+        assert adverse.momentum_thickness > blasius().momentum_thickness
+
+    def test_shape_factor_decreases_with_m(self):
+        shape_factors = [solve_falkner_skan(m).shape_factor
+                         for m in (-0.06, 0.0, 0.3, 1.0)]
+        assert all(b < a for a, b in zip(shape_factors, shape_factors[1:]))
+
+    def test_cf_scaling(self):
+        solution = blasius()
+        assert solution.cf(1e6) == pytest.approx(0.664 / np.sqrt(1e6), rel=1e-3)
+        with pytest.raises(ViscousError):
+            solution.cf(0.0)
+
+
+class TestThwaitesAgainstExact:
+    """Thwaites' correlations are a fit to exactly these profiles."""
+
+    @pytest.mark.parametrize("m", [-0.05, 0.0, 0.1, 0.3, 1.0])
+    def test_shape_factor_fit(self, m):
+        exact = solve_falkner_skan(m)
+        fitted = float(thwaites_h(exact.thwaites_lambda))
+        assert fitted == pytest.approx(exact.shape_factor, rel=0.06)
+
+    @pytest.mark.parametrize("m", [-0.05, 0.0, 0.1, 0.3, 1.0])
+    def test_shear_fit(self, m):
+        exact = solve_falkner_skan(m)
+        fitted = float(thwaites_l(exact.thwaites_lambda))
+        assert fitted == pytest.approx(exact.thwaites_l, rel=0.11)
+
+    def test_fit_degrades_gracefully_toward_separation(self):
+        """Near separation the one-parameter fit underestimates H, but
+        stays within ~15 % — the known accuracy limit of Thwaites."""
+        exact = solve_falkner_skan(-0.085)
+        fitted = float(thwaites_h(exact.thwaites_lambda))
+        assert fitted == pytest.approx(exact.shape_factor, rel=0.16)
+
+    def test_lambda_sign_tracks_gradient(self):
+        assert solve_falkner_skan(0.3).thwaites_lambda > 0
+        assert solve_falkner_skan(-0.05).thwaites_lambda < 0
+        assert abs(blasius().thwaites_lambda) < 1e-12

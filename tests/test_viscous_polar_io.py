@@ -1,0 +1,95 @@
+"""Tests for the Xfoil-format polar I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import ViscousError
+from repro.geometry import naca
+from repro.viscous import compute_polar, polar_to_string, read_polar, write_polar
+from repro.viscous.polar import Polar, PolarPoint
+
+
+@pytest.fixture(scope="module")
+def polar():
+    return compute_polar(naca("2412", 100), [-2, 0, 2, 4], reynolds=1e6)
+
+
+class TestWrite:
+    def test_header_fields(self, polar):
+        text = polar_to_string(polar)
+        assert "Calculated polar for: NACA 2412" in text
+        assert "Re =     1.000000 e 6" in text
+        assert "alpha" in text and "CD" in text
+
+    def test_row_count(self, polar):
+        data_lines = [line for line in polar_to_string(polar).splitlines()
+                      if line.strip() and line.lstrip()[0] in "-0123456789"
+                      and "." in line]
+        assert len(data_lines) == len(polar.points)
+
+    def test_file_destination(self, polar, tmp_path):
+        path = tmp_path / "naca2412.pol"
+        write_polar(polar, str(path))
+        assert path.exists()
+
+    def test_separated_row_marker(self):
+        polar = Polar(airfoil_name="x", reynolds=5e5, points=[
+            PolarPoint(alpha_degrees=0.0, cl=0.5, cd=None, cm=-0.05,
+                       separated=True),
+        ])
+        assert "9.99999" in polar_to_string(polar)
+
+
+class TestRoundTrip:
+    def test_values_preserved(self, polar):
+        back = read_polar(io.StringIO(polar_to_string(polar)))
+        assert back.airfoil_name == polar.airfoil_name
+        assert back.reynolds == pytest.approx(polar.reynolds)
+        assert len(back.points) == len(polar.points)
+        for original, parsed in zip(polar.points, back.points):
+            assert parsed.alpha_degrees == pytest.approx(
+                original.alpha_degrees, abs=1e-3
+            )
+            assert parsed.cl == pytest.approx(original.cl, abs=1e-4)
+            assert parsed.cd == pytest.approx(original.cd, abs=1e-5)
+            assert parsed.cm == pytest.approx(original.cm, abs=1e-4)
+
+    def test_separated_rows_round_trip(self):
+        polar = Polar(airfoil_name="x", reynolds=5e5, points=[
+            PolarPoint(alpha_degrees=0.0, cl=0.5, cd=0.01, cm=-0.05,
+                       separated=False),
+            PolarPoint(alpha_degrees=12.0, cl=1.2, cd=None, cm=-0.02,
+                       separated=True),
+        ])
+        back = read_polar(io.StringIO(polar_to_string(polar)))
+        assert back.points[0].cd == pytest.approx(0.01)
+        assert back.points[1].cd is None
+        assert back.points[1].separated
+
+    def test_file_round_trip(self, polar, tmp_path):
+        path = tmp_path / "p.pol"
+        write_polar(polar, str(path))
+        back = read_polar(str(path))
+        assert back.airfoil_name == polar.airfoil_name
+
+
+class TestRead:
+    def test_empty_file_rejected(self):
+        with pytest.raises(ViscousError, match="no data rows"):
+            read_polar(io.StringIO("just a header\n"))
+
+    def test_foreign_xfoil_file(self):
+        """A hand-written snippet in genuine Xfoil layout parses."""
+        text = (
+            " Calculated polar for: AG25\n"
+            " Mach =   0.000     Re =     0.250 e 6     Ncrit =   9.000\n"
+            "   alpha    CL        CD       CDp       CM\n"
+            "  ------ -------- --------- --------- --------\n"
+            "  -1.000  -0.0561   0.01014   0.00434  -0.0441\n"
+            "   0.000   0.0582   0.00968   0.00391  -0.0445\n"
+        )
+        polar = read_polar(io.StringIO(text))
+        assert polar.airfoil_name == "AG25"
+        assert polar.reynolds == pytest.approx(2.5e5)
+        assert polar.points[1].cl == pytest.approx(0.0582)

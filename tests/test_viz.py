@@ -1,0 +1,93 @@
+"""Tests for the ASCII and SVG visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import naca
+from repro.hardware import paper_workstation
+from repro.pipeline import Workload, build_trace, hybrid, simulate
+from repro.viz import airfoil_svg, gantt_svg, plot_airfoil, plot_points, plot_series
+
+
+class TestAsciiPlots:
+    def test_plot_points_dimensions(self):
+        points = np.random.default_rng(0).uniform(size=(50, 2))
+        art = plot_points(points, width=40, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) <= 40 for line in lines)
+
+    def test_plot_points_marker(self):
+        art = plot_points(np.array([[0.0, 0.0], [1.0, 1.0]]), marker="x")
+        assert "x" in art
+
+    def test_connect_draws_line(self):
+        art = plot_points(np.array([[0.0, 0.0], [1.0, 0.0]]), connect=True,
+                          width=40, height=5)
+        # A connected horizontal segment paints many cells.
+        assert art.count("*") > 10
+
+    def test_plot_airfoil_title(self, naca2412):
+        art = plot_airfoil(naca2412)
+        assert art.startswith("NACA 2412")
+
+    def test_plot_airfoil_control_points(self):
+        art = plot_airfoil(naca("2412", 10), show_control_points=True)
+        assert "o" in art
+
+    def test_plot_series_footer(self):
+        art = plot_series([0, 1, 2], [5, 3, 4], title="demo")
+        assert art.startswith("demo")
+        assert "x: [0, 2]" in art
+
+
+class TestSvg:
+    def test_airfoil_svg_valid_document(self, naca2412):
+        svg = airfoil_svg([naca2412])
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "path" in svg
+
+    def test_airfoil_svg_stacks_multiple(self, naca2412, naca0012):
+        svg = airfoil_svg([naca2412, naca0012])
+        assert svg.count("<path") == 2
+        assert "NACA 2412" in svg and "NACA 0012" in svg
+
+    def test_airfoil_svg_control_points(self):
+        svg = airfoil_svg([naca("0012", 10)], show_control_points=True)
+        assert svg.count("<circle") == 10
+
+    def test_gantt_svg_structure(self):
+        station = paper_workstation(sockets=2, accelerator="phi",
+                                    precision="single")
+        timeline = simulate(hybrid(Workload.paper_reference("single"),
+                                   station, 4))
+        svg = gantt_svg(build_trace(timeline))
+        assert svg.startswith("<svg")
+        assert "accel" in svg and "link" in svg and "cpu" in svg
+        # Legend mentions all three kinds.
+        for kind in ("assemble", "transfer", "solve"):
+            assert kind in svg
+
+    def test_gantt_svg_bar_count(self):
+        station = paper_workstation(sockets=2, accelerator="k80-half",
+                                    precision="single")
+        timeline = simulate(hybrid(Workload.paper_reference("single"),
+                                   station, 3))
+        svg = gantt_svg(build_trace(timeline))
+        # 3 slices x (assemble + copy + host mgmt + solve) bars + legend swatches.
+        assert svg.count("<rect") >= 12
+
+
+class TestFlowSvg:
+    def test_streamline_figure(self, naca2412):
+        from repro.panel import solve_airfoil, trace_streamlines
+        from repro.viz import flow_svg
+
+        solution = solve_airfoil(naca2412, 5.0)
+        lines = trace_streamlines(solution, n_lines=4, step=0.08, n_steps=30)
+        svg = flow_svg(naca2412, lines)
+        assert svg.startswith("<svg")
+        # One path per streamline plus the filled outline.
+        assert svg.count("<path") == 5
+        assert "streamlines" in svg

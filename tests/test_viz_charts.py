@@ -1,0 +1,61 @@
+"""Tests for the ASCII bar and comparison charts."""
+
+import pytest
+
+from repro.viz import bar_chart, comparison_chart
+
+
+class TestBarChart:
+    def test_basic_structure(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, title="demo", unit="s")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 3
+        assert "s" in lines[1]
+
+    def test_bar_lengths_proportional(self):
+        chart = bar_chart({"half": 1.0, "full": 2.0}, width=40)
+        half_line, full_line = chart.splitlines()
+        assert half_line.count("#") * 2 == full_line.count("#")
+
+    def test_reference_annotation(self):
+        chart = bar_chart({"base": 4.0, "fast": 2.0}, reference="base")
+        assert "(reference)" in chart
+        assert "0.50x base" in chart
+
+    def test_zero_value_renders_empty_bar(self):
+        chart = bar_chart({"zero": 0.0, "one": 1.0})
+        zero_line = chart.splitlines()[0]
+        assert "#" not in zero_line
+
+    def test_all_zero_does_not_crash(self):
+        assert "|" in bar_chart({"a": 0.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"bad": -1.0})
+
+
+class TestComparisonChart:
+    def test_pairs_rendered(self):
+        chart = comparison_chart({"x": 1.0}, {"x": 1.1})
+        assert "sim" in chart and "paper" in chart and "legend" in chart
+        assert chart.count("|") == 4
+
+    def test_only_common_labels(self):
+        chart = comparison_chart({"x": 1.0, "only_sim": 5.0}, {"x": 1.0})
+        assert "only_sim" not in chart
+
+    def test_no_common_labels_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_chart({"a": 1.0}, {"b": 1.0})
+
+    def test_bars_scale_together(self):
+        chart = comparison_chart({"x": 2.0}, {"x": 1.0}, width=30)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 30
+        assert lines[1].count("=") == 15
