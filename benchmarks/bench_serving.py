@@ -1,0 +1,106 @@
+"""Benchmark: the serving stack under concurrent load.
+
+Drives the in-process :class:`~repro.serve.AnalysisService` with N
+concurrent clients at several batching settings and prints one JSON
+summary per setting: throughput, p50/p99 latency, cache hit rate, and
+how much coalescing the micro-batcher achieved.  The point to watch is
+the batching column — with ``max_batch=1`` every request is its own
+LU call, while the batched settings collapse the same traffic into a
+handful of stacks (the serving analogue of the paper's slice sweep).
+
+Also runnable standalone: ``PYTHONPATH=src python benchmarks/bench_serving.py``.
+"""
+
+import json
+import threading
+import time
+
+from repro.core.api import AnalyzeRequest
+from repro.serve import AnalysisService
+
+#: (max_batch, max_wait_seconds) settings swept by the benchmark.
+SETTINGS = ((1, 0.0), (8, 0.002), (32, 0.01))
+
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 8
+N_PANELS = 60
+
+
+def _request_stream(client_index):
+    """A client's request sequence: few distinct shapes, repeated angles,
+    so the cache and the batcher both have something to merge."""
+    for index in range(REQUESTS_PER_CLIENT):
+        yield AnalyzeRequest(
+            airfoil="2412" if (client_index + index) % 2 else "0012",
+            alpha_degrees=float((client_index + index) % 4),
+            reynolds=None, n_panels=N_PANELS,
+        )
+
+
+def drive(max_batch, max_wait):
+    """Run one setting; returns the JSON summary row."""
+    service = AnalysisService(max_batch=max_batch, max_wait=max_wait,
+                              cache_size=256, n_workers=2, queue_limit=1024)
+    errors = []
+
+    def client(client_index):
+        for request in _request_stream(client_index):
+            try:
+                service.analyze(request, timeout=60.0)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+    threads = [threading.Thread(target=client, args=(index,))
+               for index in range(N_CLIENTS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    snapshot = service.metrics_snapshot()
+    service.close()
+    if errors:
+        raise errors[0]
+
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    return {
+        "max_batch": max_batch,
+        "max_wait_ms": 1e3 * max_wait,
+        "requests": total,
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(total / wall, 1),
+        "latency_p50_ms": round(snapshot["latency_ms"]["p50"], 3),
+        "latency_p99_ms": round(snapshot["latency_ms"]["p99"], 3),
+        "cache_hit_rate": round(snapshot["cache"]["hit_rate"], 3),
+        "batched_solves": snapshot["batching"]["batched_solves"],
+        "solved_systems": snapshot["batching"]["solved_systems"],
+        "max_batch_observed": snapshot["batching"]["max_batch"],
+        "shed": snapshot["requests"]["shed"],
+    }
+
+
+def run_sweep():
+    return [drive(max_batch, max_wait) for max_batch, max_wait in SETTINGS]
+
+
+def test_serving_throughput(benchmark):
+    from conftest import run_once
+
+    summaries = run_once(benchmark, run_sweep)
+    print("\n" + json.dumps(summaries, indent=2))
+
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    for summary in summaries:
+        assert summary["shed"] == 0
+        assert summary["solved_systems"] <= total
+        assert summary["cache_hit_rate"] > 0.0
+    # The batched settings must actually coalesce: fewer LU calls than
+    # the unbatched baseline issues.
+    unbatched = summaries[0]
+    for summary in summaries[1:]:
+        assert summary["batched_solves"] <= unbatched["batched_solves"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_sweep(), indent=2))

@@ -6,6 +6,7 @@ Commands:
   regenerate one experiment (optionally saving SVG artifacts).
 * ``all`` — regenerate everything.
 * ``analyze`` — run the inner solver on a NACA section.
+* ``serve`` — run the batched analysis HTTP service.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.api import analyze
+from repro.core.api import AnalyzeRequest, canonical_json, serialize_analysis
 from repro.errors import ReproError
 from repro.experiments.runner import experiment_names, run_all, run_experiment
 
@@ -52,7 +53,61 @@ def build_parser() -> argparse.ArgumentParser:
                              help="chord Reynolds number (0 = inviscid only)")
     sub_analyze.add_argument("--panels", type=int, default=200,
                              help="number of panels")
+    sub_analyze.add_argument("--json", action="store_true",
+                             help="emit the canonical JSON record (same bytes "
+                                  "as the serving API's /analyze response)")
+
+    sub_serve = subparsers.add_parser(
+        "serve", help="run the batched analysis HTTP service"
+    )
+    sub_serve.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    sub_serve.add_argument("--port", type=int, default=8000,
+                           help="bind port (0 picks a free port)")
+    sub_serve.add_argument("--max-batch", type=int, default=None,
+                           help="micro-batch size cap (default: derived from "
+                                "the pipeline slicing heuristics)")
+    sub_serve.add_argument("--max-wait-ms", type=float, default=None,
+                           help="micro-batch flush deadline in milliseconds "
+                                "(default: derived)")
+    sub_serve.add_argument("--cache-size", type=int, default=1024,
+                           help="LRU result-cache capacity (0 disables)")
+    sub_serve.add_argument("--workers", type=int, default=2,
+                           help="worker threads")
+    sub_serve.add_argument("--queue-limit", type=int, default=256,
+                           help="admission bound before load shedding")
     return parser
+
+
+def run_serve(arguments) -> int:
+    """The ``serve`` command: start the service and block until SIGINT."""
+    from repro.serve import AnalysisService, start_server
+
+    max_wait = (None if arguments.max_wait_ms is None
+                else arguments.max_wait_ms / 1e3)
+    service = AnalysisService(
+        max_batch=arguments.max_batch, max_wait=max_wait,
+        cache_size=arguments.cache_size, n_workers=arguments.workers,
+        queue_limit=arguments.queue_limit,
+    )
+    server = start_server(service, host=arguments.host, port=arguments.port)
+    policy = service.policy
+    print(f"repro serve listening on http://{arguments.host}:{server.port}  "
+          f"(max_batch={policy.max_batch}, "
+          f"max_wait={1e3 * policy.max_wait:.1f} ms, "
+          f"cache={service.cache.capacity}, workers={arguments.workers}, "
+          f"queue_limit={arguments.queue_limit})", flush=True)
+    try:
+        while not server.wait(3600.0):
+            pass
+    except KeyboardInterrupt:
+        print("\ndraining...", flush=True)
+    finally:
+        server.stop()
+        drained = service.close()
+        print("drained and stopped" if drained else "stopped (drain timed out)",
+              flush=True)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -62,10 +117,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if arguments.command == "analyze":
             reynolds = arguments.reynolds if arguments.reynolds > 0 else None
-            result = analyze(arguments.designation, arguments.alpha,
-                             reynolds=reynolds, n_panels=arguments.panels)
-            print(result.summary())
+            request = AnalyzeRequest(
+                airfoil=arguments.designation, alpha_degrees=arguments.alpha,
+                reynolds=reynolds, n_panels=arguments.panels,
+            )
+            result = request.run()
+            if arguments.json:
+                print(canonical_json(serialize_analysis(request, result)))
+            else:
+                print(result.summary())
             return 0
+        if arguments.command == "serve":
+            return run_serve(arguments)
         if arguments.command == "report":
             from repro.experiments.markdown import generate_experiments_markdown
 

@@ -8,15 +8,27 @@ Three entry points mirror the three things the paper does:
   (the outer loop).
 * :func:`simulate_hybrid` — the hybrid accelerator pipeline for a
   workload on a chosen workstation configuration (the contribution).
+
+The serving wire format also lives here: :class:`AnalyzeRequest`
+describes one evaluation, :func:`evaluate_requests` runs a stack of
+them through the batched assembly/LU path, and
+:func:`serialize_analysis` / :func:`canonical_json` render the result.
+The CLI's ``--json`` output and the :mod:`repro.serve` HTTP responses
+share all three, so both produce byte-identical records for identical
+inputs.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Union
+import hashlib
+import json
+import math
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.errors import ReproError, ServeError
 from repro.geometry.airfoil import Airfoil
 from repro.geometry.naca import naca
 from repro.hardware.host import paper_workstation
@@ -24,6 +36,8 @@ from repro.optimize.fitness import FitnessEvaluator
 from repro.optimize.ga import GAConfig, GeneticOptimizer
 from repro.optimize.genome import GenomeLayout
 from repro.optimize.history import OptimizationHistory
+from repro.linalg import batched_lu_factor, batched_lu_solve
+from repro.panel.assembly import assemble
 from repro.panel.freestream import Freestream
 from repro.panel.solution import PanelSolution
 from repro.panel.solver import PanelSolver
@@ -156,3 +170,233 @@ def simulate_hybrid(*, accelerator: str = "k80-half", sockets: int = 2,
     timeline = simulate(schedule)
     metrics = evaluate(timeline).with_baseline(baseline.wall_time)
     return HybridExperiment(metrics=metrics, baseline=baseline, timeline=timeline)
+
+
+# ----------------------------------------------------------------------
+# Serving wire format (shared by the CLI and repro.serve)
+# ----------------------------------------------------------------------
+
+#: Wire-format field names accepted by :meth:`AnalyzeRequest.from_dict`.
+REQUEST_FIELDS = (
+    "airfoil", "alpha_degrees", "reynolds", "n_panels", "precision", "use_head",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalyzeRequest:
+    """One airfoil-evaluation request (the serving wire format).
+
+    Parameters mirror :func:`analyze`; ``airfoil`` is a NACA
+    designation string on the wire (an :class:`Airfoil` object is also
+    accepted for in-process use).  ``reynolds=None`` skips the viscous
+    pass.
+
+    :meth:`run` evaluates through the *batched* assembly/LU path (a
+    stack of one), so an offline CLI evaluation and a served one
+    compute bit-identical numbers — the batched kernels are
+    elementwise across the stack, making each result independent of
+    what else shares its micro-batch.
+    """
+
+    airfoil: Union[str, Airfoil]
+    alpha_degrees: float = 0.0
+    reynolds: Optional[float] = 1e6
+    n_panels: int = 200
+    precision: Precision = Precision.DOUBLE
+    use_head: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.airfoil, str):
+            if not self.airfoil.strip():
+                raise ServeError("airfoil designation must be a non-empty string")
+        elif not isinstance(self.airfoil, Airfoil):
+            raise ServeError(
+                f"airfoil must be a designation string or Airfoil, "
+                f"got {type(self.airfoil).__name__}"
+            )
+        alpha = float(self.alpha_degrees)
+        if not math.isfinite(alpha):
+            raise ServeError(f"alpha_degrees must be finite, got {self.alpha_degrees}")
+        object.__setattr__(self, "alpha_degrees", alpha)
+        if self.reynolds is not None:
+            reynolds = float(self.reynolds)
+            if not math.isfinite(reynolds) or reynolds <= 0.0:
+                raise ServeError(
+                    f"reynolds must be positive and finite (or null), got {self.reynolds}"
+                )
+            object.__setattr__(self, "reynolds", reynolds)
+        n_panels = int(self.n_panels)
+        if n_panels < 3:
+            raise ServeError(f"n_panels must be at least 3, got {self.n_panels}")
+        object.__setattr__(self, "n_panels", n_panels)
+        try:
+            object.__setattr__(self, "precision", Precision.parse(self.precision))
+        except (ValueError, TypeError) as error:
+            raise ServeError(str(error))
+        object.__setattr__(self, "use_head", bool(self.use_head))
+
+    @classmethod
+    def from_dict(cls, payload) -> "AnalyzeRequest":
+        """Parse a wire-format request, rejecting unknown fields.
+
+        ``alpha`` is accepted as an alias for ``alpha_degrees``, and a
+        Reynolds number of 0 means "inviscid only" (like the CLI's
+        ``--reynolds 0``).
+        """
+        if not isinstance(payload, dict):
+            raise ServeError(
+                f"request payload must be a JSON object, got {type(payload).__name__}"
+            )
+        payload = dict(payload)
+        if "alpha" in payload:
+            if "alpha_degrees" in payload:
+                raise ServeError("give either 'alpha' or 'alpha_degrees', not both")
+            payload["alpha_degrees"] = payload.pop("alpha")
+        unknown = sorted(set(payload) - set(REQUEST_FIELDS))
+        if unknown:
+            raise ServeError(f"unknown request fields: {', '.join(unknown)}")
+        if "airfoil" not in payload:
+            raise ServeError("request is missing the 'airfoil' field")
+        if not isinstance(payload["airfoil"], str):
+            raise ServeError("'airfoil' must be a designation string")
+        if payload.get("reynolds") in (0, 0.0):
+            payload["reynolds"] = None
+        try:
+            return cls(**payload)
+        except (TypeError, ValueError) as error:
+            raise ServeError(f"invalid request payload: {error}")
+
+    def to_dict(self) -> dict:
+        """The wire-format rendering of this request."""
+        if not isinstance(self.airfoil, str):
+            raise ServeError(
+                "only designation-string requests are JSON-serializable; "
+                f"got an Airfoil object ({self.airfoil.name!r})"
+            )
+        return {
+            "airfoil": self.airfoil,
+            "alpha_degrees": self.alpha_degrees,
+            "reynolds": self.reynolds,
+            "n_panels": self.n_panels,
+            "precision": self.precision.value,
+            "use_head": self.use_head,
+        }
+
+    def build_airfoil(self) -> Airfoil:
+        """The discretized geometry this request evaluates."""
+        return _as_airfoil(self.airfoil, self.n_panels)
+
+    def freestream(self) -> Freestream:
+        """The onset flow this request evaluates under."""
+        return Freestream.from_degrees(self.alpha_degrees)
+
+    def cache_key(self) -> str:
+        """Genome-keyed digest: hashed geometry + flow + solver config.
+
+        Hashing the discretized outline (rather than the designation
+        string) makes equivalent geometries share cache entries however
+        they were spelled, and distinguishes panel counts for free.
+        """
+        foil = self.build_airfoil()
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(foil.points, dtype=np.float64).tobytes())
+        digest.update(repr((
+            self.alpha_degrees,
+            self.reynolds,
+            self.precision.value,
+            self.use_head,
+        )).encode("ascii"))
+        return digest.hexdigest()
+
+    def run(self) -> "AirfoilAnalysis":
+        """Evaluate this request (batched path, stack of one)."""
+        result = evaluate_requests([self])[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+
+def evaluate_requests(requests: Sequence[AnalyzeRequest]) -> List:
+    """Evaluate many requests through the batched assembly/LU path.
+
+    Requests are grouped by system size and dtype; each group is
+    assembled into one ``(batch, m, m)`` stack and solved with
+    :func:`repro.linalg.batched_lu_factor` — the code path the paper's
+    hardware timings describe, and the one :mod:`repro.serve` feeds its
+    micro-batches through.
+
+    Returns one entry per request, in order: an
+    :class:`AirfoilAnalysis` on success, or the :class:`ReproError`
+    that request raised (so one bad geometry cannot poison its
+    batchmates).
+    """
+    requests = list(requests)
+    results: List = [None] * len(requests)
+    groups: dict = {}
+    for index, request in enumerate(requests):
+        try:
+            system = assemble(request.build_airfoil(), request.freestream(),
+                              dtype=request.precision.dtype)
+        except ReproError as error:
+            results[index] = error
+            continue
+        key = (system.n_unknowns, system.matrix.dtype)
+        groups.setdefault(key, []).append((index, request, system))
+    for members in groups.values():
+        matrices = np.stack([system.matrix for _, _, system in members])
+        rhs = np.stack([system.rhs for _, _, system in members])
+        try:
+            unknowns = batched_lu_solve(batched_lu_factor(matrices, overwrite=True), rhs)
+        except ReproError as error:
+            for index, _, _ in members:
+                results[index] = error
+            continue
+        for (index, request, system), row in zip(members, unknowns):
+            try:
+                gamma, constant = system.expand_solution(row)
+                solution = PanelSolution(
+                    airfoil=system.airfoil,
+                    freestream=system.freestream,
+                    closure=system.closure,
+                    gamma=np.asarray(gamma, dtype=np.float64),
+                    constant=constant,
+                )
+                viscous = None
+                if request.reynolds is not None:
+                    viscous = analyze_viscous(solution, request.reynolds,
+                                              use_head=request.use_head)
+                results[index] = AirfoilAnalysis(solution=solution, viscous=viscous)
+            except ReproError as error:
+                results[index] = error
+    return results
+
+
+def serialize_analysis(request: AnalyzeRequest, analysis: AirfoilAnalysis) -> dict:
+    """The wire-format response record for one evaluated request."""
+    solution = analysis.solution
+    return {
+        "airfoil": solution.airfoil.name,
+        "alpha_degrees": float(request.alpha_degrees),
+        "n_panels": int(solution.airfoil.n_panels),
+        "precision": request.precision.value,
+        "reynolds": None if request.reynolds is None else float(request.reynolds),
+        "use_head": bool(request.use_head),
+        "cl": float(analysis.cl),
+        "cm": float(analysis.cm),
+        "cd": None if analysis.cd is None else float(analysis.cd),
+        "lift_to_drag": (None if analysis.lift_to_drag is None
+                         else float(analysis.lift_to_drag)),
+        "separated": (None if analysis.viscous is None
+                      else bool(analysis.viscous.separated)),
+    }
+
+
+def canonical_json(payload) -> str:
+    """Canonical JSON rendering: sorted keys, compact separators.
+
+    Every producer of wire-format records (the CLI's ``--json`` and the
+    serve HTTP responses) goes through this one function, which is what
+    makes equal payloads byte-identical.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)

@@ -61,5 +61,21 @@ class CalibrationError(ReproError):
     """Raised when calibration data is missing or self-inconsistent."""
 
 
+class ServeError(ReproError):
+    """Raised by the serving subsystem for invalid requests or misuse.
+
+    Examples: a malformed analyze payload, submitting to a service that
+    is shutting down, or a client-side transport failure.
+    """
+
+
+class OverloadedError(ServeError):
+    """Raised when the service sheds load (admission queue is full).
+
+    Clients should back off and retry; the HTTP front end maps this to
+    a ``503 Service Unavailable`` response.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment harness receives an unknown target."""

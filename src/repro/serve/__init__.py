@@ -1,0 +1,51 @@
+"""repro.serve: the batched airfoil-evaluation service.
+
+Turns the library's batched panel solver into a long-running request
+path: a dynamic micro-batcher coalesces concurrent analyze requests
+into stacks for the batched LU kernels, a genome-keyed LRU cache
+short-circuits repeats, a bounded worker pool sheds load instead of
+melting, and a stdlib-only HTTP front end exposes the whole thing as
+``python -m repro serve``.
+
+Quickstart (in-process)::
+
+    from repro.serve import AnalysisService
+
+    with AnalysisService(max_batch=16, max_wait=0.002) as service:
+        record = service.analyze({"airfoil": "2412", "alpha_degrees": 4.0})
+        print(record["cl"], service.metrics_snapshot()["cache"])
+
+Quickstart (over HTTP)::
+
+    from repro.serve import AnalysisService, ServeClient, start_server
+
+    service = AnalysisService()
+    server = start_server(service)  # ephemeral port
+    client = ServeClient(port=server.port)
+    print(client.analyze("2412", 4.0)["cl"])
+    server.stop(); service.close()
+
+See ``docs/serving.md`` for architecture and tuning.
+"""
+
+from repro.serve.batcher import BatchPolicy, collect_batch, suggested_policy
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient
+from repro.serve.http import AnalysisHTTPServer, start_server
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.service import AnalysisService
+from repro.serve.workers import PendingResult, WorkerPool
+
+__all__ = [
+    "AnalysisHTTPServer",
+    "AnalysisService",
+    "BatchPolicy",
+    "PendingResult",
+    "ResultCache",
+    "ServeClient",
+    "ServiceMetrics",
+    "WorkerPool",
+    "collect_batch",
+    "start_server",
+    "suggested_policy",
+]

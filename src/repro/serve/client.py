@@ -1,0 +1,125 @@
+"""Synchronous stdlib-only client for the serve HTTP API.
+
+Used by the end-to-end tests and the serving benchmark; also a
+reasonable template for real callers.  Transport failures and non-2xx
+responses surface as :class:`~repro.errors.ServeError`
+(:class:`~repro.errors.OverloadedError` for 503, so callers can
+implement backoff with one ``except`` clause).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import List, Optional, Sequence, Union
+
+from repro.core.api import AnalyzeRequest, canonical_json
+from repro.errors import OverloadedError, ServeError
+
+RequestLike = Union[AnalyzeRequest, dict]
+
+
+class ServeClient:
+    """Blocking JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000, *,
+                 timeout: float = 60.0) -> None:
+        self.base_url = f"http://{host}:{int(port)}"
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def analyze(self, airfoil: Union[str, RequestLike], alpha_degrees: float = 0.0,
+                **kwargs) -> dict:
+        """``POST /analyze``; accepts a designation plus keywords, an
+        :class:`AnalyzeRequest`, or a raw wire-format dict."""
+        return json.loads(self.analyze_raw(airfoil, alpha_degrees, **kwargs))
+
+    def analyze_raw(self, airfoil: Union[str, RequestLike],
+                    alpha_degrees: float = 0.0, **kwargs) -> str:
+        """Like :meth:`analyze` but returns the raw (canonical) body —
+        the bytes the byte-identity contract with the CLI is about."""
+        payload = _as_payload(airfoil, alpha_degrees, kwargs)
+        return self._post("/analyze", payload)
+
+    def analyze_batch(self, requests: Sequence[RequestLike]) -> List[dict]:
+        """``POST /analyze_batch``; one record or error object per item."""
+        payload = {"requests": [_as_payload(request, 0.0, {})
+                                for request in requests]}
+        return json.loads(self._post("/analyze_batch", payload))["results"]
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return json.loads(self._get("/metrics"))
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return json.loads(self._get("/healthz"))
+
+    def wait_until_ready(self, timeout: float = 5.0) -> dict:
+        """Poll ``/healthz`` until the server answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServeError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _get(self, path: str) -> str:
+        return self._request(urllib.request.Request(self.base_url + path))
+
+    def _post(self, path: str, payload: dict) -> str:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=canonical_json(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._request(request)
+
+    def _request(self, request: "urllib.request.Request") -> str:
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            message = _error_message(body) or f"HTTP {error.code}"
+            if error.code == 503:
+                raise OverloadedError(message)
+            raise ServeError(f"server rejected request ({error.code}): {message}")
+        except urllib.error.URLError as error:
+            raise ServeError(f"cannot reach {self.base_url}: {error.reason}")
+
+
+def _as_payload(request: Union[str, RequestLike], alpha_degrees: float,
+                kwargs: dict) -> dict:
+    if isinstance(request, AnalyzeRequest):
+        if kwargs:
+            raise ServeError("keyword arguments cannot amend an AnalyzeRequest")
+        return request.to_dict()
+    if isinstance(request, dict):
+        if kwargs:
+            raise ServeError("keyword arguments cannot amend a dict payload")
+        return dict(request)
+    return AnalyzeRequest(airfoil=request, alpha_degrees=alpha_degrees,
+                          **kwargs).to_dict()
+
+
+def _error_message(body: str) -> Optional[str]:
+    try:
+        parsed = json.loads(body)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(parsed, dict):
+        return parsed.get("error")
+    return None

@@ -1,0 +1,206 @@
+"""Stdlib-only HTTP front end for the analysis service.
+
+Endpoints (all JSON):
+
+* ``POST /analyze`` — one wire-format request; the response body is the
+  :func:`repro.core.api.canonical_json` record, byte-identical to the
+  CLI's ``analyze --json`` for the same input.
+* ``POST /analyze_batch`` — ``{"requests": [...]}``; responds
+  ``{"results": [...]}`` with a record or ``{"error", "type"}`` object
+  per item, preserving order.
+* ``GET /healthz`` — liveness plus queue depth.
+* ``GET /metrics`` — the service's counter snapshot.
+
+Error mapping: malformed input → 400, shed load → 503, unexpected
+failure → 500.  The server is a ``ThreadingHTTPServer``; every handler
+thread just blocks on the service's :class:`PendingResult`, so the
+micro-batcher sees all concurrent requests at once.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.core.api import canonical_json
+from repro.errors import OverloadedError, ReproError, ServeError
+from repro.serve.service import AnalysisService
+
+#: Maximum accepted request body, a guard against memory-exhaustion.
+MAX_BODY_BYTES = 1 << 20
+
+
+class AnalysisHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`AnalysisService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The socketserver default backlog of 5 resets connections under a
+    # concurrent burst — exactly the workload a micro-batcher exists for.
+    request_queue_size = 128
+
+    def __init__(self, address: Tuple[str, int], service: AnalysisService, *,
+                 request_timeout: float = 60.0) -> None:
+        super().__init__(address, _AnalysisHandler)
+        self.service = service
+        self.request_timeout = request_timeout
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with an ephemeral ``port=0`` bind)."""
+        return self.server_address[1]
+
+    def start_background(self) -> "AnalysisHTTPServer":
+        """Serve from a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ServeError("server is already running")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block on the background acceptor thread; True once it exits."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop accepting connections and join the acceptor thread."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+
+def start_server(service: AnalysisService, *, host: str = "127.0.0.1",
+                 port: int = 0, request_timeout: float = 60.0) -> AnalysisHTTPServer:
+    """Bind and start a background server; ``port=0`` picks a free port."""
+    server = AnalysisHTTPServer((host, port), service,
+                                request_timeout=request_timeout)
+    return server.start_background()
+
+
+class _AnalysisHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    timeout = 120.0  # socket inactivity guard for keep-alive connections
+
+    # The default handler logs every request to stderr; a serving
+    # process under load must not pay for that.
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send_json(200, {
+                "status": "ok",
+                "queue_depth": self.server.service.queue_depth,
+            })
+        elif self.path == "/metrics":
+            self._send_json(200, self.server.service.metrics_snapshot())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}",
+                                  "type": "NotFound"})
+
+    def do_POST(self) -> None:
+        if self.path == "/analyze":
+            self._handle_analyze()
+        elif self.path == "/analyze_batch":
+            self._handle_analyze_batch()
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}",
+                                  "type": "NotFound"})
+
+    def _handle_analyze(self) -> None:
+        payload = self._read_json()
+        if payload is None:
+            return
+        service = self.server.service
+        try:
+            result = service.analyze(payload, timeout=self.server.request_timeout)
+        except OverloadedError as error:
+            self._send_json(503, _error_body(error))
+            return
+        except ReproError as error:
+            self._send_json(400, _error_body(error))
+            return
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, _error_body(error))
+            return
+        self._send_body(200, canonical_json(result).encode("utf-8"))
+
+    def _handle_analyze_batch(self) -> None:
+        payload = self._read_json()
+        if payload is None:
+            return
+        if not isinstance(payload, dict) or not isinstance(payload.get("requests"), list):
+            self._send_json(400, {
+                "error": "analyze_batch expects {\"requests\": [...]}",
+                "type": "ServeError",
+            })
+            return
+        service = self.server.service
+        # Submit everything before waiting on anything, so the whole
+        # HTTP batch can coalesce into as few solve stacks as possible.
+        pendings = []
+        for item in payload["requests"]:
+            try:
+                pendings.append(service.submit(item))
+            except ReproError as error:
+                pendings.append(error)
+        results = []
+        for pending in pendings:
+            if isinstance(pending, Exception):
+                results.append(_error_body(pending))
+                continue
+            try:
+                results.append(pending.result(timeout=self.server.request_timeout))
+            except ReproError as error:
+                results.append(_error_body(error))
+        self._send_json(200, {"results": results})
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _read_json(self):
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "missing or oversized request body",
+                                  "type": "ServeError"})
+            return None
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": f"invalid JSON body: {error}",
+                                  "type": "ServeError"})
+            return None
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_body(status, canonical_json(payload).encode("utf-8"))
+
+    def _send_body(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def _error_body(error: BaseException) -> dict:
+    return {"error": str(error), "type": type(error).__name__}

@@ -1,0 +1,147 @@
+"""Serving-side accounting, in the spirit of :mod:`repro.pipeline.metrics`.
+
+Where the pipeline module reduces a simulated timeline to the paper's
+W/A/L/O numbers, this one reduces the live request path to the numbers
+an operator tunes against: admission and shedding counts, micro-batch
+and solve-stack size histograms, and a latency quantile sketch.
+Everything is cheap enough to update under one lock on every request.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import Counter, deque
+from typing import Optional
+
+
+def percentile(sorted_values, fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of an ascending sequence (None if empty)."""
+    if not sorted_values:
+        return None
+    rank = max(0, math.ceil(fraction * len(sorted_values)) - 1)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+class ServiceMetrics:
+    """Thread-safe counters for one :class:`~repro.serve.AnalysisService`.
+
+    Parameters
+    ----------
+    latency_window:
+        Number of most-recent request latencies retained for the
+        p50/p99 estimates (a sliding window, so quantiles track the
+        current load rather than the whole process lifetime).
+    """
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._shed = 0
+        self._flushes = 0
+        self._solves = 0
+        self._solved_systems = 0
+        self._batch_sizes: Counter = Counter()
+        self._stack_sizes: Counter = Counter()
+        self._latencies: deque = deque(maxlen=int(latency_window))
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_admitted(self) -> None:
+        """One request accepted (served from cache or enqueued)."""
+        with self._lock:
+            self._admitted += 1
+
+    def record_shed(self) -> None:
+        """One request rejected by admission control."""
+        with self._lock:
+            self._shed += 1
+
+    def record_completed(self, latency_seconds: float) -> None:
+        """One request resolved successfully."""
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(float(latency_seconds))
+
+    def record_failed(self, latency_seconds: float) -> None:
+        """One request resolved with an error."""
+        with self._lock:
+            self._failed += 1
+            self._latencies.append(float(latency_seconds))
+
+    def record_flush(self, n_requests: int) -> None:
+        """One micro-batch handed to a worker (size = coalesced requests)."""
+        with self._lock:
+            self._flushes += 1
+            self._batch_sizes[int(n_requests)] += 1
+
+    def record_solve(self, stack_size: int) -> None:
+        """One batched LU call over ``stack_size`` unique systems."""
+        with self._lock:
+            self._solves += 1
+            self._solved_systems += int(stack_size)
+            self._stack_sizes[int(stack_size)] += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def batched_solves(self) -> int:
+        """Number of batched LU calls issued so far."""
+        with self._lock:
+            return self._solves
+
+    def snapshot(self, *, queue_depth: int = 0, cache_stats: dict = None) -> dict:
+        """One JSON-ready snapshot of every counter.
+
+        ``queue_depth`` and ``cache_stats`` are sampled by the caller
+        (they live on the pool and the cache respectively) and merged
+        here so ``/metrics`` is a single document.
+        """
+        with self._lock:
+            latencies = sorted(self._latencies)
+            in_flight = self._admitted - self._completed - self._failed
+            snapshot = {
+                "requests": {
+                    "admitted": self._admitted,
+                    "completed": self._completed,
+                    "failed": self._failed,
+                    "shed": self._shed,
+                    "in_flight": max(0, in_flight),
+                },
+                "queue_depth": int(queue_depth),
+                "batching": {
+                    "flushes": self._flushes,
+                    "batched_solves": self._solves,
+                    "solved_systems": self._solved_systems,
+                    "max_batch": max(self._batch_sizes) if self._batch_sizes else 0,
+                    "batch_size_histogram": {
+                        str(size): count
+                        for size, count in sorted(self._batch_sizes.items())
+                    },
+                    "stack_size_histogram": {
+                        str(size): count
+                        for size, count in sorted(self._stack_sizes.items())
+                    },
+                },
+                "latency_ms": {
+                    "count": len(latencies),
+                    "mean": (1e3 * sum(latencies) / len(latencies)
+                             if latencies else None),
+                    "p50": _ms(percentile(latencies, 0.50)),
+                    "p99": _ms(percentile(latencies, 0.99)),
+                    "max": _ms(latencies[-1] if latencies else None),
+                },
+            }
+        if cache_stats is not None:
+            snapshot["cache"] = dict(cache_stats)
+        return snapshot
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else 1e3 * seconds

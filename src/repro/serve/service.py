@@ -1,0 +1,236 @@
+"""The in-process analysis service: cache + micro-batcher + worker pool.
+
+One :class:`AnalysisService` is the whole serving brain; the HTTP front
+end (:mod:`repro.serve.http`) is a thin shell around it, and tests and
+benchmarks drive it directly.
+
+Request lifecycle:
+
+1. **Admission** — the cache is consulted (a counted lookup); a hit
+   resolves immediately, a miss is enqueued through the pool's bounded
+   admission (shedding with :class:`~repro.errors.OverloadedError` when
+   full).
+2. **Coalescing** — a worker drains the queue into a micro-batch under
+   the :class:`~repro.serve.batcher.BatchPolicy`.
+3. **Dedup** — identical cache keys inside the batch collapse to one
+   evaluation; the cache is re-checked in case an earlier batch filled
+   it while this one queued.
+4. **Solve** — unique requests go through
+   :func:`repro.core.api.evaluate_requests`, which stacks same-size
+   systems and runs the batched LU kernels.
+5. **Fan-out** — results are serialized once, inserted into the cache,
+   and every waiter (including coalesced duplicates, which count as
+   cache hits) is resolved.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.api import (
+    AnalyzeRequest,
+    canonical_json,
+    evaluate_requests,
+    serialize_analysis,
+)
+from repro.errors import ServeError
+from repro.serve.batcher import BatchPolicy, suggested_policy
+from repro.serve.cache import ResultCache
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.workers import PendingResult, WorkerPool
+
+RequestLike = Union[AnalyzeRequest, dict]
+
+
+@dataclasses.dataclass
+class _Job:
+    """One queued request with its waiter and arrival time."""
+
+    request: AnalyzeRequest
+    key: str
+    pending: PendingResult
+    enqueued: float
+
+
+class AnalysisService:
+    """A long-running batched airfoil-evaluation service.
+
+    Parameters
+    ----------
+    max_batch, max_wait:
+        Micro-batcher knobs; ``None`` derives either from the pipeline
+        slicing heuristics (see :func:`repro.serve.batcher.suggested_policy`).
+    cache_size:
+        LRU capacity of the result cache (0 disables caching).
+    n_workers:
+        Worker threads coalescing and solving micro-batches.
+    queue_limit:
+        Admission bound; requests beyond it are shed.
+    n_panels_hint:
+        System size the derived batching defaults are tuned for.
+    """
+
+    def __init__(self, *, max_batch: Optional[int] = None,
+                 max_wait: Optional[float] = None, cache_size: int = 1024,
+                 n_workers: int = 2, queue_limit: int = 256,
+                 n_panels_hint: int = 200) -> None:
+        self.policy: BatchPolicy = suggested_policy(
+            n_panels_hint, max_batch=max_batch, max_wait=max_wait
+        )
+        self.cache = ResultCache(cache_size)
+        self.metrics = ServiceMetrics()
+        self._pool = WorkerPool(
+            self._process_batch, self.policy,
+            n_workers=n_workers, queue_limit=queue_limit,
+            on_error=self._fail_batch,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Approximate number of requests waiting for a worker."""
+        return self._pool.queue_depth
+
+    def submit(self, request: RequestLike) -> PendingResult:
+        """Admit one request; returns the waiter for its response dict.
+
+        Raises :class:`ServeError` for malformed requests or after
+        :meth:`close`, and :class:`~repro.errors.OverloadedError` when
+        admission control sheds the request.
+        """
+        if self._closed:
+            raise ServeError("service is closed")
+        if isinstance(request, dict):
+            request = AnalyzeRequest.from_dict(request)
+        elif not isinstance(request, AnalyzeRequest):
+            raise ServeError(
+                f"submit expects an AnalyzeRequest or dict, "
+                f"got {type(request).__name__}"
+            )
+        key = request.cache_key()
+        pending = PendingResult()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.record_admitted()
+            self.metrics.record_completed(0.0)
+            pending.resolve(cached)
+            return pending
+        job = _Job(request=request, key=key, pending=pending,
+                   enqueued=time.monotonic())
+        try:
+            self._pool.submit(job)
+        except ServeError:
+            self.metrics.record_shed()
+            raise
+        self.metrics.record_admitted()
+        return pending
+
+    def analyze(self, request: RequestLike, *,
+                timeout: Optional[float] = 60.0) -> dict:
+        """Submit and block for the wire-format response dict."""
+        return self.submit(request).result(timeout=timeout)
+
+    def analyze_batch(self, requests: Sequence[RequestLike], *,
+                      timeout: Optional[float] = 60.0) -> List[dict]:
+        """Submit many requests together and block for all responses.
+
+        Submitting before waiting lets the batcher coalesce the whole
+        set into as few stacks as the policy allows.
+        """
+        pendings = [self.submit(request) for request in requests]
+        return [pending.result(timeout=timeout) for pending in pendings]
+
+    def analyze_json(self, request: RequestLike, *,
+                     timeout: Optional[float] = 60.0) -> str:
+        """Like :meth:`analyze` but rendered through the canonical JSON."""
+        return canonical_json(self.analyze(request, timeout=timeout))
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _process_batch(self, jobs: List[_Job]) -> None:
+        self.metrics.record_flush(len(jobs))
+        groups: "collections.OrderedDict[str, List[_Job]]" = collections.OrderedDict()
+        for job in jobs:
+            groups.setdefault(job.key, []).append(job)
+
+        to_solve: List[List[_Job]] = []
+        for key, group in groups.items():
+            cached = self.cache.get(key)  # an earlier batch may have filled it
+            if cached is not None:
+                self._resolve_group(group, cached)
+            else:
+                to_solve.append(group)
+        if not to_solve:
+            return
+
+        representatives = [group[0] for group in to_solve]
+        stack_sizes = collections.Counter(
+            (job.request.n_panels, job.request.precision)
+            for job in representatives
+        )
+        for size in stack_sizes.values():
+            self.metrics.record_solve(size)
+        outcomes = evaluate_requests([job.request for job in representatives])
+
+        now = time.monotonic()
+        for group, outcome in zip(to_solve, outcomes):
+            leader = group[0]
+            if isinstance(outcome, Exception):
+                for job in group:
+                    self.metrics.record_failed(now - job.enqueued)
+                    job.pending.fail(outcome)
+                continue
+            payload = serialize_analysis(leader.request, outcome)
+            self.cache.put(leader.key, payload)
+            self.metrics.record_completed(now - leader.enqueued)
+            leader.pending.resolve(payload)
+            for job in group[1:]:  # coalesced duplicates: cache hits
+                value = self.cache.get(job.key) or payload
+                self.metrics.record_completed(now - job.enqueued)
+                job.pending.resolve(value)
+
+    def _fail_batch(self, jobs: List[_Job], error: BaseException) -> None:
+        """Last-resort failure path when batch processing itself raises."""
+        wrapped = error if isinstance(error, ServeError) else ServeError(
+            f"batch processing failed: {error!r}"
+        )
+        now = time.monotonic()
+        for job in jobs:
+            self.metrics.record_failed(now - job.enqueued)
+            job.pending.fail(wrapped)
+
+    def _resolve_group(self, group: List[_Job], payload: dict) -> None:
+        now = time.monotonic()
+        for job in group:
+            self.metrics.record_completed(now - job.enqueued)
+            job.pending.resolve(payload)
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """The ``/metrics`` document: counters, queue depth, cache stats."""
+        return self.metrics.snapshot(
+            queue_depth=self.queue_depth, cache_stats=self.cache.stats()
+        )
+
+    def close(self, timeout: float = 10.0) -> bool:
+        """Drain accepted work and stop the workers (idempotent)."""
+        self._closed = True
+        return self._pool.shutdown(timeout=timeout)
+
+    def __enter__(self) -> "AnalysisService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,183 @@
+"""Worker pool with bounded admission and graceful drain.
+
+The pool owns the service's only queue.  Admission is a non-blocking
+``put``: when the queue is full the request is *shed* with
+:class:`~repro.errors.OverloadedError` instead of building an unbounded
+backlog — the paper's pipeline keeps every resource busy precisely
+because it never lets work pile up faster than the solver drains it,
+and a service under overload should say so rather than time out.
+
+Shutdown is graceful by construction: the drain flag stops new
+admissions, a sentinel is enqueued *behind* every accepted request
+(FIFO), and each worker that draws the sentinel pushes it back for its
+siblings before exiting.  Everything admitted before ``shutdown`` is
+therefore still processed.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.errors import OverloadedError, ServeError
+from repro.serve.batcher import BatchPolicy, collect_batch
+
+#: Queue marker that tells workers to exit.
+_SENTINEL = object()
+
+
+class PendingResult:
+    """A write-once slot a submitter blocks on.
+
+    Workers call :meth:`resolve` or :meth:`fail`; the submitting thread
+    calls :meth:`result`, which re-raises a failure in its own context.
+    """
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value = None
+        self._error: Optional[BaseException] = None
+
+    def resolve(self, value) -> None:
+        """Deliver a successful result (first write wins)."""
+        if not self._event.is_set():
+            self._value = value
+            self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        """Deliver a failure (first write wins)."""
+        if not self._event.is_set():
+            self._error = error
+            self._event.set()
+
+    def done(self) -> bool:
+        """True once a result or failure has been delivered."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for the outcome; raise it if it was a failure."""
+        if not self._event.wait(timeout):
+            raise ServeError(
+                f"timed out after {timeout}s waiting for an analysis result"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class WorkerPool:
+    """Micro-batching workers over one bounded queue.
+
+    Parameters
+    ----------
+    process:
+        Callable invoked with each coalesced micro-batch (a list of
+        submitted items).  It must resolve every item itself and should
+        not raise; anything it does raise goes to *on_error*.
+    policy:
+        The :class:`BatchPolicy` workers coalesce under.
+    n_workers:
+        Worker thread count.  One worker maximizes coalescing; more
+        overlap post-processing of separate batches.
+    queue_limit:
+        Admission bound — the most requests allowed to wait.
+    on_error:
+        Called as ``on_error(items, exception)`` when *process* raises,
+        so the owner can fail the affected items; by default the error
+        is re-raised into the worker thread (killing it), so services
+        should always pass a handler.
+    """
+
+    def __init__(self, process: Callable[[List], None],
+                 policy: Optional[BatchPolicy] = None, *,
+                 n_workers: int = 2, queue_limit: int = 256,
+                 name: str = "repro-serve",
+                 on_error: Optional[Callable[[List, BaseException], None]] = None):
+        if int(n_workers) < 1:
+            raise ServeError(f"n_workers must be at least 1, got {n_workers}")
+        if int(queue_limit) < 1:
+            raise ServeError(f"queue_limit must be at least 1, got {queue_limit}")
+        self._process = process
+        self._policy = policy or BatchPolicy()
+        self._queue: queue_module.Queue = queue_module.Queue(maxsize=int(queue_limit))
+        self._queue_limit = int(queue_limit)
+        self._on_error = on_error
+        self._draining = threading.Event()
+        self._threads = [
+            threading.Thread(target=self._run, name=f"{name}-worker-{index}",
+                             daemon=True)
+            for index in range(int(n_workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def policy(self) -> BatchPolicy:
+        """The batching policy workers coalesce under."""
+        return self._policy
+
+    @property
+    def queue_limit(self) -> int:
+        """The admission bound."""
+        return self._queue_limit
+
+    @property
+    def queue_depth(self) -> int:
+        """Approximate number of requests waiting (racy by nature)."""
+        return self._queue.qsize()
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown has begun; submissions are refused."""
+        return self._draining.is_set()
+
+    def submit(self, item) -> None:
+        """Admit one item, or shed it.
+
+        Raises :class:`ServeError` while draining and
+        :class:`OverloadedError` when the queue is full.
+        """
+        if self._draining.is_set():
+            raise ServeError("service is shutting down; request refused")
+        try:
+            self._queue.put_nowait(item)
+        except queue_module.Full:
+            raise OverloadedError(
+                f"service overloaded: {self._queue_limit} requests already "
+                "queued; retry with backoff"
+            )
+
+    def shutdown(self, timeout: float = 10.0) -> bool:
+        """Drain accepted work, stop the workers, and join them.
+
+        Returns True when every worker exited within *timeout*.
+        Idempotent: later calls just re-join.
+        """
+        self._draining.set()
+        self._queue.put(_SENTINEL)  # lands behind all admitted work
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        return not any(thread.is_alive() for thread in self._threads)
+
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _SENTINEL:
+                self._queue.put(_SENTINEL)  # wake the next worker
+                return
+            items, saw_sentinel = collect_batch(
+                self._queue, first, self._policy, sentinel=_SENTINEL
+            )
+            try:
+                self._process(items)
+            except BaseException as error:  # keep the worker alive
+                if self._on_error is None:
+                    raise
+                self._on_error(items, error)
+            if saw_sentinel:
+                return

@@ -10,9 +10,11 @@ from repro.errors import (
     HardwareModelError,
     LinalgError,
     OptimizationError,
+    OverloadedError,
     PanelMethodError,
     ReproError,
     ScheduleError,
+    ServeError,
     ViscousError,
 )
 
@@ -23,8 +25,10 @@ ALL_ERRORS = (
     HardwareModelError,
     LinalgError,
     OptimizationError,
+    OverloadedError,
     PanelMethodError,
     ScheduleError,
+    ServeError,
     ViscousError,
 )
 
@@ -42,6 +46,9 @@ class TestErrorHierarchy:
 
     def test_errors_are_distinct(self):
         assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)
+
+    def test_overloaded_is_a_serve_error(self):
+        assert issubclass(OverloadedError, ServeError)
 
     def test_library_raises_its_own_errors(self):
         from repro.geometry import naca
@@ -64,6 +71,7 @@ class TestPackageSurface:
         "repro.geometry", "repro.linalg", "repro.panel", "repro.viscous",
         "repro.optimize", "repro.hardware", "repro.pipeline",
         "repro.experiments", "repro.validation", "repro.viz",
+        "repro.serve",
     ])
     def test_subpackage_all_resolves(self, module):
         """Every name in __all__ is actually importable."""

@@ -1,0 +1,92 @@
+"""Tests for micro-batch collection and the slicing-derived policy."""
+
+import queue
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import BatchPolicy, collect_batch, suggested_policy
+from repro.serve.batcher import MAX_BATCH_CEILING, MAX_WAIT, MIN_WAIT
+
+
+class TestBatchPolicy:
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ServeError):
+            BatchPolicy(max_wait=-1.0)
+        with pytest.raises(ServeError):
+            BatchPolicy(max_wait=float("inf"))
+
+    def test_coerces_types(self):
+        policy = BatchPolicy(max_batch=8.0, max_wait=1)
+        assert policy.max_batch == 8 and policy.max_wait == 1.0
+
+
+class TestCollectBatch:
+    def test_max_batch_path_flushes_without_waiting(self):
+        source = queue.Queue()
+        for index in range(10):
+            source.put(index)
+        first = source.get()
+        start = time.monotonic()
+        items, saw = collect_batch(source, first,
+                                   BatchPolicy(max_batch=4, max_wait=5.0))
+        elapsed = time.monotonic() - start
+        assert items == [0, 1, 2, 3] and not saw
+        assert elapsed < 1.0  # did NOT sit out the 5 s deadline
+        assert source.qsize() == 6
+
+    def test_deadline_path_flushes_partial_batch(self):
+        source = queue.Queue()
+        start = time.monotonic()
+        items, saw = collect_batch(source, "only",
+                                   BatchPolicy(max_batch=8, max_wait=0.05))
+        elapsed = time.monotonic() - start
+        assert items == ["only"] and not saw
+        assert 0.04 <= elapsed < 1.0
+
+    def test_zero_wait_still_drains_backlog(self):
+        source = queue.Queue()
+        for index in range(5):
+            source.put(index)
+        first = source.get()
+        items, saw = collect_batch(source, first,
+                                   BatchPolicy(max_batch=100, max_wait=0.0))
+        assert items == [0, 1, 2, 3, 4] and not saw
+
+    def test_sentinel_is_pushed_back(self):
+        sentinel = object()
+        source = queue.Queue()
+        source.put("b")
+        source.put(sentinel)
+        items, saw = collect_batch(source, "a",
+                                   BatchPolicy(max_batch=10, max_wait=0.0),
+                                   sentinel=sentinel)
+        assert items == ["a", "b"] and saw
+        # Re-queued so sibling workers observe the shutdown too.  (In
+        # real use the sentinel is always last: admissions stop before
+        # shutdown enqueues it.)
+        assert source.get_nowait() is sentinel
+
+
+class TestSuggestedPolicy:
+    def test_derived_knobs_respect_clamps(self):
+        policy = suggested_policy(200)
+        assert 1 <= policy.max_batch <= MAX_BATCH_CEILING
+        assert MIN_WAIT <= policy.max_wait <= MAX_WAIT
+
+    def test_explicit_overrides_win_individually(self):
+        policy = suggested_policy(200, max_batch=7)
+        assert policy.max_batch == 7
+        assert MIN_WAIT <= policy.max_wait <= MAX_WAIT  # still derived
+        policy = suggested_policy(200, max_wait=0.001)
+        assert policy.max_wait == 0.001
+
+    def test_deterministic_per_system_size(self):
+        assert suggested_policy(160) == suggested_policy(160)
+
+    def test_invalid_n_panels(self):
+        with pytest.raises(ServeError):
+            suggested_policy(2)

@@ -1,0 +1,84 @@
+"""Tests for the genome-keyed LRU result cache."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ResultCache
+
+
+class TestLRUPolicy:
+    def test_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refreshes 'a'
+        cache.put("c", {"v": 3})  # displaces 'b', the LRU entry
+        assert cache.peek("b") is None
+        assert cache.peek("a") == {"v": 1}
+        assert cache.peek("c") == {"v": 3}
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.put("a", {"v": 10})  # re-put refreshes and replaces
+        cache.put("c", {"v": 3})
+        assert cache.peek("b") is None
+        assert cache.peek("a") == {"v": 10}
+
+    def test_len_tracks_entries(self):
+        cache = ResultCache(capacity=3)
+        for index in range(5):
+            cache.put(str(index), {"v": index})
+        assert len(cache) == 3
+
+
+class TestCounters:
+    def test_hit_and_miss_counting(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("missing") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.get("k") == {"v": 1}
+        assert (cache.hits, cache.misses) == (2, 1)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_peek_is_uncounted(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k", {"v": 1})
+        cache.peek("k")
+        cache.peek("missing")
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_stats_document(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.get("nope")
+        stats = cache.stats()
+        assert stats == {"capacity": 4, "size": 1, "hits": 1, "misses": 1,
+                         "evictions": 0, "hit_rate": 0.5}
+
+    def test_hit_rate_before_any_lookup(self):
+        assert ResultCache(capacity=4).hit_rate == 0.0
+
+
+class TestEdgeCases:
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(capacity=0)
+        cache.put("k", {"v": 1})
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ServeError):
+            ResultCache(capacity=-1)
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1

@@ -1,0 +1,144 @@
+"""End-to-end tests: the HTTP front end on an ephemeral port."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.api import AnalyzeRequest, canonical_json, serialize_analysis
+from repro.errors import ServeError
+from repro.serve import AnalysisService, ServeClient, start_server
+
+
+@pytest.fixture
+def served():
+    """A live service + server on an ephemeral port, torn down cleanly."""
+    service = AnalysisService(max_batch=32, max_wait=0.05, cache_size=128,
+                              n_workers=2, queue_limit=128)
+    server = start_server(service)
+    client = ServeClient(port=server.port)
+    client.wait_until_ready()
+    yield service, server, client
+    server.stop()
+    assert service.close(timeout=10.0)
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, _, client = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert "queue_depth" in health
+
+    def test_analyze_roundtrip_is_canonical(self, served):
+        _, _, client = served
+        raw = client.analyze_raw("2412", 4.0, n_panels=100, reynolds=1e6)
+        request = AnalyzeRequest(airfoil="2412", alpha_degrees=4.0,
+                                 reynolds=1e6, n_panels=100)
+        assert raw == canonical_json(serialize_analysis(request, request.run()))
+        record = json.loads(raw)
+        assert 0.6 < record["cl"] < 0.9
+
+    def test_analyze_batch_preserves_order_and_isolates_errors(self, served):
+        _, _, client = served
+        results = client.analyze_batch([
+            {"airfoil": "0012", "alpha_degrees": 0.0, "n_panels": 60,
+             "reynolds": 0},
+            {"airfoil": "99", "n_panels": 60},  # invalid NACA code
+            {"airfoil": "2412", "alpha_degrees": 4.0, "n_panels": 60,
+             "reynolds": 0},
+        ])
+        assert len(results) == 3
+        assert abs(results[0]["cl"]) < 1e-6
+        assert "error" in results[1] and results[1]["type"]
+        assert results[2]["cl"] > 0.5
+
+    def test_metrics_document_shape(self, served):
+        _, _, client = served
+        client.analyze("0012", 0.0, n_panels=60, reynolds=None)
+        metrics = client.metrics()
+        assert metrics["requests"]["admitted"] >= 1
+        assert metrics["batching"]["batched_solves"] >= 1
+        assert set(metrics["latency_ms"]) == {"count", "mean", "p50", "p99",
+                                              "max"}
+        assert metrics["cache"]["capacity"] == 128
+
+    def test_bad_json_is_400(self, served):
+        _, server, _ = served
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/analyze", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_invalid_request_is_serve_error(self, served):
+        _, _, client = served
+        with pytest.raises(ServeError, match="unknown request fields"):
+            client.analyze({"airfoil": "2412", "bogus": 1})
+
+    def test_unknown_path_is_404(self, served):
+        _, server, _ = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+
+class TestConcurrentBatching:
+    def test_32_identical_requests_batch_and_hit_cache(self):
+        """The acceptance scenario: 32 concurrent identical requests
+        produce at least one batched solve, a nonzero cache hit rate,
+        and a graceful shutdown with no stray threads."""
+        baseline_threads = threading.active_count()
+        service = AnalysisService(max_batch=32, max_wait=0.05, cache_size=64,
+                                  n_workers=2, queue_limit=64)
+        server = start_server(service)
+        client = ServeClient(port=server.port)
+        client.wait_until_ready()
+
+        barrier = threading.Barrier(32)
+        records, errors = [None] * 32, []
+
+        def call(index):
+            try:
+                barrier.wait(10.0)
+                records[index] = client.analyze("2412", 4.0, n_panels=60,
+                                                reynolds=5e5)
+            except Exception as error:  # surface failures in the test body
+                errors.append(error)
+
+        threads = [threading.Thread(target=call, args=(index,))
+                   for index in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        assert all(record == records[0] for record in records)
+        assert 0.6 < records[0]["cl"] < 0.9
+
+        metrics = client.metrics()
+        assert metrics["requests"]["completed"] == 32
+        assert metrics["batching"]["batched_solves"] >= 1
+        assert metrics["cache"]["hits"] > 0
+        assert metrics["cache"]["hit_rate"] > 0.0
+        # Identical requests coalesce: far fewer systems solved than served.
+        assert metrics["batching"]["solved_systems"] < 32
+
+        server.stop()
+        assert service.close(timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        while (threading.active_count() > baseline_threads
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        assert threading.active_count() == baseline_threads
+
+    def test_repeat_after_quiesce_is_a_fast_cache_hit(self, served):
+        service, _, client = served
+        first = client.analyze("0012", 2.0, n_panels=60, reynolds=None)
+        second = client.analyze("0012", 2.0, n_panels=60, reynolds=None)
+        assert first == second
+        assert service.cache.hits >= 1

@@ -1,0 +1,132 @@
+"""Tests for the worker pool: admission control, shedding, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import OverloadedError, ServeError
+from repro.serve import BatchPolicy, PendingResult, WorkerPool
+
+
+class TestPendingResult:
+    def test_resolve(self):
+        pending = PendingResult()
+        pending.resolve({"v": 1})
+        assert pending.done()
+        assert pending.result(timeout=0.1) == {"v": 1}
+
+    def test_fail_reraises_in_waiter(self):
+        pending = PendingResult()
+        pending.fail(ServeError("boom"))
+        with pytest.raises(ServeError, match="boom"):
+            pending.result(timeout=0.1)
+
+    def test_first_write_wins(self):
+        pending = PendingResult()
+        pending.resolve("first")
+        pending.fail(ServeError("late"))
+        pending.resolve("late")
+        assert pending.result(timeout=0.1) == "first"
+
+    def test_timeout(self):
+        with pytest.raises(ServeError, match="timed out"):
+            PendingResult().result(timeout=0.01)
+
+
+class TestWorkerPool:
+    def test_processes_everything_submitted(self):
+        processed = []
+
+        def process(items):
+            processed.extend(items)
+            for item in items:
+                item.resolve(True)
+
+        pool = WorkerPool(process, BatchPolicy(max_batch=4, max_wait=0.01),
+                          n_workers=2, queue_limit=32)
+        pendings = [PendingResult() for _ in range(10)]
+        for pending in pendings:
+            pool.submit(pending)
+        for pending in pendings:
+            assert pending.result(timeout=5.0) is True
+        assert pool.shutdown(timeout=5.0)
+        assert sorted(map(id, processed)) == sorted(map(id, pendings))
+
+    def test_sheds_when_queue_is_full(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def process(items):
+            started.set()
+            release.wait(5.0)
+            for item in items:
+                item.resolve(True)
+
+        pool = WorkerPool(process, BatchPolicy(max_batch=1, max_wait=0.0),
+                          n_workers=1, queue_limit=2)
+        first = PendingResult()
+        pool.submit(first)
+        assert started.wait(5.0)  # worker is now stuck holding `first`
+        queued = [PendingResult(), PendingResult()]
+        for pending in queued:
+            pool.submit(pending)
+        with pytest.raises(OverloadedError):
+            pool.submit(PendingResult())
+        release.set()
+        for pending in [first] + queued:
+            assert pending.result(timeout=5.0) is True
+        assert pool.shutdown(timeout=5.0)
+
+    def test_graceful_drain_finishes_accepted_work(self):
+        def process(items):
+            time.sleep(0.01)
+            for item in items:
+                item.resolve(True)
+
+        pool = WorkerPool(process, BatchPolicy(max_batch=2, max_wait=0.0),
+                          n_workers=1, queue_limit=64)
+        pendings = [PendingResult() for _ in range(12)]
+        for pending in pendings:
+            pool.submit(pending)
+        assert pool.shutdown(timeout=10.0)
+        assert all(pending.done() for pending in pendings)
+        with pytest.raises(ServeError):  # post-drain submissions refused
+            pool.submit(PendingResult())
+
+    def test_process_errors_go_to_handler_and_worker_survives(self):
+        failures = []
+
+        def process(items):
+            if items[0] == "bad":
+                raise ValueError("exploded")
+            items[0].resolve(True)
+
+        pool = WorkerPool(process, BatchPolicy(max_batch=1, max_wait=0.0),
+                          n_workers=1, queue_limit=8,
+                          on_error=lambda items, error: failures.append(
+                              (items, str(error))))
+        pool.submit("bad")
+        good = PendingResult()
+        pool.submit(good)
+        assert good.result(timeout=5.0) is True  # worker outlived the error
+        assert failures == [(["bad"], "exploded")]
+        assert pool.shutdown(timeout=5.0)
+
+    def test_no_stray_threads_after_shutdown(self):
+        baseline = threading.active_count()
+        pool = WorkerPool(lambda items: None, n_workers=3, queue_limit=8)
+        assert threading.active_count() == baseline + 3
+        assert pool.shutdown(timeout=5.0)
+        assert threading.active_count() == baseline
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(lambda items: None, n_workers=1, queue_limit=8)
+        assert pool.shutdown(timeout=5.0)
+        assert pool.shutdown(timeout=5.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ServeError):
+            WorkerPool(lambda items: None, n_workers=0)
+        with pytest.raises(ServeError):
+            WorkerPool(lambda items: None, queue_limit=0)
