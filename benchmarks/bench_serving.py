@@ -8,6 +8,12 @@ the batching column — with ``max_batch=1`` every request is its own
 LU call, while the batched settings collapse the same traffic into a
 handful of stacks (the serving analogue of the paper's slice sweep).
 
+A final *deadline pressure* row runs the same traffic under a
+microscopic per-request deadline: every request expires in the queue
+and is shed at batch collection, so the row demonstrates the lifecycle
+contract — dead work costs no solves (``solved_systems`` stays 0 while
+``expired`` counts the whole offered load).
+
 Also runnable standalone: ``PYTHONPATH=src python benchmarks/bench_serving.py``.
 """
 
@@ -16,6 +22,7 @@ import threading
 import time
 
 from repro.core.api import AnalyzeRequest
+from repro.errors import DeadlineExceededError
 from repro.serve import AnalysisService
 
 #: (max_batch, max_wait_seconds) settings swept by the benchmark.
@@ -24,6 +31,10 @@ SETTINGS = ((1, 0.0), (8, 0.002), (32, 0.01))
 N_CLIENTS = 8
 REQUESTS_PER_CLIENT = 8
 N_PANELS = 60
+
+#: Deadline used by the pressure row: far below any realistic queue
+#: time, so every request expires before a worker can collect it.
+PRESSURE_DEADLINE_MS = 1e-3
 
 
 def _request_stream(client_index):
@@ -37,16 +48,27 @@ def _request_stream(client_index):
         )
 
 
-def drive(max_batch, max_wait):
-    """Run one setting; returns the JSON summary row."""
+def drive(max_batch, max_wait, *, deadline_ms=None):
+    """Run one setting; returns the JSON summary row.
+
+    With ``deadline_ms`` set, every request carries that budget and a
+    :class:`DeadlineExceededError` is an expected outcome rather than a
+    failure.
+    """
     service = AnalysisService(max_batch=max_batch, max_wait=max_wait,
-                              cache_size=256, n_workers=2, queue_limit=1024)
+                              cache_size=256, n_workers=2, queue_limit=1024,
+                              default_deadline_ms=deadline_ms)
     errors = []
+    deadline_hits = [0] * N_CLIENTS
 
     def client(client_index):
         for request in _request_stream(client_index):
             try:
                 service.analyze(request, timeout=60.0)
+            except DeadlineExceededError:
+                deadline_hits[client_index] += 1
+                if deadline_ms is None:  # pragma: no cover - surfaced below
+                    errors.append(RuntimeError("unexpected deadline miss"))
             except Exception as error:  # pragma: no cover - surfaced below
                 errors.append(error)
 
@@ -64,24 +86,33 @@ def drive(max_batch, max_wait):
         raise errors[0]
 
     total = N_CLIENTS * REQUESTS_PER_CLIENT
+    latency = snapshot["latency_ms"]
     return {
         "max_batch": max_batch,
         "max_wait_ms": 1e3 * max_wait,
+        "deadline_ms": deadline_ms,
         "requests": total,
         "wall_s": round(wall, 4),
         "throughput_rps": round(total / wall, 1),
-        "latency_p50_ms": round(snapshot["latency_ms"]["p50"], 3),
-        "latency_p99_ms": round(snapshot["latency_ms"]["p99"], 3),
+        "latency_p50_ms": (None if latency["p50"] is None
+                           else round(latency["p50"], 3)),
+        "latency_p99_ms": (None if latency["p99"] is None
+                           else round(latency["p99"], 3)),
         "cache_hit_rate": round(snapshot["cache"]["hit_rate"], 3),
         "batched_solves": snapshot["batching"]["batched_solves"],
         "solved_systems": snapshot["batching"]["solved_systems"],
         "max_batch_observed": snapshot["batching"]["max_batch"],
         "shed": snapshot["requests"]["shed"],
+        "expired": snapshot["requests"]["expired"],
+        "cancelled": snapshot["requests"]["cancelled"],
+        "deadline_misses_seen_by_clients": sum(deadline_hits),
     }
 
 
 def run_sweep():
-    return [drive(max_batch, max_wait) for max_batch, max_wait in SETTINGS]
+    rows = [drive(max_batch, max_wait) for max_batch, max_wait in SETTINGS]
+    rows.append(drive(32, 0.01, deadline_ms=PRESSURE_DEADLINE_MS))
+    return rows
 
 
 def test_serving_throughput(benchmark):
@@ -91,15 +122,23 @@ def test_serving_throughput(benchmark):
     print("\n" + json.dumps(summaries, indent=2))
 
     total = N_CLIENTS * REQUESTS_PER_CLIENT
-    for summary in summaries:
+    normal, pressure = summaries[:-1], summaries[-1]
+    for summary in normal:
         assert summary["shed"] == 0
+        assert summary["expired"] == 0
         assert summary["solved_systems"] <= total
         assert summary["cache_hit_rate"] > 0.0
     # The batched settings must actually coalesce: fewer LU calls than
     # the unbatched baseline issues.
-    unbatched = summaries[0]
-    for summary in summaries[1:]:
+    unbatched = normal[0]
+    for summary in normal[1:]:
         assert summary["batched_solves"] <= unbatched["batched_solves"]
+    # Deadline pressure: every request expires in the queue, every
+    # expiry reaches its client as a 504-equivalent error, and no
+    # expired request ever costs a solve.
+    assert pressure["expired"] == total
+    assert pressure["deadline_misses_seen_by_clients"] == total
+    assert pressure["solved_systems"] == 0
 
 
 if __name__ == "__main__":

@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub_analyze.add_argument("--json", action="store_true",
                              help="emit the canonical JSON record (same bytes "
                                   "as the serving API's /analyze response)")
+    sub_analyze.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="abort the analysis if it does not finish "
+                                  "within this many seconds (exit code 1)")
 
     sub_serve = subparsers.add_parser(
         "serve", help="run the batched analysis HTTP service"
@@ -76,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker threads")
     sub_serve.add_argument("--queue-limit", type=int, default=256,
                            help="admission bound before load shedding")
+    sub_serve.add_argument("--default-deadline-ms", type=float, default=None,
+                           metavar="MS",
+                           help="deadline applied to requests that do not "
+                                "carry their own X-Repro-Deadline-Ms header "
+                                "or deadline_ms field; expired requests are "
+                                "dropped before solving and answered 504 "
+                                "(default: no deadline)")
     return parser
 
 
@@ -89,14 +100,18 @@ def run_serve(arguments) -> int:
         max_batch=arguments.max_batch, max_wait=max_wait,
         cache_size=arguments.cache_size, n_workers=arguments.workers,
         queue_limit=arguments.queue_limit,
+        default_deadline_ms=arguments.default_deadline_ms,
     )
     server = start_server(service, host=arguments.host, port=arguments.port)
     policy = service.policy
+    deadline = ("none" if service.default_deadline_ms is None
+                else f"{service.default_deadline_ms:g} ms")
     print(f"repro serve listening on http://{arguments.host}:{server.port}  "
           f"(max_batch={policy.max_batch}, "
           f"max_wait={1e3 * policy.max_wait:.1f} ms, "
           f"cache={service.cache.capacity}, workers={arguments.workers}, "
-          f"queue_limit={arguments.queue_limit})", flush=True)
+          f"queue_limit={arguments.queue_limit}, "
+          f"default_deadline={deadline})", flush=True)
     try:
         while not server.wait(3600.0):
             pass
@@ -110,6 +125,42 @@ def run_serve(arguments) -> int:
     return 0
 
 
+def _analyze_with_timeout(request: AnalyzeRequest, timeout: float):
+    """Evaluate *request* with a client-side wall-clock budget.
+
+    The evaluation runs in a daemon thread behind a
+    :class:`~repro.serve.workers.PendingResult`; if the budget expires
+    first the waiter cancels (detaches) and raises
+    :class:`~repro.errors.DeadlineExceededError` rather than blocking
+    indefinitely on a pathological input.
+    """
+    import threading
+
+    from repro.errors import DeadlineExceededError, ServeError
+    from repro.serve.workers import PendingResult
+
+    if not timeout > 0.0:
+        raise ServeError(f"--timeout must be positive, got {timeout}")
+    pending = PendingResult()
+
+    def work() -> None:
+        try:
+            pending.resolve(request.run())
+        except BaseException as error:
+            pending.fail(error)
+
+    threading.Thread(target=work, name="repro-analyze", daemon=True).start()
+    try:
+        return pending.result(timeout=timeout)
+    except ServeError:
+        if pending.cancel():
+            raise DeadlineExceededError(
+                f"analysis did not finish within --timeout={timeout:g}s"
+            )
+        # Finished in the race window: surface the real outcome.
+        return pending.result(timeout=None)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -121,7 +172,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 airfoil=arguments.designation, alpha_degrees=arguments.alpha,
                 reynolds=reynolds, n_panels=arguments.panels,
             )
-            result = request.run()
+            if arguments.timeout is not None:
+                result = _analyze_with_timeout(request, arguments.timeout)
+            else:
+                result = request.run()
             if arguments.json:
                 print(canonical_json(serialize_analysis(request, result)))
             else:

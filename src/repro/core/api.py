@@ -181,6 +181,47 @@ REQUEST_FIELDS = (
     "airfoil", "alpha_degrees", "reynolds", "n_panels", "precision", "use_head",
 )
 
+#: Transport-level deadline field accepted alongside a request payload.
+#: It is *not* part of :class:`AnalyzeRequest`: the deadline describes
+#: how long the caller is willing to wait, never what is computed, so
+#: it must not perturb cache keys or response records.
+DEADLINE_FIELD = "deadline_ms"
+
+
+def validate_deadline_ms(value) -> float:
+    """Validate a relative deadline budget in milliseconds.
+
+    Returns the budget as a float; raises :class:`ServeError` for
+    non-numeric, non-finite, or non-positive values.
+    """
+    try:
+        deadline = float(value)
+    except (TypeError, ValueError):
+        raise ServeError(f"deadline_ms must be a number, got {value!r}")
+    if not math.isfinite(deadline) or deadline <= 0.0:
+        raise ServeError(
+            f"deadline_ms must be positive and finite, got {value!r}"
+        )
+    return deadline
+
+
+def extract_deadline_ms(payload):
+    """Split the transport-level deadline out of a wire payload.
+
+    Returns ``(payload, deadline_ms)`` where *payload* no longer
+    contains :data:`DEADLINE_FIELD` (the original dict is not mutated)
+    and *deadline_ms* is a validated float or ``None``.  Non-dict
+    payloads pass through untouched so :meth:`AnalyzeRequest.from_dict`
+    can produce its usual error.
+    """
+    if not isinstance(payload, dict) or DEADLINE_FIELD not in payload:
+        return payload, None
+    payload = dict(payload)
+    raw = payload.pop(DEADLINE_FIELD)
+    if raw is None:
+        return payload, None
+    return payload, validate_deadline_ms(raw)
+
 
 @dataclasses.dataclass(frozen=True)
 class AnalyzeRequest:

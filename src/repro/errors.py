@@ -77,5 +77,15 @@ class OverloadedError(ServeError):
     """
 
 
+class DeadlineExceededError(ServeError):
+    """Raised when a request's deadline expires before it is evaluated.
+
+    Expired work is shed at batch-collection time so it never occupies
+    a solve slot; the HTTP front end maps this to a ``504 Gateway
+    Timeout`` response.  Retrying is pointless unless the caller also
+    extends the deadline.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment harness receives an unknown target."""

@@ -7,6 +7,14 @@ short-circuits repeats, a bounded worker pool sheds load instead of
 melting, and a stdlib-only HTTP front end exposes the whole thing as
 ``python -m repro serve``.
 
+Requests are first-class citizens with a lifecycle: each may carry a
+deadline (``X-Repro-Deadline-Ms`` header / ``deadline_ms`` field) and
+is dropped at batch-collection time — answered 504, never costing a
+solve — once that deadline expires; a timed-out or disconnected
+submitter detaches via :meth:`PendingResult.cancel`; and
+:class:`ServeClient` can retry shed (503) requests with capped
+exponential backoff and full jitter.
+
 Quickstart (in-process)::
 
     from repro.serve import AnalysisService

@@ -110,7 +110,8 @@ def suggested_policy(n_panels: int = 200, *, max_batch: Optional[int] = None,
 
 
 def collect_batch(source: "queue_module.Queue", first_item, policy: BatchPolicy, *,
-                  sentinel=None, clock=time.monotonic) -> Tuple[List, bool]:
+                  sentinel=None, clock=time.monotonic,
+                  drop=None) -> Tuple[List, bool]:
     """Coalesce one micro-batch starting from an already-dequeued item.
 
     Drains *source* until the batch holds ``policy.max_batch`` items or
@@ -118,11 +119,25 @@ def collect_batch(source: "queue_module.Queue", first_item, policy: BatchPolicy,
     present at the deadline is still drained without waiting, so a
     congested queue always flushes full stacks.
 
-    Returns ``(items, saw_sentinel)``.  When the shutdown *sentinel* is
-    drawn it is pushed back (so sibling workers also observe it), the
-    batch collected so far is returned, and ``saw_sentinel`` is True.
+    *drop*, when given, is consulted for every dequeued item (including
+    *first_item*): returning True discards the item instead of batching
+    it — this is where expired or cancelled requests are shed *before*
+    they cost a solve slot.  The callable owns any accounting or waiter
+    notification for what it drops, and dropped items do not count
+    toward ``max_batch``, so dead work never displaces live work.
+
+    Returns ``(items, saw_sentinel)``; ``items`` may be empty when
+    everything was dropped.  When the shutdown *sentinel* is drawn it
+    is pushed back (so sibling workers also observe it), the batch
+    collected so far is returned, and ``saw_sentinel`` is True.
     """
-    items = [first_item]
+    items: List = []
+
+    def admit(item) -> None:
+        if drop is None or not drop(item):
+            items.append(item)
+
+    admit(first_item)
     deadline = clock() + policy.max_wait
     while len(items) < policy.max_batch:
         remaining = deadline - clock()
@@ -136,5 +151,5 @@ def collect_batch(source: "queue_module.Queue", first_item, policy: BatchPolicy,
         if sentinel is not None and item is sentinel:
             source.put(item)
             return items, True
-        items.append(item)
+        admit(item)
     return items, False

@@ -3,54 +3,104 @@
 Used by the end-to-end tests and the serving benchmark; also a
 reasonable template for real callers.  Transport failures and non-2xx
 responses surface as :class:`~repro.errors.ServeError`
-(:class:`~repro.errors.OverloadedError` for 503, so callers can
-implement backoff with one ``except`` clause).
+(:class:`~repro.errors.OverloadedError` for 503 and
+:class:`~repro.errors.DeadlineExceededError` for 504, so callers can
+tell "back off and retry" apart from "too late to bother").
+
+Two lifecycle features mirror the server side:
+
+* **Deadlines** — every call accepts ``deadline_ms``, sent as the
+  ``X-Repro-Deadline-Ms`` header; the server sheds the request with
+  504 if it cannot start evaluating it within that budget.
+* **Retry** — when constructed with ``retries > 0`` the client retries
+  shed (503) requests with capped exponential backoff and full jitter.
+  Only 503 is retried: analyze calls are pure, so resubmitting is
+  safe, but a 504 means the caller's budget is already spent and a 400
+  will never succeed.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import List, Optional, Sequence, Union
 
 from repro.core.api import AnalyzeRequest, canonical_json
-from repro.errors import OverloadedError, ServeError
+from repro.errors import DeadlineExceededError, OverloadedError, ServeError
 
 RequestLike = Union[AnalyzeRequest, dict]
 
+#: Request header carrying the relative deadline budget in milliseconds.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+
 
 class ServeClient:
-    """Blocking JSON client for one ``repro serve`` endpoint."""
+    """Blocking JSON client for one ``repro serve`` endpoint.
+
+    Parameters
+    ----------
+    timeout:
+        Socket-level timeout per HTTP attempt, in seconds.
+    retries:
+        How many times a 503 (shed load) response is retried before
+        :class:`~repro.errors.OverloadedError` propagates.  0 (the
+        default) preserves fail-fast behaviour.
+    backoff_base, backoff_cap:
+        Backoff schedule: attempt *k* sleeps ``uniform(0, min(cap,
+        base * 2**k))`` seconds (capped exponential growth with full
+        jitter, so a thundering herd of shed clients decorrelates).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8000, *,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0, retries: int = 0,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0) -> None:
+        if int(retries) < 0:
+            raise ServeError(f"retries cannot be negative, got {retries}")
+        if backoff_base < 0.0 or backoff_cap < 0.0:
+            raise ServeError("backoff_base and backoff_cap must be >= 0")
         self.base_url = f"http://{host}:{int(port)}"
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        # Injection points so tests can drive the retry loop
+        # deterministically without real sleeping.
+        self._sleep = time.sleep
+        self._uniform = random.uniform
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
 
     def analyze(self, airfoil: Union[str, RequestLike], alpha_degrees: float = 0.0,
-                **kwargs) -> dict:
+                *, deadline_ms: Optional[float] = None, **kwargs) -> dict:
         """``POST /analyze``; accepts a designation plus keywords, an
         :class:`AnalyzeRequest`, or a raw wire-format dict."""
-        return json.loads(self.analyze_raw(airfoil, alpha_degrees, **kwargs))
+        return json.loads(self.analyze_raw(airfoil, alpha_degrees,
+                                           deadline_ms=deadline_ms, **kwargs))
 
     def analyze_raw(self, airfoil: Union[str, RequestLike],
-                    alpha_degrees: float = 0.0, **kwargs) -> str:
+                    alpha_degrees: float = 0.0, *,
+                    deadline_ms: Optional[float] = None, **kwargs) -> str:
         """Like :meth:`analyze` but returns the raw (canonical) body —
         the bytes the byte-identity contract with the CLI is about."""
         payload = _as_payload(airfoil, alpha_degrees, kwargs)
-        return self._post("/analyze", payload)
+        return self._post("/analyze", payload, deadline_ms=deadline_ms)
 
-    def analyze_batch(self, requests: Sequence[RequestLike]) -> List[dict]:
-        """``POST /analyze_batch``; one record or error object per item."""
+    def analyze_batch(self, requests: Sequence[RequestLike], *,
+                      deadline_ms: Optional[float] = None) -> List[dict]:
+        """``POST /analyze_batch``; one record or error object per item.
+
+        ``deadline_ms`` applies to every item; an item dict carrying
+        its own ``deadline_ms`` field overrides it.
+        """
         payload = {"requests": [_as_payload(request, 0.0, {})
                                 for request in requests]}
-        return json.loads(self._post("/analyze_batch", payload))["results"]
+        return json.loads(self._post("/analyze_batch", payload,
+                                     deadline_ms=deadline_ms))["results"]
 
     def metrics(self) -> dict:
         """``GET /metrics``."""
@@ -78,14 +128,30 @@ class ServeClient:
     def _get(self, path: str) -> str:
         return self._request(urllib.request.Request(self.base_url + path))
 
-    def _post(self, path: str, payload: dict) -> str:
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=canonical_json(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        return self._request(request)
+    def _post(self, path: str, payload: dict, *,
+              deadline_ms: Optional[float] = None) -> str:
+        headers = {"Content-Type": "application/json"}
+        if deadline_ms is not None:
+            headers[DEADLINE_HEADER] = repr(float(deadline_ms))
+        body = canonical_json(payload).encode("utf-8")
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                self.base_url + path, data=body, headers=headers,
+                method="POST",
+            )
+            try:
+                return self._request(request)
+            except OverloadedError:
+                if attempt >= self.retries:
+                    raise
+                self._sleep(self._backoff_delay(attempt))
+                attempt += 1
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Full-jitter capped exponential backoff for retry *attempt*."""
+        ceiling = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        return self._uniform(0.0, ceiling)
 
     def _request(self, request: "urllib.request.Request") -> str:
         try:
@@ -96,6 +162,8 @@ class ServeClient:
             message = _error_message(body) or f"HTTP {error.code}"
             if error.code == 503:
                 raise OverloadedError(message)
+            if error.code == 504:
+                raise DeadlineExceededError(message)
             raise ServeError(f"server rejected request ({error.code}): {message}")
         except urllib.error.URLError as error:
             raise ServeError(f"cannot reach {self.base_url}: {error.reason}")

@@ -11,10 +11,17 @@ Endpoints (all JSON):
 * ``GET /healthz`` — liveness plus queue depth.
 * ``GET /metrics`` — the service's counter snapshot.
 
-Error mapping: malformed input → 400, shed load → 503, unexpected
-failure → 500.  The server is a ``ThreadingHTTPServer``; every handler
-thread just blocks on the service's :class:`PendingResult`, so the
-micro-batcher sees all concurrent requests at once.
+Requests may carry a deadline: an ``X-Repro-Deadline-Ms`` header, or a
+``deadline_ms`` field in the body (most specific wins — the body field
+overrides the header, which overrides the service default).  A request
+whose deadline expires before evaluation is dropped at batch
+collection and answered ``504 Gateway Timeout``.
+
+Error mapping: malformed input → 400, shed load → 503, expired
+deadline → 504, unexpected failure → 500.  The server is a
+``ThreadingHTTPServer``; every handler thread just blocks on the
+service's :class:`PendingResult`, so the micro-batcher sees all
+concurrent requests at once.
 """
 
 from __future__ import annotations
@@ -24,9 +31,17 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from repro.core.api import canonical_json
-from repro.errors import OverloadedError, ReproError, ServeError
+from repro.core.api import canonical_json, extract_deadline_ms, validate_deadline_ms
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    ServeError,
+)
 from repro.serve.service import AnalysisService
+
+#: Request header carrying the relative deadline budget in milliseconds.
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 #: Maximum accepted request body, a guard against memory-exhaustion.
 MAX_BODY_BYTES = 1 << 20
@@ -71,12 +86,21 @@ class AnalysisHTTPServer(ThreadingHTTPServer):
         return not self._thread.is_alive()
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Stop accepting connections and join the acceptor thread."""
+        """Stop accepting connections and join the acceptor thread.
+
+        Safe to call before :meth:`start_background` (and idempotent):
+        ``BaseServer.shutdown`` waits on an event that only
+        ``serve_forever`` sets, so calling it without a running
+        acceptor thread would hang forever — when no thread was ever
+        started, only the listening socket needs closing.
+        """
+        if self._thread is None:
+            self.server_close()
+            return
         self.shutdown()
         self.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout)
-            self._thread = None
+        self._thread.join(timeout)
+        self._thread = None
 
 
 def start_server(service: AnalysisService, *, host: str = "127.0.0.1",
@@ -122,13 +146,27 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {self.path}",
                                   "type": "NotFound"})
 
+    def _header_deadline_ms(self) -> Optional[float]:
+        """The validated ``X-Repro-Deadline-Ms`` header, if present."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        return validate_deadline_ms(raw)
+
     def _handle_analyze(self) -> None:
         payload = self._read_json()
         if payload is None:
             return
         service = self.server.service
         try:
-            result = service.analyze(payload, timeout=self.server.request_timeout)
+            payload, deadline_ms = extract_deadline_ms(payload)
+            if deadline_ms is None:
+                deadline_ms = self._header_deadline_ms()
+            result = service.analyze(payload, timeout=self.server.request_timeout,
+                                     deadline_ms=deadline_ms)
+        except DeadlineExceededError as error:
+            self._send_json(504, _error_body(error))
+            return
         except OverloadedError as error:
             self._send_json(503, _error_body(error))
             return
@@ -151,12 +189,21 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             })
             return
         service = self.server.service
+        try:
+            header_deadline = self._header_deadline_ms()
+        except ServeError as error:
+            self._send_json(400, _error_body(error))
+            return
         # Submit everything before waiting on anything, so the whole
         # HTTP batch can coalesce into as few solve stacks as possible.
+        # A per-item deadline_ms field overrides the header deadline.
         pendings = []
         for item in payload["requests"]:
             try:
-                pendings.append(service.submit(item))
+                pendings.append(service.submit(item, deadline_ms=None)
+                                if header_deadline is None
+                                else self._submit_with_default(
+                                    service, item, header_deadline))
             except ReproError as error:
                 pendings.append(error)
         results = []
@@ -167,8 +214,19 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             try:
                 results.append(pending.result(timeout=self.server.request_timeout))
             except ReproError as error:
+                pending.cancel()  # detach so the worker drops the job
                 results.append(_error_body(error))
         self._send_json(200, {"results": results})
+
+    @staticmethod
+    def _submit_with_default(service, item, header_deadline: float):
+        """Submit one batch item under the header deadline, unless the
+        item carries its own ``deadline_ms`` field."""
+        if isinstance(item, dict):
+            item, item_deadline = extract_deadline_ms(item)
+            if item_deadline is not None:
+                return service.submit(item, deadline_ms=item_deadline)
+        return service.submit(item, deadline_ms=header_deadline)
 
     # ------------------------------------------------------------------
     # Plumbing

@@ -40,6 +40,8 @@ class ServiceMetrics:
         self._completed = 0
         self._failed = 0
         self._shed = 0
+        self._expired = 0
+        self._cancelled = 0
         self._flushes = 0
         self._solves = 0
         self._solved_systems = 0
@@ -73,6 +75,21 @@ class ServiceMetrics:
             self._failed += 1
             self._latencies.append(float(latency_seconds))
 
+    def record_expired(self) -> None:
+        """One admitted request dropped because its deadline passed.
+
+        Expired requests are shed at batch collection, before any
+        solve, so their queue time is deliberately kept out of the
+        latency window — it would describe dead work, not service.
+        """
+        with self._lock:
+            self._expired += 1
+
+    def record_cancelled(self) -> None:
+        """One admitted request whose submitter detached before delivery."""
+        with self._lock:
+            self._cancelled += 1
+
     def record_flush(self, n_requests: int) -> None:
         """One micro-batch handed to a worker (size = coalesced requests)."""
         with self._lock:
@@ -105,13 +122,16 @@ class ServiceMetrics:
         """
         with self._lock:
             latencies = sorted(self._latencies)
-            in_flight = self._admitted - self._completed - self._failed
+            in_flight = (self._admitted - self._completed - self._failed
+                         - self._expired - self._cancelled)
             snapshot = {
                 "requests": {
                     "admitted": self._admitted,
                     "completed": self._completed,
                     "failed": self._failed,
                     "shed": self._shed,
+                    "expired": self._expired,
+                    "cancelled": self._cancelled,
                     "in_flight": max(0, in_flight),
                 },
                 "queue_depth": int(queue_depth),

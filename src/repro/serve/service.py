@@ -11,7 +11,10 @@ Request lifecycle:
    admission (shedding with :class:`~repro.errors.OverloadedError` when
    full).
 2. **Coalescing** — a worker drains the queue into a micro-batch under
-   the :class:`~repro.serve.batcher.BatchPolicy`.
+   the :class:`~repro.serve.batcher.BatchPolicy`.  Requests whose
+   deadline has expired, or whose submitter cancelled, are dropped
+   *here* — before they cost an assembly+LU solve — and counted in
+   ``/metrics`` as ``expired`` / ``cancelled``.
 3. **Dedup** — identical cache keys inside the batch collapse to one
    evaluation; the cache is re-checked in case an earlier batch filled
    it while this one queued.
@@ -34,9 +37,11 @@ from repro.core.api import (
     AnalyzeRequest,
     canonical_json,
     evaluate_requests,
+    extract_deadline_ms,
     serialize_analysis,
+    validate_deadline_ms,
 )
-from repro.errors import ServeError
+from repro.errors import DeadlineExceededError, ServeError
 from repro.serve.batcher import BatchPolicy, suggested_policy
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import ServiceMetrics
@@ -47,12 +52,19 @@ RequestLike = Union[AnalyzeRequest, dict]
 
 @dataclasses.dataclass
 class _Job:
-    """One queued request with its waiter and arrival time."""
+    """One queued request with its waiter, arrival time, and deadline.
+
+    ``deadline`` is an absolute :func:`time.monotonic` instant (or
+    ``None`` for no deadline); ``deadline_ms`` keeps the original
+    relative budget for error messages.
+    """
 
     request: AnalyzeRequest
     key: str
     pending: PendingResult
     enqueued: float
+    deadline: Optional[float] = None
+    deadline_ms: Optional[float] = None
 
 
 class AnalysisService:
@@ -71,21 +83,31 @@ class AnalysisService:
         Admission bound; requests beyond it are shed.
     n_panels_hint:
         System size the derived batching defaults are tuned for.
+    default_deadline_ms:
+        Deadline budget applied to requests that do not carry their
+        own (``None`` disables).  Expired requests are dropped at
+        batch-collection time — they never cost an assembly+LU solve —
+        and fail with :class:`~repro.errors.DeadlineExceededError`.
     """
 
     def __init__(self, *, max_batch: Optional[int] = None,
                  max_wait: Optional[float] = None, cache_size: int = 1024,
                  n_workers: int = 2, queue_limit: int = 256,
-                 n_panels_hint: int = 200) -> None:
+                 n_panels_hint: int = 200,
+                 default_deadline_ms: Optional[float] = None) -> None:
         self.policy: BatchPolicy = suggested_policy(
             n_panels_hint, max_batch=max_batch, max_wait=max_wait
+        )
+        self.default_deadline_ms = (
+            None if default_deadline_ms is None
+            else validate_deadline_ms(default_deadline_ms)
         )
         self.cache = ResultCache(cache_size)
         self.metrics = ServiceMetrics()
         self._pool = WorkerPool(
             self._process_batch, self.policy,
             n_workers=n_workers, queue_limit=queue_limit,
-            on_error=self._fail_batch,
+            on_error=self._fail_batch, drop=self._drop_dead,
         )
         self._closed = False
 
@@ -98,22 +120,34 @@ class AnalysisService:
         """Approximate number of requests waiting for a worker."""
         return self._pool.queue_depth
 
-    def submit(self, request: RequestLike) -> PendingResult:
+    def submit(self, request: RequestLike, *,
+               deadline_ms: Optional[float] = None) -> PendingResult:
         """Admit one request; returns the waiter for its response dict.
 
-        Raises :class:`ServeError` for malformed requests or after
+        ``deadline_ms`` is the relative budget this request may spend
+        queued before it is shed (most specific wins: the explicit
+        argument, then a ``deadline_ms`` field in a dict payload, then
+        the service's ``default_deadline_ms``).  Raises
+        :class:`ServeError` for malformed requests or after
         :meth:`close`, and :class:`~repro.errors.OverloadedError` when
         admission control sheds the request.
         """
         if self._closed:
             raise ServeError("service is closed")
         if isinstance(request, dict):
+            request, payload_deadline = extract_deadline_ms(request)
+            if deadline_ms is None:
+                deadline_ms = payload_deadline
             request = AnalyzeRequest.from_dict(request)
         elif not isinstance(request, AnalyzeRequest):
             raise ServeError(
                 f"submit expects an AnalyzeRequest or dict, "
                 f"got {type(request).__name__}"
             )
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        else:
+            deadline_ms = validate_deadline_ms(deadline_ms)
         key = request.cache_key()
         pending = PendingResult()
         cached = self.cache.get(key)
@@ -122,8 +156,10 @@ class AnalysisService:
             self.metrics.record_completed(0.0)
             pending.resolve(cached)
             return pending
-        job = _Job(request=request, key=key, pending=pending,
-                   enqueued=time.monotonic())
+        now = time.monotonic()
+        job = _Job(request=request, key=key, pending=pending, enqueued=now,
+                   deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
+                   deadline_ms=deadline_ms)
         try:
             self._pool.submit(job)
         except ServeError:
@@ -132,29 +168,77 @@ class AnalysisService:
         self.metrics.record_admitted()
         return pending
 
+    def _await(self, pending: PendingResult,
+               timeout: Optional[float]) -> dict:
+        """Wait on *pending*, detaching cleanly if the wait times out.
+
+        A wait timeout cancels the pending result, so the worker that
+        eventually reaches the job drops it instead of solving for
+        nobody.  If the outcome lands between the timeout and the
+        cancel attempt, it is returned (or re-raised) as usual.
+        """
+        try:
+            return pending.result(timeout=timeout)
+        except ServeError:
+            if pending.cancel():
+                raise  # a genuine wait timeout; the worker will skip it
+            if pending.cancelled:
+                raise  # someone else already detached this waiter
+            # Delivered in the race window: surface the real outcome.
+            return pending.result(timeout=None)
+
     def analyze(self, request: RequestLike, *,
-                timeout: Optional[float] = 60.0) -> dict:
+                timeout: Optional[float] = 60.0,
+                deadline_ms: Optional[float] = None) -> dict:
         """Submit and block for the wire-format response dict."""
-        return self.submit(request).result(timeout=timeout)
+        return self._await(self.submit(request, deadline_ms=deadline_ms),
+                           timeout)
 
     def analyze_batch(self, requests: Sequence[RequestLike], *,
-                      timeout: Optional[float] = 60.0) -> List[dict]:
+                      timeout: Optional[float] = 60.0,
+                      deadline_ms: Optional[float] = None) -> List[dict]:
         """Submit many requests together and block for all responses.
 
         Submitting before waiting lets the batcher coalesce the whole
         set into as few stacks as the policy allows.
         """
-        pendings = [self.submit(request) for request in requests]
-        return [pending.result(timeout=timeout) for pending in pendings]
+        pendings = [self.submit(request, deadline_ms=deadline_ms)
+                    for request in requests]
+        return [self._await(pending, timeout) for pending in pendings]
 
     def analyze_json(self, request: RequestLike, *,
-                     timeout: Optional[float] = 60.0) -> str:
+                     timeout: Optional[float] = 60.0,
+                     deadline_ms: Optional[float] = None) -> str:
         """Like :meth:`analyze` but rendered through the canonical JSON."""
-        return canonical_json(self.analyze(request, timeout=timeout))
+        return canonical_json(self.analyze(request, timeout=timeout,
+                                           deadline_ms=deadline_ms))
 
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
+
+    def _drop_dead(self, job: _Job) -> bool:
+        """Batch-collection predicate: shed expired or abandoned work.
+
+        Called by the worker for every dequeued job *before* it joins a
+        micro-batch — the one place a dead request can still be dropped
+        without having cost an assembly+LU solve.
+        """
+        if job.pending.cancelled:
+            self.metrics.record_cancelled()
+            return True
+        if job.deadline is not None and time.monotonic() >= job.deadline:
+            delivered = job.pending.fail(DeadlineExceededError(
+                f"deadline of {job.deadline_ms:g} ms expired after "
+                f"{1e3 * (time.monotonic() - job.enqueued):.1f} ms in queue; "
+                "request dropped before evaluation"
+            ))
+            if delivered:
+                self.metrics.record_expired()
+            else:
+                self.metrics.record_cancelled()
+            return True
+        return False
 
     def _process_batch(self, jobs: List[_Job]) -> None:
         self.metrics.record_flush(len(jobs))
@@ -186,17 +270,14 @@ class AnalysisService:
             leader = group[0]
             if isinstance(outcome, Exception):
                 for job in group:
-                    self.metrics.record_failed(now - job.enqueued)
-                    job.pending.fail(outcome)
+                    self._fail_job(job, outcome, now)
                 continue
             payload = serialize_analysis(leader.request, outcome)
             self.cache.put(leader.key, payload)
-            self.metrics.record_completed(now - leader.enqueued)
-            leader.pending.resolve(payload)
+            self._complete_job(leader, payload, now)
             for job in group[1:]:  # coalesced duplicates: cache hits
                 value = self.cache.get(job.key) or payload
-                self.metrics.record_completed(now - job.enqueued)
-                job.pending.resolve(value)
+                self._complete_job(job, value, now)
 
     def _fail_batch(self, jobs: List[_Job], error: BaseException) -> None:
         """Last-resort failure path when batch processing itself raises."""
@@ -205,14 +286,26 @@ class AnalysisService:
         )
         now = time.monotonic()
         for job in jobs:
-            self.metrics.record_failed(now - job.enqueued)
-            job.pending.fail(wrapped)
+            self._fail_job(job, wrapped, now)
 
     def _resolve_group(self, group: List[_Job], payload: dict) -> None:
         now = time.monotonic()
         for job in group:
+            self._complete_job(job, payload, now)
+
+    def _complete_job(self, job: _Job, payload: dict, now: float) -> None:
+        """Deliver a result; a detached waiter counts as cancelled."""
+        if job.pending.resolve(payload):
             self.metrics.record_completed(now - job.enqueued)
-            job.pending.resolve(payload)
+        else:
+            self.metrics.record_cancelled()
+
+    def _fail_job(self, job: _Job, error: BaseException, now: float) -> None:
+        """Deliver a failure; a detached waiter counts as cancelled."""
+        if job.pending.fail(error):
+            self.metrics.record_failed(now - job.enqueued)
+        else:
+            self.metrics.record_cancelled()
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle

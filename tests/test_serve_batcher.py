@@ -4,6 +4,8 @@ import queue
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ServeError
 from repro.serve import BatchPolicy, collect_batch, suggested_policy
@@ -69,6 +71,103 @@ class TestCollectBatch:
         # real use the sentinel is always last: admissions stop before
         # shutdown enqueues it.)
         assert source.get_nowait() is sentinel
+
+
+class TestCollectBatchDrop:
+    def test_dropped_items_are_excluded_and_notified(self):
+        source = queue.Queue()
+        for value in (1, -2, 3, -4, 5):
+            source.put(value)
+        first = source.get()
+        dropped = []
+
+        def drop(item):
+            if item < 0:
+                dropped.append(item)
+                return True
+            return False
+
+        items, saw = collect_batch(source, first,
+                                   BatchPolicy(max_batch=10, max_wait=0.0),
+                                   drop=drop)
+        assert items == [1, 3, 5] and not saw
+        assert dropped == [-2, -4]
+
+    def test_first_item_can_be_dropped(self):
+        source = queue.Queue()
+        source.put("live")
+        items, saw = collect_batch(source, "dead",
+                                   BatchPolicy(max_batch=4, max_wait=0.0),
+                                   drop=lambda item: item == "dead")
+        assert items == ["live"] and not saw
+
+    def test_all_dropped_returns_empty_batch(self):
+        source = queue.Queue()
+        source.put("dead")
+        items, saw = collect_batch(source, "dead",
+                                   BatchPolicy(max_batch=4, max_wait=0.0),
+                                   drop=lambda item: True)
+        assert items == [] and not saw
+
+    def test_dropped_items_do_not_consume_batch_slots(self):
+        """Dead work must not displace live work: with max_batch=2 and
+        expired items interleaved, the batch still fills with live ones."""
+        source = queue.Queue()
+        for value in ("dead", "live-1", "dead", "live-2"):
+            source.put(value)
+        first = source.get()
+        items, _ = collect_batch(source, first,
+                                 BatchPolicy(max_batch=2, max_wait=0.0),
+                                 drop=lambda item: item == "dead")
+        assert items == ["live-1", "live-2"]
+
+    def test_sentinel_still_observed_while_dropping(self):
+        sentinel = object()
+        source = queue.Queue()
+        source.put("dead")
+        source.put(sentinel)
+        items, saw = collect_batch(source, "live",
+                                   BatchPolicy(max_batch=10, max_wait=0.0),
+                                   sentinel=sentinel,
+                                   drop=lambda item: item == "dead")
+        assert items == ["live"] and saw
+        assert source.get_nowait() is sentinel
+
+    @given(expired=st.lists(st.booleans(), min_size=1, max_size=30),
+           max_batch=st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_property_zero_wait_with_expired_items(self, expired, max_batch):
+        """With max_wait=0 and a pre-filled backlog of (index, expired)
+        items: no expired item is ever batched, live items keep FIFO
+        order, and the batch never exceeds max_batch live items."""
+        backlog = list(enumerate(expired))
+        source = queue.Queue()
+        for entry in backlog[1:]:
+            source.put(entry)
+        dropped = []
+
+        def drop(entry):
+            if entry[1]:
+                dropped.append(entry)
+                return True
+            return False
+
+        items, saw = collect_batch(source, backlog[0],
+                                   BatchPolicy(max_batch=max_batch,
+                                               max_wait=0.0),
+                                   drop=drop)
+        assert not saw
+        assert all(not is_expired for _, is_expired in items)
+        assert len(items) <= max_batch
+        live = [entry for entry in backlog if not entry[1]]
+        assert items == live[:len(items)]  # FIFO order, no skips
+        # Everything examined was either batched or dropped; nothing
+        # vanished.  (The scan stops once the batch is full.)
+        examined = len(items) + len(dropped) + source.qsize()
+        assert examined == len(backlog)
+        if len(items) < max_batch:  # backlog exhausted without filling up
+            assert items == live
+            assert dropped == [entry for entry in backlog if entry[1]]
 
 
 class TestSuggestedPolicy:

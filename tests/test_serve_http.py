@@ -8,8 +8,9 @@ import urllib.request
 import pytest
 
 from repro.core.api import AnalyzeRequest, canonical_json, serialize_analysis
-from repro.errors import ServeError
+from repro.errors import DeadlineExceededError, ServeError
 from repro.serve import AnalysisService, ServeClient, start_server
+from repro.serve.http import AnalysisHTTPServer
 
 
 @pytest.fixture
@@ -85,6 +86,104 @@ class TestEndpoints:
             urllib.request.urlopen(
                 f"http://127.0.0.1:{server.port}/nope", timeout=10)
         assert excinfo.value.code == 404
+
+
+class TestServerLifecycle:
+    def test_stop_before_start_returns_promptly(self):
+        """Regression: stop() before start_background() called
+        BaseServer.shutdown(), which waits on an event only
+        serve_forever() sets — hanging forever.  It must just close the
+        socket and return."""
+        service = AnalysisService(max_batch=2, max_wait=0.0, cache_size=8,
+                                  n_workers=1, queue_limit=8)
+        server = AnalysisHTTPServer(("127.0.0.1", 0), service)
+        start = time.monotonic()
+        server.stop(timeout=1.0)
+        assert time.monotonic() - start < 5.0
+        assert service.close(timeout=5.0)
+
+    def test_stop_is_idempotent_after_running(self, served):
+        _, server, _ = served
+        server.stop()
+        server.stop()  # second call: no thread left, must not hang
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_504_and_batchmates_succeed(self, served):
+        """The acceptance scenario: a request whose deadline expires in
+        the queue is dropped at batch collection — counted in /metrics,
+        answered 504 — while the batchmates it was submitted with are
+        answered normally."""
+        service, _, client = served
+        results = client.analyze_batch([
+            {"airfoil": "0012", "alpha_degrees": 0.0, "n_panels": 60,
+             "reynolds": 0},
+            {"airfoil": "0012", "alpha_degrees": 1.0, "n_panels": 60,
+             "reynolds": 0, "deadline_ms": 1e-3},  # expires while queued
+            {"airfoil": "2412", "alpha_degrees": 4.0, "n_panels": 60,
+             "reynolds": 0},
+        ])
+        assert len(results) == 3
+        assert abs(results[0]["cl"]) < 1e-6
+        assert results[1]["type"] == "DeadlineExceededError"
+        assert "deadline" in results[1]["error"]
+        assert results[2]["cl"] > 0.5
+        metrics = client.metrics()
+        assert metrics["requests"]["expired"] >= 1
+        assert metrics["requests"]["completed"] >= 2
+        # The expired request never reached a solve: only live systems
+        # are accounted by the solver counters.
+        assert service.metrics.batched_solves >= 1
+
+    def test_single_expired_request_maps_to_504(self, served):
+        _, _, client = served
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            client.analyze("2412", 4.0, n_panels=60, reynolds=None,
+                           deadline_ms=1e-3)
+
+    def test_deadline_header_is_honoured(self, served):
+        _, server, _ = served
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/analyze",
+            data=b'{"airfoil": "2412", "alpha": 4.0, "reynolds": 0, "n_panels": 60}',
+            headers={"Content-Type": "application/json",
+                     "X-Repro-Deadline-Ms": "0.001"},
+            method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 504
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert body["type"] == "DeadlineExceededError"
+
+    def test_generous_deadline_succeeds(self, served):
+        _, _, client = served
+        record = client.analyze("2412", 4.0, n_panels=60, reynolds=None,
+                                deadline_ms=30_000.0)
+        assert record["cl"] > 0.5
+
+    def test_invalid_deadline_header_is_400(self, served):
+        _, server, _ = served
+        for value in ("not-a-number", "-5", "0"):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/analyze",
+                data=b'{"airfoil": "0012", "reynolds": 0, "n_panels": 60}',
+                headers={"Content-Type": "application/json",
+                         "X-Repro-Deadline-Ms": value},
+                method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_deadline_field_does_not_perturb_canonical_record(self, served):
+        """deadline_ms is transport metadata: the response bytes must
+        stay identical to the CLI's --json output for the same input."""
+        _, _, client = served
+        raw = client.analyze_raw(
+            {"airfoil": "2412", "alpha_degrees": 4.0, "reynolds": 1e6,
+             "n_panels": 100, "deadline_ms": 60_000.0})
+        request = AnalyzeRequest(airfoil="2412", alpha_degrees=4.0,
+                                 reynolds=1e6, n_panels=100)
+        assert raw == canonical_json(serialize_analysis(request, request.run()))
 
 
 class TestConcurrentBatching:
