@@ -14,9 +14,18 @@ and is shed at batch collection, so the row demonstrates the lifecycle
 contract — dead work costs no solves (``solved_systems`` stays 0 while
 ``expired`` counts the whole offered load).
 
-Also runnable standalone: ``PYTHONPATH=src python benchmarks/bench_serving.py``.
+Each run also writes the machine-readable ``BENCH_serving.json``
+artifact (per-row throughput, latency quantiles, and the W/A/L/O stage
+breakdown from the live tracer) via
+:func:`conftest.write_bench_json`, honouring ``BENCH_OUTPUT_DIR``.
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+        [--output BENCH_serving.json]
 """
 
+import argparse
 import json
 import threading
 import time
@@ -28,19 +37,28 @@ from repro.serve import AnalysisService
 #: (max_batch, max_wait_seconds) settings swept by the benchmark.
 SETTINGS = ((1, 0.0), (8, 0.002), (32, 0.01))
 
+#: Reduced sweep used by ``--smoke`` (CI): one unbatched and one
+#: batched setting, smaller offered load, same assertions.
+SMOKE_SETTINGS = ((1, 0.0), (8, 0.002))
+
 N_CLIENTS = 8
 REQUESTS_PER_CLIENT = 8
+SMOKE_CLIENTS = 4
+SMOKE_REQUESTS_PER_CLIENT = 4
 N_PANELS = 60
+
+#: Default artifact filename (see ``conftest.write_bench_json``).
+OUTPUT_FILENAME = "BENCH_serving.json"
 
 #: Deadline used by the pressure row: far below any realistic queue
 #: time, so every request expires before a worker can collect it.
 PRESSURE_DEADLINE_MS = 1e-3
 
 
-def _request_stream(client_index):
+def _request_stream(client_index, requests_per_client):
     """A client's request sequence: few distinct shapes, repeated angles,
     so the cache and the batcher both have something to merge."""
-    for index in range(REQUESTS_PER_CLIENT):
+    for index in range(requests_per_client):
         yield AnalyzeRequest(
             airfoil="2412" if (client_index + index) % 2 else "0012",
             alpha_degrees=float((client_index + index) % 4),
@@ -48,7 +66,17 @@ def _request_stream(client_index):
         )
 
 
-def drive(max_batch, max_wait, *, deadline_ms=None):
+def _stage_breakdown(snapshot):
+    """The live tracer's W/A/L/O reduction, rounded for the artifact."""
+    stages = snapshot.get("stages", {})
+    breakdown = {key: round(value, 6) for key, value in stages.items()
+                 if key.endswith("_seconds")}
+    breakdown["traced"] = stages.get("traced", 0)
+    return breakdown
+
+
+def drive(max_batch, max_wait, *, deadline_ms=None,
+          n_clients=N_CLIENTS, requests_per_client=REQUESTS_PER_CLIENT):
     """Run one setting; returns the JSON summary row.
 
     With ``deadline_ms`` set, every request carries that budget and a
@@ -59,10 +87,10 @@ def drive(max_batch, max_wait, *, deadline_ms=None):
                               cache_size=256, n_workers=2, queue_limit=1024,
                               default_deadline_ms=deadline_ms)
     errors = []
-    deadline_hits = [0] * N_CLIENTS
+    deadline_hits = [0] * n_clients
 
     def client(client_index):
-        for request in _request_stream(client_index):
+        for request in _request_stream(client_index, requests_per_client):
             try:
                 service.analyze(request, timeout=60.0)
             except DeadlineExceededError:
@@ -73,7 +101,7 @@ def drive(max_batch, max_wait, *, deadline_ms=None):
                 errors.append(error)
 
     threads = [threading.Thread(target=client, args=(index,))
-               for index in range(N_CLIENTS)]
+               for index in range(n_clients)]
     start = time.perf_counter()
     for thread in threads:
         thread.start()
@@ -85,7 +113,7 @@ def drive(max_batch, max_wait, *, deadline_ms=None):
     if errors:
         raise errors[0]
 
-    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    total = n_clients * requests_per_client
     latency = snapshot["latency_ms"]
     return {
         "max_batch": max_batch,
@@ -106,28 +134,41 @@ def drive(max_batch, max_wait, *, deadline_ms=None):
         "expired": snapshot["requests"]["expired"],
         "cancelled": snapshot["requests"]["cancelled"],
         "deadline_misses_seen_by_clients": sum(deadline_hits),
+        "stages": _stage_breakdown(snapshot),
     }
 
 
-def run_sweep():
-    rows = [drive(max_batch, max_wait) for max_batch, max_wait in SETTINGS]
-    rows.append(drive(32, 0.01, deadline_ms=PRESSURE_DEADLINE_MS))
+def run_sweep(*, smoke=False):
+    settings = SMOKE_SETTINGS if smoke else SETTINGS
+    n_clients = SMOKE_CLIENTS if smoke else N_CLIENTS
+    per_client = SMOKE_REQUESTS_PER_CLIENT if smoke else REQUESTS_PER_CLIENT
+    rows = [drive(max_batch, max_wait, n_clients=n_clients,
+                  requests_per_client=per_client)
+            for max_batch, max_wait in settings]
+    rows.append(drive(settings[-1][0], settings[-1][1],
+                      deadline_ms=PRESSURE_DEADLINE_MS, n_clients=n_clients,
+                      requests_per_client=per_client))
     return rows
 
 
-def test_serving_throughput(benchmark):
-    from conftest import run_once
+def _artifact(rows, *, smoke):
+    """The ``BENCH_serving.json`` document for one sweep."""
+    return {"benchmark": "serving", "smoke": smoke, "rows": rows}
 
-    summaries = run_once(benchmark, run_sweep)
-    print("\n" + json.dumps(summaries, indent=2))
 
-    total = N_CLIENTS * REQUESTS_PER_CLIENT
-    normal, pressure = summaries[:-1], summaries[-1]
+def check_rows(rows):
+    """Invariants every sweep must satisfy (shared by pytest and CLI)."""
+    normal, pressure = rows[:-1], rows[-1]
     for summary in normal:
         assert summary["shed"] == 0
         assert summary["expired"] == 0
-        assert summary["solved_systems"] <= total
+        assert summary["solved_systems"] <= summary["requests"]
         assert summary["cache_hit_rate"] > 0.0
+        assert summary["stages"]["traced"] >= 1
+        # The tracer's paper-vocabulary identity: O = W - L.
+        stages = summary["stages"]
+        assert abs(stages["overhead_seconds"]
+                   - (stages["wall_seconds"] - stages["solve_seconds"])) < 1e-3
     # The batched settings must actually coalesce: fewer LU calls than
     # the unbatched baseline issues.
     unbatched = normal[0]
@@ -136,10 +177,40 @@ def test_serving_throughput(benchmark):
     # Deadline pressure: every request expires in the queue, every
     # expiry reaches its client as a 504-equivalent error, and no
     # expired request ever costs a solve.
-    assert pressure["expired"] == total
-    assert pressure["deadline_misses_seen_by_clients"] == total
+    assert pressure["expired"] == pressure["requests"]
+    assert pressure["deadline_misses_seen_by_clients"] == pressure["requests"]
     assert pressure["solved_systems"] == 0
 
 
+def test_serving_throughput(benchmark):
+    from conftest import run_once, write_bench_json
+
+    summaries = run_once(benchmark, run_sweep)
+    print("\n" + json.dumps(summaries, indent=2))
+    check_rows(summaries)
+    path = write_bench_json(OUTPUT_FILENAME, _artifact(summaries, smoke=False))
+    print(f"wrote {path}")
+
+
 if __name__ == "__main__":
-    print(json.dumps(run_sweep(), indent=2))
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sweep for CI smoke runs")
+    parser.add_argument("--output", default=OUTPUT_FILENAME, metavar="FILE",
+                        help="artifact filename (relative paths land in "
+                             "$BENCH_OUTPUT_DIR when set; default "
+                             f"{OUTPUT_FILENAME})")
+    arguments = parser.parse_args()
+    sweep_rows = run_sweep(smoke=arguments.smoke)
+    print(json.dumps(sweep_rows, indent=2))
+    check_rows(sweep_rows)
+    artifact_path = write_bench_json(arguments.output,
+                                     _artifact(sweep_rows,
+                                               smoke=arguments.smoke))
+    print(f"wrote {artifact_path}")

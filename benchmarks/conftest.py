@@ -5,7 +5,16 @@ prints it, so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
 paper's entire evaluation section in one run.  Timing numbers reported
 by pytest-benchmark measure the *harness* (simulation + rendering) —
 the scientific content is the printed simulated seconds.
+
+Benchmarks that produce machine-readable artifacts (``BENCH_*.json``)
+write them through :func:`write_bench_json`, which honours the
+``BENCH_OUTPUT_DIR`` environment variable so CI can collect them from
+one directory.
 """
+
+import json
+import os
+import tempfile
 
 import pytest
 
@@ -19,3 +28,36 @@ def run_once(benchmark, function, *args, **kwargs):
     """
     return benchmark.pedantic(function, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+def bench_output_path(filename):
+    """Where a ``BENCH_*.json`` artifact lands: ``$BENCH_OUTPUT_DIR``
+    when set, else the current working directory."""
+    return os.path.join(os.environ.get("BENCH_OUTPUT_DIR", "."), filename)
+
+
+def write_bench_json(filename, payload):
+    """Atomically write a machine-readable benchmark artifact.
+
+    The payload is written to a temporary file in the destination
+    directory and renamed into place, so a crashed or interrupted run
+    never leaves a truncated JSON document for CI to choke on.
+    Returns the destination path.
+    """
+    path = bench_output_path(filename)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    handle_fd, temp_path = tempfile.mkstemp(dir=directory,
+                                            prefix=filename + ".", suffix=".tmp")
+    try:
+        with os.fdopen(handle_fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return path

@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="SECONDS",
                              help="abort the analysis if it does not finish "
                                   "within this many seconds (exit code 1)")
+    sub_analyze.add_argument("--trace", action="store_true",
+                             help="print a W/A/L/O stage breakdown of the "
+                                  "evaluation to stderr (stdout stays "
+                                  "byte-identical, so it composes with --json)")
 
     sub_serve = subparsers.add_parser(
         "serve", help="run the batched analysis HTTP service"
@@ -87,11 +91,24 @@ def build_parser() -> argparse.ArgumentParser:
                                 "or deadline_ms field; expired requests are "
                                 "dropped before solving and answered 504 "
                                 "(default: no deadline)")
+    sub_serve.add_argument("--trace-sample", type=float, default=1.0,
+                           metavar="RATE",
+                           help="fraction of requests to trace, 0..1 "
+                                "(deterministic stride sampling; default 1.0)")
+    sub_serve.add_argument("--trace-ring", type=int, default=256,
+                           metavar="N",
+                           help="completed traces retained for /debug/trace "
+                                "(default 256)")
+    sub_serve.add_argument("--log-format", choices=["json", "text", "off"],
+                           default="json",
+                           help="structured request log on stderr: one line "
+                                "per completion/failure/shed (default json)")
     return parser
 
 
 def run_serve(arguments) -> int:
     """The ``serve`` command: start the service and block until SIGINT."""
+    from repro.obs.logging import make_logger
     from repro.serve import AnalysisService, start_server
 
     max_wait = (None if arguments.max_wait_ms is None
@@ -101,6 +118,9 @@ def run_serve(arguments) -> int:
         cache_size=arguments.cache_size, n_workers=arguments.workers,
         queue_limit=arguments.queue_limit,
         default_deadline_ms=arguments.default_deadline_ms,
+        trace_sample=arguments.trace_sample,
+        trace_ring=arguments.trace_ring,
+        logger=make_logger(arguments.log_format),
     )
     server = start_server(service, host=arguments.host, port=arguments.port)
     policy = service.policy
@@ -111,7 +131,9 @@ def run_serve(arguments) -> int:
           f"max_wait={1e3 * policy.max_wait:.1f} ms, "
           f"cache={service.cache.capacity}, workers={arguments.workers}, "
           f"queue_limit={arguments.queue_limit}, "
-          f"default_deadline={deadline})", flush=True)
+          f"default_deadline={deadline}, "
+          f"trace_sample={arguments.trace_sample:g}, "
+          f"log_format={arguments.log_format})", flush=True)
     try:
         while not server.wait(3600.0):
             pass
@@ -125,8 +147,8 @@ def run_serve(arguments) -> int:
     return 0
 
 
-def _analyze_with_timeout(request: AnalyzeRequest, timeout: float):
-    """Evaluate *request* with a client-side wall-clock budget.
+def _analyze_with_timeout(run, timeout: float):
+    """Evaluate ``run()`` with a client-side wall-clock budget.
 
     The evaluation runs in a daemon thread behind a
     :class:`~repro.serve.workers.PendingResult`; if the budget expires
@@ -145,7 +167,7 @@ def _analyze_with_timeout(request: AnalyzeRequest, timeout: float):
 
     def work() -> None:
         try:
-            pending.resolve(request.run())
+            pending.resolve(run())
         except BaseException as error:
             pending.fail(error)
 
@@ -161,6 +183,46 @@ def _analyze_with_timeout(request: AnalyzeRequest, timeout: float):
         return pending.result(timeout=None)
 
 
+def _traced_run(request: AnalyzeRequest, stamps: List) -> "object":
+    """Evaluate *request* while collecting stage stamps into *stamps*.
+
+    Each entry is ``(stage, start, end, count)`` straight from the
+    :func:`~repro.core.api.evaluate_requests` stage hook.
+    """
+    from repro.core.api import evaluate_requests
+
+    result = evaluate_requests(
+        [request],
+        stage_hook=lambda stage, start, end, count:
+            stamps.append((stage, start, end, count)),
+    )[0]
+    if isinstance(result, Exception):
+        raise result
+    return result
+
+
+def _print_stage_breakdown(stamps: List, wall_seconds: float) -> None:
+    """Print the paper-vocabulary W/A/L/O breakdown to stderr.
+
+    W is the measured wall time of the whole evaluation, A and L sum
+    the assembly and solve stamps, and O = W - L is everything that is
+    not the batched LU — the identity the serving tracer also reports.
+    """
+    totals: dict = {}
+    for stage, start, end, _count in stamps:
+        totals[stage] = totals.get(stage, 0.0) + max(0.0, end - start)
+    assembly = totals.get("assembly", 0.0)
+    solve = totals.get("solve", 0.0)
+    print("trace: stage breakdown (seconds)", file=sys.stderr)
+    for stage in ("assembly", "solve", "postprocess"):
+        if stage in totals:
+            print(f"trace:   {stage:<12} {totals[stage]:.6f}", file=sys.stderr)
+    print(f"trace:   W (wall)     {wall_seconds:.6f}", file=sys.stderr)
+    print(f"trace:   A (assembly) {assembly:.6f}", file=sys.stderr)
+    print(f"trace:   L (solve)    {solve:.6f}", file=sys.stderr)
+    print(f"trace:   O (overhead) {wall_seconds - solve:.6f}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -172,10 +234,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 airfoil=arguments.designation, alpha_degrees=arguments.alpha,
                 reynolds=reynolds, n_panels=arguments.panels,
             )
-            if arguments.timeout is not None:
-                result = _analyze_with_timeout(request, arguments.timeout)
+            stamps: List = []
+            if arguments.trace:
+                import time as time_module
+
+                runner = lambda: _traced_run(request, stamps)  # noqa: E731
+                run_started = time_module.monotonic()
             else:
-                result = request.run()
+                runner = request.run
+            if arguments.timeout is not None:
+                result = _analyze_with_timeout(runner, arguments.timeout)
+            else:
+                result = runner()
+            if arguments.trace:
+                _print_stage_breakdown(
+                    stamps, time_module.monotonic() - run_started
+                )
             if arguments.json:
                 print(canonical_json(serialize_analysis(request, result)))
             else:

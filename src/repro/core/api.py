@@ -24,6 +24,7 @@ import dataclasses
 import hashlib
 import json
 import math
+import time
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -357,7 +358,8 @@ class AnalyzeRequest:
         return result
 
 
-def evaluate_requests(requests: Sequence[AnalyzeRequest]) -> List:
+def evaluate_requests(requests: Sequence[AnalyzeRequest], *,
+                      stage_hook=None) -> List:
     """Evaluate many requests through the batched assembly/LU path.
 
     Requests are grouped by system size and dtype; each group is
@@ -366,14 +368,27 @@ def evaluate_requests(requests: Sequence[AnalyzeRequest]) -> List:
     hardware timings describe, and the one :mod:`repro.serve` feeds its
     micro-batches through.
 
+    ``stage_hook``, when given, is called as ``stage_hook(stage, start,
+    end, count)`` with monotonic stamps around each internal stage —
+    ``"assembly"`` once for the whole assemble loop, ``"solve"`` per
+    batched LU call, ``"postprocess"`` per group's expand+viscous loop
+    — so the serving tracer and ``analyze --trace`` can report the
+    paper's W/A/L/O decomposition for live work without this module
+    knowing anything about spans.
+
     Returns one entry per request, in order: an
     :class:`AirfoilAnalysis` on success, or the :class:`ReproError`
     that request raised (so one bad geometry cannot poison its
     batchmates).
     """
+    def _stage(name: str, start: float, end: float, count: int) -> None:
+        if stage_hook is not None:
+            stage_hook(name, start, end, count)
+
     requests = list(requests)
     results: List = [None] * len(requests)
     groups: dict = {}
+    assembly_started = time.monotonic()
     for index, request in enumerate(requests):
         try:
             system = assemble(request.build_airfoil(), request.freestream(),
@@ -383,15 +398,20 @@ def evaluate_requests(requests: Sequence[AnalyzeRequest]) -> List:
             continue
         key = (system.n_unknowns, system.matrix.dtype)
         groups.setdefault(key, []).append((index, request, system))
+    _stage("assembly", assembly_started, time.monotonic(), len(requests))
     for members in groups.values():
         matrices = np.stack([system.matrix for _, _, system in members])
         rhs = np.stack([system.rhs for _, _, system in members])
+        solve_started = time.monotonic()
         try:
             unknowns = batched_lu_solve(batched_lu_factor(matrices, overwrite=True), rhs)
         except ReproError as error:
             for index, _, _ in members:
                 results[index] = error
             continue
+        finally:
+            _stage("solve", solve_started, time.monotonic(), len(members))
+        post_started = time.monotonic()
         for (index, request, system), row in zip(members, unknowns):
             try:
                 gamma, constant = system.expand_solution(row)
@@ -409,6 +429,7 @@ def evaluate_requests(requests: Sequence[AnalyzeRequest]) -> List:
                 results[index] = AirfoilAnalysis(solution=solution, viscous=viscous)
             except ReproError as error:
                 results[index] = error
+        _stage("postprocess", post_started, time.monotonic(), len(members))
     return results
 
 

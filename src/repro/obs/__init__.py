@@ -1,0 +1,34 @@
+"""repro.obs: shared observability primitives.
+
+The serving path (:mod:`repro.serve`) and the CLI both need the same
+small toolkit to explain where a request's time went:
+
+* :mod:`repro.obs.trace` — span trees with monotonic start/end times
+  and the reduction to the paper's W/A/L/O stage vocabulary;
+* :mod:`repro.obs.ids` — request-ID generation and validation
+  (the ``X-Repro-Request-Id`` currency);
+* :mod:`repro.obs.logging` — structured one-line-per-event logging
+  (JSON or key=value text);
+* :mod:`repro.obs.prometheus` — text-format exposition of the nested
+  ``/metrics`` snapshot for Prometheus scrapers.
+
+Everything here is stdlib-only and free of serving imports, so the
+pipeline simulator, the CLI, and the service can all share it without
+cycles.
+"""
+
+from repro.obs.ids import REQUEST_ID_HEADER, new_request_id, validate_request_id
+from repro.obs.logging import StructuredLogger
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import Span, Trace, walo_summary
+
+__all__ = [
+    "REQUEST_ID_HEADER",
+    "Span",
+    "StructuredLogger",
+    "Trace",
+    "new_request_id",
+    "render_prometheus",
+    "validate_request_id",
+    "walo_summary",
+]

@@ -1,0 +1,62 @@
+"""Request-ID generation and validation.
+
+One request ID follows a request across every boundary the serving
+path has: client → ``X-Repro-Request-Id`` header → service → span
+trace → structured log line → response header.  IDs are opaque tokens;
+the service never parses them, only validates that a caller-supplied
+value is safe to echo into a response header and a log line.
+"""
+
+from __future__ import annotations
+
+import string
+import uuid
+
+from repro.errors import ServeError
+
+#: Header carrying the request ID on both requests and responses.
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+
+#: Longest accepted caller-supplied ID (a full UUID is 36 characters;
+#: anything much longer is probably an attack on the log pipeline).
+MAX_REQUEST_ID_LENGTH = 128
+
+#: Characters allowed in a request ID: enough for UUIDs, ULIDs, and
+#: dotted trace formats, while excluding header/log injection vectors.
+_ALLOWED = frozenset(string.ascii_letters + string.digits + "-_.:/")
+
+
+def new_request_id() -> str:
+    """A fresh 32-character hex request ID."""
+    return uuid.uuid4().hex
+
+
+def validate_request_id(value) -> str:
+    """Validate a caller-supplied request ID; returns it unchanged.
+
+    Raises :class:`ServeError` for non-string, empty, oversized, or
+    unsafe values (anything outside ``[A-Za-z0-9._:/-]``), so a hostile
+    header can never smuggle newlines into responses or logs.
+    """
+    if not isinstance(value, str):
+        raise ServeError(
+            f"request id must be a string, got {type(value).__name__}"
+        )
+    if not value:
+        raise ServeError("request id must not be empty")
+    if len(value) > MAX_REQUEST_ID_LENGTH:
+        raise ServeError(
+            f"request id exceeds {MAX_REQUEST_ID_LENGTH} characters"
+        )
+    if not set(value) <= _ALLOWED:
+        raise ServeError(
+            "request id may only contain letters, digits, and '-_.:/'"
+        )
+    return value
+
+
+def coerce_request_id(value) -> str:
+    """A validated caller ID, or a fresh one when *value* is ``None``."""
+    if value is None:
+        return new_request_id()
+    return validate_request_id(value)

@@ -1,0 +1,109 @@
+"""Structured one-line-per-event logging.
+
+The serving path emits exactly one line per request outcome
+(completion, failure, shed, expiry, cancellation) with the request ID,
+stage breakdown, batch size, and cache-hit flag — replacing the HTTP
+handler's silenced per-request ``log_message`` with something a log
+pipeline can actually aggregate.
+
+Two formats share one call site:
+
+* ``json`` — one compact JSON object per line, sorted keys, so ``jq``
+  and log indexers need no parsing rules;
+* ``text`` — ``ts event key=value ...`` for humans tailing a terminal;
+* ``off`` — a no-op logger (the in-process default, so tests and
+  benchmarks stay quiet without plumbing).
+
+Logging must never take the service down: serialization falls back to
+``repr`` for non-JSON values and write errors are swallowed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Callable, Optional, TextIO
+
+from repro.errors import ServeError
+
+#: Accepted values for the ``fmt`` parameter / ``--log-format`` flag.
+LOG_FORMATS = ("json", "text", "off")
+
+
+class StructuredLogger:
+    """Thread-safe structured event logger.
+
+    Parameters
+    ----------
+    fmt:
+        ``"json"``, ``"text"``, or ``"off"`` (no output at all).
+    stream:
+        Destination; defaults to ``sys.stderr`` so stdout stays
+        reserved for payload output (the CLI's ``--json`` contract).
+    clock:
+        Wall-clock source for the ``ts`` field (injectable for tests).
+    """
+
+    def __init__(self, fmt: str = "json", stream: Optional[TextIO] = None,
+                 *, clock: Callable[[], float] = time.time) -> None:
+        if fmt not in LOG_FORMATS:
+            raise ServeError(
+                f"log format must be one of {', '.join(LOG_FORMATS)}, got {fmt!r}"
+            )
+        self.fmt = fmt
+        self._stream = stream
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """True unless the logger was constructed with ``fmt="off"``."""
+        return self.fmt != "off"
+
+    def event(self, event: str, **fields) -> None:
+        """Emit one event line; a no-op when the logger is off.
+
+        ``None``-valued fields are dropped so log lines only carry what
+        actually happened.
+        """
+        if self.fmt == "off":
+            return
+        record = {"ts": round(self._clock(), 6), "event": str(event)}
+        record.update((key, value) for key, value in fields.items()
+                      if value is not None)
+        line = (self._render_json(record) if self.fmt == "json"
+                else self._render_text(record))
+        stream = self._stream if self._stream is not None else sys.stderr
+        try:
+            with self._lock:
+                stream.write(line + "\n")
+                stream.flush()
+        except (OSError, ValueError):  # closed stream: never take the service down
+            pass
+
+    @staticmethod
+    def _render_json(record: dict) -> str:
+        return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                          default=repr)
+
+    @staticmethod
+    def _render_text(record: dict) -> str:
+        ts = record.pop("ts")
+        event = record.pop("event")
+        parts = [f"{ts:.3f}", event]
+        for key in sorted(record):
+            value = record[key]
+            if isinstance(value, float):
+                value = f"{value:.6g}"
+            elif not isinstance(value, (str, int, bool)):
+                value = json.dumps(value, sort_keys=True,
+                                   separators=(",", ":"), default=repr)
+            parts.append(f"{key}={value}")
+        return " ".join(parts)
+
+
+def make_logger(fmt: Optional[str], stream: Optional[TextIO] = None) -> StructuredLogger:
+    """A :class:`StructuredLogger` for a CLI flag value (``None`` = off)."""
+    return StructuredLogger(fmt or "off", stream)

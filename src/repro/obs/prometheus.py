@@ -1,0 +1,153 @@
+"""Prometheus text-format exposition of the ``/metrics`` snapshot.
+
+:func:`render_prometheus` flattens the service's nested JSON snapshot
+into the `Prometheus exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+``# HELP`` / ``# TYPE`` comments followed by ``name{labels} value``
+samples — with three structural rules:
+
+* nested dict paths join with ``_`` (``requests.admitted`` becomes
+  ``repro_requests_admitted``);
+* keys ending in ``_histogram`` (size → count maps) become one labeled
+  family: ``repro_batching_batch_size{bucket="8"} 3``;
+* the ``latency_ms`` quantile block becomes a summary-style family
+  with ``quantile`` labels plus ``_count``/``_mean``/``_max`` samples.
+
+Strings and ``None`` values are skipped (Prometheus samples are
+numbers), booleans render as 0/1, and emitting the same (name, labels)
+sample twice is an error rather than a silently corrupt scrape.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ServeError
+
+#: Snapshot leaf keys that are monotonically increasing counters; every
+#: other numeric leaf is exposed as a gauge.
+COUNTER_KEYS = frozenset({
+    "admitted", "completed", "failed", "shed", "expired", "cancelled",
+    "accounting_drift", "flushes", "batched_solves", "solved_systems",
+    "hits", "misses", "evictions", "snapshot_seq", "traced", "evicted",
+})
+
+#: Quantile-label spellings for the latency block's ``pXX`` keys.
+_QUANTILES = {"p50": "0.5", "p90": "0.9", "p99": "0.99"}
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPES = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
+
+
+class _Family:
+    """One metric family: a type plus its labeled samples."""
+
+    __slots__ = ("mtype", "help", "samples")
+
+    def __init__(self, mtype: str, help_text: str) -> None:
+        self.mtype = mtype
+        self.help = help_text
+        self.samples: List[Tuple[Tuple[Tuple[str, str], ...], float]] = []
+
+
+def metric_name(*parts: str) -> str:
+    """Join path components into a legal Prometheus metric name."""
+    name = _NAME_SANITIZER.sub("_", "_".join(str(part) for part in parts))
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def render_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
+    """Render a nested metrics snapshot as Prometheus exposition text."""
+    families: "OrderedDict[str, _Family]" = OrderedDict()
+    seen: set = set()
+
+    def add(name: str, value, *, labels: Optional[Dict[str, str]] = None,
+            mtype: Optional[str] = None, help_text: str = "") -> None:
+        family = families.get(name)
+        if family is None:
+            family = families[name] = _Family(
+                mtype or "gauge", help_text or f"repro metric {name}"
+            )
+        label_items = tuple(sorted((labels or {}).items()))
+        if (name, label_items) in seen:
+            raise ServeError(f"duplicate Prometheus sample: {name}{dict(label_items)}")
+        seen.add((name, label_items))
+        family.samples.append((label_items, float(value)))
+
+    _walk(snapshot, [prefix], add)
+
+    lines: List[str] = []
+    for name, family in families.items():
+        lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.mtype}")
+        for label_items, value in family.samples:
+            rendered = "".join((
+                name,
+                _render_labels(label_items),
+                " ",
+                _format_value(value),
+            ))
+            lines.append(rendered)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _walk(node: dict, path: List[str], add) -> None:
+    for key, value in node.items():
+        if isinstance(value, dict):
+            if str(key).endswith("_histogram"):
+                base = metric_name(*path, str(key)[: -len("_histogram")])
+                for bucket, count in sorted(value.items(),
+                                            key=lambda item: _bucket_order(item[0])):
+                    add(base, count, labels={"bucket": str(bucket)},
+                        mtype="counter",
+                        help_text=f"histogram {'.'.join(path[1:] + [str(key)])}")
+            elif key == "latency_ms":
+                _latency_family(value, path, add)
+            else:
+                _walk(value, path + [str(key)], add)
+        elif isinstance(value, bool):
+            add(metric_name(*path, str(key)), int(value))
+        elif isinstance(value, (int, float)) and value is not None:
+            mtype = "counter" if key in COUNTER_KEYS else "gauge"
+            add(metric_name(*path, str(key)), value, mtype=mtype)
+        # strings and None carry no numeric sample: skipped by design.
+
+
+def _latency_family(block: dict, path: List[str], add) -> None:
+    base = metric_name(*path, "latency_ms")
+    for stat, value in block.items():
+        if value is None:
+            continue
+        if stat in _QUANTILES:
+            add(base, value, labels={"quantile": _QUANTILES[stat]},
+                mtype="summary", help_text="request latency quantiles (ms)")
+        else:
+            mtype = "counter" if stat == "count" else "gauge"
+            add(f"{base}_{metric_name(stat)}", value, mtype=mtype)
+
+
+def _bucket_order(bucket) -> Tuple[int, str]:
+    try:
+        return (0, f"{float(bucket):024.6f}")
+    except (TypeError, ValueError):
+        return (1, str(bucket))
+
+
+def _render_labels(label_items: Tuple[Tuple[str, str], ...]) -> str:
+    if not label_items:
+        return ""
+    rendered = ",".join(
+        f'{metric_name(key)}="{str(value).translate(_LABEL_ESCAPES)}"'
+        for key, value in label_items
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".10g")

@@ -1,0 +1,227 @@
+"""Span trees over the monotonic clock, and their W/A/L/O reduction.
+
+A :class:`Trace` records where one request's wall time went: it opens a
+root ``request`` span at construction and accumulates child spans for
+each stage the request passes through (queue wait, batch collect,
+assembly, solve, ...).  Stages can be recorded two ways:
+
+* :meth:`Trace.span` — a context manager for code that brackets the
+  work itself (nesting is tracked automatically);
+* :meth:`Trace.add_stage` — explicit start/end stamps for stages whose
+  boundaries were measured elsewhere (a worker stamping queue exit, a
+  batch-level solve shared by every member of the stack).
+
+:func:`walo_summary` reduces a finished trace to the paper's stage
+vocabulary (DESIGN.md Section 5, ``docs/hardware_model.md``):
+
+* ``W`` (wall) — the root span's duration;
+* ``A`` (assembly) — total time in ``assembly`` spans;
+* ``L`` (solve busy) — total time in ``solve`` spans;
+* ``O`` (overhead) — ``W - L``, *by construction*, so the live service
+  reports the same identity the simulator's tables satisfy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+
+#: Span name of the assembly stage in the W/A/L/O reduction.
+ASSEMBLY_STAGE = "assembly"
+
+#: Span name of the solve stage in the W/A/L/O reduction.
+SOLVE_STAGE = "solve"
+
+#: Span name of the root request span every trace opens with.
+ROOT_SPAN = "request"
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed stage: a name, monotonic start/end, and its parent.
+
+    ``parent`` is the index of the enclosing span within the owning
+    trace's span list (``None`` for the root).  ``end`` is ``None``
+    while the span is still open.
+    """
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    parent: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds covered so far (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (used by ``/debug/trace?format=json``)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "parent": self.parent,
+        }
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Trace.span`."""
+
+    __slots__ = ("_trace", "_index")
+
+    def __init__(self, trace: "Trace", index: int) -> None:
+        self._trace = trace
+        self._index = index
+
+    @property
+    def index(self) -> int:
+        """The span's position in the trace's span list."""
+        return self._index
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._trace.end_span(self._index)
+
+
+class Trace:
+    """The span tree of one request, plus free-form annotations.
+
+    A trace is written by one thread at a time (the submitter during
+    admission, then the worker that owns the batch), so it carries no
+    lock; cross-thread hand-off happens through the queue, which is a
+    synchronization point.
+
+    Parameters
+    ----------
+    trace_id:
+        The request ID this trace describes.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    __slots__ = ("trace_id", "spans", "annotations", "outcome",
+                 "_clock", "_stack")
+
+    def __init__(self, trace_id: str, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.trace_id = str(trace_id)
+        self._clock = clock
+        self.spans: List[Span] = [Span(name=ROOT_SPAN, start=clock())]
+        self.annotations: Dict[str, object] = {}
+        self.outcome: Optional[str] = None
+        self._stack: List[int] = [0]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Span:
+        """The all-enclosing ``request`` span."""
+        return self.spans[0]
+
+    def span(self, name: str) -> _SpanHandle:
+        """Open a child span under the innermost open span.
+
+        Use as a context manager::
+
+            with trace.span("solve"):
+                ...
+        """
+        index = len(self.spans)
+        self.spans.append(Span(name=str(name), start=self._clock(),
+                               parent=self._stack[-1]))
+        self._stack.append(index)
+        return _SpanHandle(self, index)
+
+    def end_span(self, index: int) -> None:
+        """Close the span at *index* (and anything nested inside it)."""
+        now = self._clock()
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if self.spans[top].end is None:
+                self.spans[top].end = now
+            if top == index:
+                return
+        raise ReproError(f"span {index} is not open in trace {self.trace_id}")
+
+    def add_stage(self, name: str, start: float, end: float, *,
+                  parent: int = 0) -> Span:
+        """Record an externally-timed stage as a closed child span."""
+        span = Span(name=str(name), start=float(start), end=float(end),
+                    parent=parent)
+        self.spans.append(span)
+        return span
+
+    def annotate(self, **fields) -> None:
+        """Attach free-form metadata (batch size, cache hit, ...)."""
+        self.annotations.update(fields)
+
+    def close(self, outcome: str = "completed") -> "Trace":
+        """Close every open span (root last) and stamp the outcome."""
+        now = self._clock()
+        for index in reversed(self._stack):
+            if self.spans[index].end is None:
+                self.spans[index].end = now
+        del self._stack[1:]
+        self.outcome = str(outcome)
+        return self
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has stamped the root span."""
+        return self.root.end is not None
+
+    def children(self, index: int = 0) -> List[Span]:
+        """The direct child spans of the span at *index*."""
+        return [span for span in self.spans if span.parent == index]
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Total closed-span seconds per stage name (root excluded)."""
+        totals: Dict[str, float] = {}
+        for span in self.spans[1:]:
+            if span.end is not None:
+                totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering of the whole trace."""
+        return {
+            "trace_id": self.trace_id,
+            "outcome": self.outcome,
+            "wall_seconds": self.root.duration,
+            "spans": [span.to_dict() for span in self.spans],
+            "annotations": dict(self.annotations),
+            "walo": walo_summary(self),
+        }
+
+
+def walo_summary(trace: Trace) -> Dict[str, float]:
+    """Reduce one trace to the paper's W/A/L/O stage numbers.
+
+    ``overhead_seconds`` is computed as ``wall - solve`` so the identity
+    ``O = W - L`` holds exactly, mirroring
+    :func:`repro.pipeline.metrics.evaluate` for simulated timelines.
+    """
+    stages = trace.stage_seconds()
+    wall = trace.root.duration
+    solve = stages.get(SOLVE_STAGE, 0.0)
+    return {
+        "wall_seconds": wall,
+        "assembly_seconds": stages.get(ASSEMBLY_STAGE, 0.0),
+        "solve_seconds": solve,
+        "overhead_seconds": wall - solve,
+    }

@@ -9,7 +9,7 @@ lives in :mod:`repro.viz.svg`).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, Hashable, List, Optional
 
 from repro.pipeline.engine import Timeline
 from repro.pipeline.task import TaskKind
@@ -31,11 +31,16 @@ KIND_TITLES: Dict[TaskKind, str] = {
 
 @dataclasses.dataclass(frozen=True)
 class GanttSegment:
-    """One bar on a Gantt row."""
+    """One bar on a Gantt row.
+
+    ``kind`` is a :class:`TaskKind` for simulated timelines, but any
+    hashable (e.g. a live serving stage name) renders too — the ASCII
+    renderer accepts a custom glyph table for non-simulated traces.
+    """
 
     start: float
     end: float
-    kind: TaskKind
+    kind: Hashable
     label: str
 
     @property
@@ -91,14 +96,22 @@ def build_trace(timeline: Timeline) -> GanttTrace:
     )
 
 
-def render_ascii(trace: GanttTrace, *, width: int = 78) -> str:
+def render_ascii(trace: GanttTrace, *, width: int = 78,
+                 glyphs: Optional[Dict] = None,
+                 titles: Optional[Dict] = None) -> str:
     """Render a trace as fixed-width ASCII art.
 
-    Each resource becomes one line; task kinds map to the glyphs of
-    :data:`KIND_GLYPHS` (``a`` assembly, ``c`` copy, ``s`` solve), idle
-    time to ``.``.  A scale line with the makespan closes the plot.
+    Each resource becomes one line; segment kinds map to *glyphs*
+    (default :data:`KIND_GLYPHS`: ``a`` assembly, ``c`` copy, ``s``
+    solve), idle time to ``.``.  A scale line with the makespan closes
+    the plot.  Live traces (see :mod:`repro.serve.tracing`) pass their
+    own stage-name → glyph table; a kind missing from the table falls
+    back to its first character, so the renderer never KeyErrors on an
+    unknown stage.
     """
-    if trace.makespan <= 0.0:
+    glyphs = KIND_GLYPHS if glyphs is None else glyphs
+    titles = KIND_TITLES if titles is None else titles
+    if trace.makespan <= 0.0 or not trace.rows:
         return f"{trace.name}: empty trace"
     label_width = max(len(row.resource) for row in trace.rows) + 1
     scale = width / trace.makespan
@@ -108,7 +121,7 @@ def render_ascii(trace: GanttTrace, *, width: int = 78) -> str:
         for segment in row.segments:
             begin = int(segment.start * scale)
             finish = max(begin + 1, int(round(segment.end * scale)))
-            glyph = KIND_GLYPHS[segment.kind]
+            glyph = glyphs.get(segment.kind) or (str(segment.kind)[:1] or "?")
             for position in range(begin, min(finish, width)):
                 canvas[position] = glyph
         lines.append(f"{row.resource:<{label_width}}|{''.join(canvas)}|")
@@ -118,7 +131,8 @@ def render_ascii(trace: GanttTrace, *, width: int = 78) -> str:
     lines.append(
         " " * label_width
         + "legend: " + ", ".join(
-            f"{glyph} = {KIND_TITLES[kind]}" for kind, glyph in KIND_GLYPHS.items()
+            f"{glyph} = {titles.get(kind, str(kind))}"
+            for kind, glyph in glyphs.items()
         )
     )
     return "\n".join(lines)

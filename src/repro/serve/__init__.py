@@ -15,6 +15,15 @@ submitter detaches via :meth:`PendingResult.cancel`; and
 :class:`ServeClient` can retry shed (503) requests with capped
 exponential backoff and full jitter.
 
+The path is observable end to end: every request carries an ID
+(``X-Repro-Request-Id``, accepted or generated) and, when sampled,
+a span tree recording queue wait, batch collect, cache lookup,
+assembly, solve, and serialization.  ``/metrics`` reduces live spans
+to the paper's W/A/L/O stage vocabulary (JSON or Prometheus text via
+``?format=prometheus`` / ``/metrics/prometheus``), ``/debug/trace``
+renders recent requests as an ASCII Gantt, and a structured logger
+emits one line per request completion, failure, or shed.
+
 Quickstart (in-process)::
 
     from repro.serve import AnalysisService
@@ -42,6 +51,7 @@ from repro.serve.client import ServeClient
 from repro.serve.http import AnalysisHTTPServer, start_server
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.service import AnalysisService
+from repro.serve.tracing import Tracer
 from repro.serve.workers import PendingResult, WorkerPool
 
 __all__ = [
@@ -52,6 +62,7 @@ __all__ = [
     "ResultCache",
     "ServeClient",
     "ServiceMetrics",
+    "Tracer",
     "WorkerPool",
     "collect_batch",
     "start_server",

@@ -111,7 +111,7 @@ def suggested_policy(n_panels: int = 200, *, max_batch: Optional[int] = None,
 
 def collect_batch(source: "queue_module.Queue", first_item, policy: BatchPolicy, *,
                   sentinel=None, clock=time.monotonic,
-                  drop=None) -> Tuple[List, bool]:
+                  drop=None, on_admit=None) -> Tuple[List, bool]:
     """Coalesce one micro-batch starting from an already-dequeued item.
 
     Drains *source* until the batch holds ``policy.max_batch`` items or
@@ -126,6 +126,12 @@ def collect_batch(source: "queue_module.Queue", first_item, policy: BatchPolicy,
     notification for what it drops, and dropped items do not count
     toward ``max_batch``, so dead work never displaces live work.
 
+    *on_admit*, when given, is called with every item that joins the
+    batch, at the moment it joins — the tracing hook that marks the end
+    of a request's queue wait and the start of its batch-collect stage
+    (see :mod:`repro.serve.tracing`).  It must be cheap and must not
+    raise.
+
     Returns ``(items, saw_sentinel)``; ``items`` may be empty when
     everything was dropped.  When the shutdown *sentinel* is drawn it
     is pushed back (so sibling workers also observe it), the batch
@@ -135,6 +141,8 @@ def collect_batch(source: "queue_module.Queue", first_item, policy: BatchPolicy,
 
     def admit(item) -> None:
         if drop is None or not drop(item):
+            if on_admit is not None:
+                on_admit(item)
             items.append(item)
 
     admit(first_item)

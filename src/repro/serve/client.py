@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence, Union
 
 from repro.core.api import AnalyzeRequest, canonical_json
 from repro.errors import DeadlineExceededError, OverloadedError, ServeError
+from repro.obs.ids import REQUEST_ID_HEADER, coerce_request_id
 
 RequestLike = Union[AnalyzeRequest, dict]
 
@@ -70,41 +71,70 @@ class ServeClient:
         # deterministically without real sleeping.
         self._sleep = time.sleep
         self._uniform = random.uniform
+        #: Request ID echoed by the server for the most recent call
+        #: (from the ``X-Repro-Request-Id`` response header), or None
+        #: before any call / when the server sent none.
+        self.last_request_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
 
     def analyze(self, airfoil: Union[str, RequestLike], alpha_degrees: float = 0.0,
-                *, deadline_ms: Optional[float] = None, **kwargs) -> dict:
+                *, deadline_ms: Optional[float] = None,
+                request_id: Optional[str] = None, **kwargs) -> dict:
         """``POST /analyze``; accepts a designation plus keywords, an
         :class:`AnalyzeRequest`, or a raw wire-format dict."""
         return json.loads(self.analyze_raw(airfoil, alpha_degrees,
-                                           deadline_ms=deadline_ms, **kwargs))
+                                           deadline_ms=deadline_ms,
+                                           request_id=request_id, **kwargs))
 
     def analyze_raw(self, airfoil: Union[str, RequestLike],
                     alpha_degrees: float = 0.0, *,
-                    deadline_ms: Optional[float] = None, **kwargs) -> str:
+                    deadline_ms: Optional[float] = None,
+                    request_id: Optional[str] = None, **kwargs) -> str:
         """Like :meth:`analyze` but returns the raw (canonical) body —
-        the bytes the byte-identity contract with the CLI is about."""
+        the bytes the byte-identity contract with the CLI is about.
+
+        ``request_id`` (validated client-side, generated when omitted)
+        is sent as the ``X-Repro-Request-Id`` header; the server's echo
+        lands in :attr:`last_request_id`.
+        """
         payload = _as_payload(airfoil, alpha_degrees, kwargs)
-        return self._post("/analyze", payload, deadline_ms=deadline_ms)
+        return self._post("/analyze", payload, deadline_ms=deadline_ms,
+                          request_id=request_id)
 
     def analyze_batch(self, requests: Sequence[RequestLike], *,
-                      deadline_ms: Optional[float] = None) -> List[dict]:
+                      deadline_ms: Optional[float] = None,
+                      request_id: Optional[str] = None) -> List[dict]:
         """``POST /analyze_batch``; one record or error object per item.
 
         ``deadline_ms`` applies to every item; an item dict carrying
-        its own ``deadline_ms`` field overrides it.
+        its own ``deadline_ms`` field overrides it.  One ``request_id``
+        covers the whole batch.
         """
         payload = {"requests": [_as_payload(request, 0.0, {})
                                 for request in requests]}
         return json.loads(self._post("/analyze_batch", payload,
-                                     deadline_ms=deadline_ms))["results"]
+                                     deadline_ms=deadline_ms,
+                                     request_id=request_id))["results"]
 
     def metrics(self) -> dict:
         """``GET /metrics``."""
         return json.loads(self._get("/metrics"))
+
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics/prometheus`` — raw text exposition."""
+        return self._get("/metrics/prometheus")
+
+    def debug_trace(self, n: int = 16, fmt: str = "ascii"):
+        """``GET /debug/trace`` — recent request Gantt.
+
+        ``fmt='ascii'`` returns the rendered chart as a string;
+        ``fmt='json'`` returns the parsed trace list.
+        """
+        raw = self._get(f"/debug/trace?n={int(n)}&format={fmt}")
+        return json.loads(raw) if fmt == "json" else raw
 
     def healthz(self) -> dict:
         """``GET /healthz``."""
@@ -129,10 +159,13 @@ class ServeClient:
         return self._request(urllib.request.Request(self.base_url + path))
 
     def _post(self, path: str, payload: dict, *,
-              deadline_ms: Optional[float] = None) -> str:
+              deadline_ms: Optional[float] = None,
+              request_id: Optional[str] = None) -> str:
         headers = {"Content-Type": "application/json"}
         if deadline_ms is not None:
             headers[DEADLINE_HEADER] = repr(float(deadline_ms))
+        if request_id is not None:
+            headers[REQUEST_ID_HEADER] = coerce_request_id(request_id)
         body = canonical_json(payload).encode("utf-8")
         attempt = 0
         while True:
@@ -156,8 +189,10 @@ class ServeClient:
     def _request(self, request: "urllib.request.Request") -> str:
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                self.last_request_id = response.headers.get(REQUEST_ID_HEADER)
                 return response.read().decode("utf-8")
         except urllib.error.HTTPError as error:
+            self.last_request_id = error.headers.get(REQUEST_ID_HEADER)
             body = error.read().decode("utf-8", errors="replace")
             message = _error_message(body) or f"HTTP {error.code}"
             if error.code == 503:

@@ -1,15 +1,26 @@
 """Stdlib-only HTTP front end for the analysis service.
 
-Endpoints (all JSON):
+Endpoints:
 
 * ``POST /analyze`` — one wire-format request; the response body is the
   :func:`repro.core.api.canonical_json` record, byte-identical to the
   CLI's ``analyze --json`` for the same input.
 * ``POST /analyze_batch`` — ``{"requests": [...]}``; responds
-  ``{"results": [...]}`` with a record or ``{"error", "type"}`` object
-  per item, preserving order.
+  ``{"request_id", "results": [...]}`` with a record or
+  ``{"error", "type"}`` object per item, preserving order.
 * ``GET /healthz`` — liveness plus queue depth.
-* ``GET /metrics`` — the service's counter snapshot.
+* ``GET /metrics`` — the service's counter snapshot (JSON), including
+  the live W/A/L/O ``stages`` section; ``?format=prometheus`` or the
+  ``/metrics/prometheus`` alias return text exposition format instead.
+* ``GET /debug/trace?n=K`` — ASCII Gantt of the last ``K`` completed
+  request traces (``?format=json`` for span trees).
+
+Every request gets a request ID — accepted via ``X-Repro-Request-Id``
+or generated — which is echoed in the ``X-Repro-Request-Id`` response
+header, in error bodies, and in the ``/analyze_batch`` wrapper.  The
+*successful* ``/analyze`` body never carries it: that body is the
+canonical analysis record, and staying byte-identical to the CLI's
+``--json`` output (and to the untraced path) is a contract.
 
 Requests may carry a deadline: an ``X-Repro-Deadline-Ms`` header, or a
 ``deadline_ms`` field in the body (most specific wins — the body field
@@ -21,13 +32,17 @@ Error mapping: malformed input → 400, shed load → 503, expired
 deadline → 504, unexpected failure → 500.  The server is a
 ``ThreadingHTTPServer``; every handler thread just blocks on the
 service's :class:`PendingResult`, so the micro-batcher sees all
-concurrent requests at once.
+concurrent requests at once.  The default per-line stderr access log
+stays disabled — the service's structured logger emits one JSON line
+per request outcome instead (see :mod:`repro.obs.logging`), which is
+what a serving process under load can actually afford.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -38,6 +53,8 @@ from repro.errors import (
     ReproError,
     ServeError,
 )
+from repro.obs.ids import REQUEST_ID_HEADER, coerce_request_id
+from repro.obs.prometheus import render_prometheus
 from repro.serve.service import AnalysisService
 
 #: Request header carrying the relative deadline budget in milliseconds.
@@ -45,6 +62,9 @@ DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 #: Maximum accepted request body, a guard against memory-exhaustion.
 MAX_BODY_BYTES = 1 << 20
+
+#: Default number of traces rendered by ``/debug/trace``.
+DEFAULT_TRACE_COUNT = 16
 
 
 class AnalysisHTTPServer(ThreadingHTTPServer):
@@ -116,8 +136,10 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     timeout = 120.0  # socket inactivity guard for keep-alive connections
 
-    # The default handler logs every request to stderr; a serving
-    # process under load must not pay for that.
+    # The default handler writes a per-request access line to stderr; a
+    # serving process under load must not pay for that.  Request-level
+    # visibility comes from the service's structured logger instead
+    # (one JSON line per outcome, with request ID and stage breakdown).
     def log_message(self, format, *args) -> None:  # noqa: A002
         pass
 
@@ -126,13 +148,20 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:
-        if self.path == "/healthz":
+        parts = urllib.parse.urlsplit(self.path)
+        query = urllib.parse.parse_qs(parts.query)
+        route = parts.path
+        if route == "/healthz":
             self._send_json(200, {
                 "status": "ok",
                 "queue_depth": self.server.service.queue_depth,
             })
-        elif self.path == "/metrics":
-            self._send_json(200, self.server.service.metrics_snapshot())
+        elif route == "/metrics":
+            self._handle_metrics(query)
+        elif route == "/metrics/prometheus":
+            self._handle_metrics({"format": ["prometheus"]})
+        elif route == "/debug/trace":
+            self._handle_debug_trace(query)
         else:
             self._send_json(404, {"error": f"unknown path {self.path}",
                                   "type": "NotFound"})
@@ -146,6 +175,46 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {self.path}",
                                   "type": "NotFound"})
 
+    def _handle_metrics(self, query: dict) -> None:
+        snapshot = self.server.service.metrics_snapshot()
+        fmt = query.get("format", ["json"])[-1]
+        if fmt == "prometheus":
+            body = render_prometheus(snapshot).encode("utf-8")
+            self._send_body(200, body,
+                            content_type="text/plain; version=0.0.4; charset=utf-8")
+        elif fmt == "json":
+            self._send_json(200, snapshot)
+        else:
+            self._send_json(400, {
+                "error": f"unknown metrics format {fmt!r} "
+                         "(expected 'json' or 'prometheus')",
+                "type": "ServeError",
+            })
+
+    def _handle_debug_trace(self, query: dict) -> None:
+        service = self.server.service
+        try:
+            count = int(query.get("n", [DEFAULT_TRACE_COUNT])[-1])
+        except ValueError:
+            self._send_json(400, {"error": "n must be an integer",
+                                  "type": "ServeError"})
+            return
+        count = max(0, count)
+        fmt = query.get("format", ["ascii"])[-1]
+        if fmt == "json":
+            traces = [trace.to_dict() for trace in service.recent_traces(count)]
+            self._send_json(200, {"traces": traces})
+        elif fmt == "ascii":
+            body = service.render_trace(count).encode("utf-8")
+            self._send_body(200, body,
+                            content_type="text/plain; charset=utf-8")
+        else:
+            self._send_json(400, {
+                "error": f"unknown trace format {fmt!r} "
+                         "(expected 'ascii' or 'json')",
+                "type": "ServeError",
+            })
+
     def _header_deadline_ms(self) -> Optional[float]:
         """The validated ``X-Repro-Deadline-Ms`` header, if present."""
         raw = self.headers.get(DEADLINE_HEADER)
@@ -153,30 +222,42 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             return None
         return validate_deadline_ms(raw)
 
+    def _header_request_id(self) -> str:
+        """The validated ``X-Repro-Request-Id`` header, or a fresh ID."""
+        return coerce_request_id(self.headers.get(REQUEST_ID_HEADER))
+
     def _handle_analyze(self) -> None:
         payload = self._read_json()
         if payload is None:
             return
         service = self.server.service
+        request_id = None
         try:
+            request_id = self._header_request_id()
             payload, deadline_ms = extract_deadline_ms(payload)
             if deadline_ms is None:
                 deadline_ms = self._header_deadline_ms()
             result = service.analyze(payload, timeout=self.server.request_timeout,
-                                     deadline_ms=deadline_ms)
+                                     deadline_ms=deadline_ms,
+                                     request_id=request_id)
         except DeadlineExceededError as error:
-            self._send_json(504, _error_body(error))
+            self._send_json(504, _error_body(error, request_id),
+                            request_id=request_id)
             return
         except OverloadedError as error:
-            self._send_json(503, _error_body(error))
+            self._send_json(503, _error_body(error, request_id),
+                            request_id=request_id)
             return
         except ReproError as error:
-            self._send_json(400, _error_body(error))
+            self._send_json(400, _error_body(error, request_id),
+                            request_id=request_id)
             return
         except Exception as error:  # pragma: no cover - defensive
-            self._send_json(500, _error_body(error))
+            self._send_json(500, _error_body(error, request_id),
+                            request_id=request_id)
             return
-        self._send_body(200, canonical_json(result).encode("utf-8"))
+        self._send_body(200, canonical_json(result).encode("utf-8"),
+                        request_id=request_id)
 
     def _handle_analyze_batch(self) -> None:
         payload = self._read_json()
@@ -190,20 +271,21 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             return
         service = self.server.service
         try:
+            request_id = self._header_request_id()
             header_deadline = self._header_deadline_ms()
         except ServeError as error:
             self._send_json(400, _error_body(error))
             return
         # Submit everything before waiting on anything, so the whole
         # HTTP batch can coalesce into as few solve stacks as possible.
-        # A per-item deadline_ms field overrides the header deadline.
+        # A per-item deadline_ms field overrides the header deadline;
+        # the batch's single request ID tags every item.
         pendings = []
         for item in payload["requests"]:
             try:
-                pendings.append(service.submit(item, deadline_ms=None)
-                                if header_deadline is None
-                                else self._submit_with_default(
-                                    service, item, header_deadline))
+                pendings.append(
+                    self._submit_item(service, item, header_deadline,
+                                      request_id))
             except ReproError as error:
                 pendings.append(error)
         results = []
@@ -216,17 +298,20 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             except ReproError as error:
                 pending.cancel()  # detach so the worker drops the job
                 results.append(_error_body(error))
-        self._send_json(200, {"results": results})
+        self._send_json(200, {"request_id": request_id, "results": results},
+                        request_id=request_id)
 
     @staticmethod
-    def _submit_with_default(service, item, header_deadline: float):
-        """Submit one batch item under the header deadline, unless the
-        item carries its own ``deadline_ms`` field."""
-        if isinstance(item, dict):
+    def _submit_item(service, item, header_deadline: Optional[float],
+                     request_id: str):
+        """Submit one batch item; a per-item ``deadline_ms`` field
+        overrides the header deadline."""
+        if header_deadline is not None and isinstance(item, dict):
             item, item_deadline = extract_deadline_ms(item)
             if item_deadline is not None:
-                return service.submit(item, deadline_ms=item_deadline)
-        return service.submit(item, deadline_ms=header_deadline)
+                header_deadline = item_deadline
+        return service.submit(item, deadline_ms=header_deadline,
+                              request_id=request_id)
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -249,16 +334,26 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
                                   "type": "ServeError"})
             return None
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        self._send_body(status, canonical_json(payload).encode("utf-8"))
+    def _send_json(self, status: int, payload: dict, *,
+                   request_id: Optional[str] = None) -> None:
+        self._send_body(status, canonical_json(payload).encode("utf-8"),
+                        request_id=request_id)
 
-    def _send_body(self, status: int, body: bytes) -> None:
+    def _send_body(self, status: int, body: bytes, *,
+                   content_type: str = "application/json",
+                   request_id: Optional[str] = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header(REQUEST_ID_HEADER, request_id)
         self.end_headers()
         self.wfile.write(body)
 
 
-def _error_body(error: BaseException) -> dict:
-    return {"error": str(error), "type": type(error).__name__}
+def _error_body(error: BaseException,
+                request_id: Optional[str] = None) -> dict:
+    body = {"error": str(error), "type": type(error).__name__}
+    if request_id is not None:
+        body["request_id"] = request_id
+    return body

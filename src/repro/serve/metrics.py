@@ -11,12 +11,20 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import Counter, deque
 from typing import Optional
 
 
 def percentile(sorted_values, fraction: float) -> Optional[float]:
-    """Nearest-rank percentile of an ascending sequence (None if empty)."""
+    """Nearest-rank percentile of an ascending sequence (None if empty).
+
+    Nearest-rank convention: the p-th percentile of ``n`` values is the
+    value at (1-based) rank ``ceil(p * n)`` — an actually-observed
+    sample, never an interpolation, so ``p100`` is the max and ``p50``
+    of a single sample is that sample.  This matches what scrapers see
+    in ``/metrics`` (``latency_ms.p50/p90/p99``).
+    """
     if not sorted_values:
         return None
     rank = max(0, math.ceil(fraction * len(sorted_values)) - 1)
@@ -36,6 +44,11 @@ class ServiceMetrics:
 
     def __init__(self, latency_window: int = 4096) -> None:
         self._lock = threading.Lock()
+        self._started_at = time.time()
+        self._started_monotonic = time.monotonic()
+        self._snapshot_seq = 0
+        self._accounting_drift = 0
+        self._accounting_drift_worst = 0
         self._admitted = 0
         self._completed = 0
         self._failed = 0
@@ -119,12 +132,38 @@ class ServiceMetrics:
         ``queue_depth`` and ``cache_stats`` are sampled by the caller
         (they live on the pool and the cache respectively) and merged
         here so ``/metrics`` is a single document.
+
+        Scraper affordances: ``started_at`` (unix seconds) and the
+        monotonically increasing ``snapshot_seq`` let a scraper detect
+        restarts (``started_at`` changed) and stale scrapes
+        (``snapshot_seq`` did not advance); ``uptime_seconds`` comes
+        from the monotonic clock, immune to wall-clock steps.  Latency
+        quantiles use the nearest-rank convention (see
+        :func:`percentile`).
+
+        ``requests.in_flight`` is derived from counters recorded on
+        different threads, so a transient negative is possible mid-race
+        — and a *persistent* negative means an accounting bug.  The
+        value stays clamped at 0, but every snapshot that observes a
+        negative raw value increments ``requests.accounting_drift``
+        (with the worst magnitude in ``accounting_drift_worst``), so
+        bugs surface in ``/metrics`` instead of being hidden by the
+        clamp.
         """
         with self._lock:
+            self._snapshot_seq += 1
             latencies = sorted(self._latencies)
             in_flight = (self._admitted - self._completed - self._failed
                          - self._expired - self._cancelled)
+            if in_flight < 0:
+                self._accounting_drift += 1
+                self._accounting_drift_worst = max(
+                    self._accounting_drift_worst, -in_flight
+                )
             snapshot = {
+                "started_at": self._started_at,
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "snapshot_seq": self._snapshot_seq,
                 "requests": {
                     "admitted": self._admitted,
                     "completed": self._completed,
@@ -133,6 +172,8 @@ class ServiceMetrics:
                     "expired": self._expired,
                     "cancelled": self._cancelled,
                     "in_flight": max(0, in_flight),
+                    "accounting_drift": self._accounting_drift,
+                    "accounting_drift_worst": self._accounting_drift_worst,
                 },
                 "queue_depth": int(queue_depth),
                 "batching": {
@@ -154,6 +195,7 @@ class ServiceMetrics:
                     "mean": (1e3 * sum(latencies) / len(latencies)
                              if latencies else None),
                     "p50": _ms(percentile(latencies, 0.50)),
+                    "p90": _ms(percentile(latencies, 0.90)),
                     "p99": _ms(percentile(latencies, 0.99)),
                     "max": _ms(latencies[-1] if latencies else None),
                 },

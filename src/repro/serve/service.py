@@ -42,9 +42,20 @@ from repro.core.api import (
     validate_deadline_ms,
 )
 from repro.errors import DeadlineExceededError, ServeError
+from repro.obs.ids import coerce_request_id
+from repro.obs.logging import StructuredLogger
+from repro.obs.trace import Trace, walo_summary
 from repro.serve.batcher import BatchPolicy, suggested_policy
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.tracing import (
+    STAGE_BATCH_COLLECT,
+    STAGE_CACHE_LOOKUP,
+    STAGE_QUEUE_WAIT,
+    STAGE_SERIALIZE,
+    Tracer,
+    render_recent,
+)
 from repro.serve.workers import PendingResult, WorkerPool
 
 RequestLike = Union[AnalyzeRequest, dict]
@@ -56,7 +67,10 @@ class _Job:
 
     ``deadline`` is an absolute :func:`time.monotonic` instant (or
     ``None`` for no deadline); ``deadline_ms`` keeps the original
-    relative budget for error messages.
+    relative budget for error messages.  ``request_id`` identifies the
+    request across traces, logs, and response headers; ``trace`` is the
+    span tree when this request was sampled; ``dequeued`` is stamped by
+    the worker's batch collection (the end of the queue wait).
     """
 
     request: AnalyzeRequest
@@ -65,6 +79,11 @@ class _Job:
     enqueued: float
     deadline: Optional[float] = None
     deadline_ms: Optional[float] = None
+    request_id: str = ""
+    trace: Optional[Trace] = None
+    dequeued: Optional[float] = None
+    batch_size: Optional[int] = None
+    cache_hit: bool = False
 
 
 class AnalysisService:
@@ -88,13 +107,26 @@ class AnalysisService:
         own (``None`` disables).  Expired requests are dropped at
         batch-collection time — they never cost an assembly+LU solve —
         and fail with :class:`~repro.errors.DeadlineExceededError`.
+    trace_sample:
+        Fraction of requests that get a full span trace (deterministic
+        stride sampling; 1.0 traces everything, 0.0 disables tracing).
+        Sampled-out requests still carry request IDs and structured
+        log lines — sampling only controls span recording.
+    trace_ring:
+        Completed traces retained for ``/debug/trace``.
+    logger:
+        A :class:`~repro.obs.logging.StructuredLogger` receiving one
+        event per request outcome (completed / failed / shed / expired
+        / cancelled).  ``None`` logs nothing (the in-process default).
     """
 
     def __init__(self, *, max_batch: Optional[int] = None,
                  max_wait: Optional[float] = None, cache_size: int = 1024,
                  n_workers: int = 2, queue_limit: int = 256,
                  n_panels_hint: int = 200,
-                 default_deadline_ms: Optional[float] = None) -> None:
+                 default_deadline_ms: Optional[float] = None,
+                 trace_sample: float = 1.0, trace_ring: int = 256,
+                 logger: Optional[StructuredLogger] = None) -> None:
         self.policy: BatchPolicy = suggested_policy(
             n_panels_hint, max_batch=max_batch, max_wait=max_wait
         )
@@ -104,10 +136,13 @@ class AnalysisService:
         )
         self.cache = ResultCache(cache_size)
         self.metrics = ServiceMetrics()
+        self.tracer = Tracer(sample_rate=trace_sample, ring_size=trace_ring)
+        self.logger = logger if logger is not None else StructuredLogger("off")
         self._pool = WorkerPool(
             self._process_batch, self.policy,
             n_workers=n_workers, queue_limit=queue_limit,
             on_error=self._fail_batch, drop=self._drop_dead,
+            on_admit=self._on_dequeue,
         )
         self._closed = False
 
@@ -121,17 +156,22 @@ class AnalysisService:
         return self._pool.queue_depth
 
     def submit(self, request: RequestLike, *,
-               deadline_ms: Optional[float] = None) -> PendingResult:
+               deadline_ms: Optional[float] = None,
+               request_id: Optional[str] = None) -> PendingResult:
         """Admit one request; returns the waiter for its response dict.
 
         ``deadline_ms`` is the relative budget this request may spend
         queued before it is shed (most specific wins: the explicit
         argument, then a ``deadline_ms`` field in a dict payload, then
-        the service's ``default_deadline_ms``).  Raises
+        the service's ``default_deadline_ms``).  ``request_id`` is the
+        caller-supplied trace identity (validated); one is generated
+        when absent and exposed on the returned waiter's
+        ``request_id`` attribute either way.  Raises
         :class:`ServeError` for malformed requests or after
         :meth:`close`, and :class:`~repro.errors.OverloadedError` when
         admission control sheds the request.
         """
+        request_id = coerce_request_id(request_id)
         if self._closed:
             raise ServeError("service is closed")
         if isinstance(request, dict):
@@ -148,22 +188,39 @@ class AnalysisService:
             deadline_ms = self.default_deadline_ms
         else:
             deadline_ms = validate_deadline_ms(deadline_ms)
+        trace = self.tracer.start(request_id)
         key = request.cache_key()
         pending = PendingResult()
+        pending.request_id = request_id
+        lookup_started = time.monotonic()
         cached = self.cache.get(key)
         if cached is not None:
+            now = time.monotonic()
             self.metrics.record_admitted()
-            self.metrics.record_completed(0.0)
+            self.metrics.record_completed(now - lookup_started)
             pending.resolve(cached)
+            if trace is not None:
+                trace.add_stage(STAGE_CACHE_LOOKUP, lookup_started, now)
+                trace.annotate(cache_hit=True, batch_size=0)
+                self.tracer.finish(trace, "completed")
+            self._log_request(request_id, "completed", cache_hit=True,
+                              latency_ms=1e3 * (now - lookup_started),
+                              trace=trace)
             return pending
         now = time.monotonic()
         job = _Job(request=request, key=key, pending=pending, enqueued=now,
                    deadline=None if deadline_ms is None else now + deadline_ms / 1e3,
-                   deadline_ms=deadline_ms)
+                   deadline_ms=deadline_ms,
+                   request_id=request_id, trace=trace)
+        if trace is not None:
+            trace.add_stage(STAGE_CACHE_LOOKUP, lookup_started, now)
         try:
             self._pool.submit(job)
         except ServeError:
             self.metrics.record_shed()
+            if trace is not None:
+                self.tracer.finish(trace, "shed")
+            self._log_request(request_id, "shed", trace=trace)
             raise
         self.metrics.record_admitted()
         return pending
@@ -189,20 +246,25 @@ class AnalysisService:
 
     def analyze(self, request: RequestLike, *,
                 timeout: Optional[float] = 60.0,
-                deadline_ms: Optional[float] = None) -> dict:
+                deadline_ms: Optional[float] = None,
+                request_id: Optional[str] = None) -> dict:
         """Submit and block for the wire-format response dict."""
-        return self._await(self.submit(request, deadline_ms=deadline_ms),
+        return self._await(self.submit(request, deadline_ms=deadline_ms,
+                                       request_id=request_id),
                            timeout)
 
     def analyze_batch(self, requests: Sequence[RequestLike], *,
                       timeout: Optional[float] = 60.0,
-                      deadline_ms: Optional[float] = None) -> List[dict]:
+                      deadline_ms: Optional[float] = None,
+                      request_id: Optional[str] = None) -> List[dict]:
         """Submit many requests together and block for all responses.
 
         Submitting before waiting lets the batcher coalesce the whole
-        set into as few stacks as the policy allows.
+        set into as few stacks as the policy allows.  A shared
+        ``request_id`` tags every item of the batch in traces and logs.
         """
-        pendings = [self.submit(request, deadline_ms=deadline_ms)
+        pendings = [self.submit(request, deadline_ms=deadline_ms,
+                                request_id=request_id)
                     for request in requests]
         return [self._await(pending, timeout) for pending in pendings]
 
@@ -217,6 +279,10 @@ class AnalysisService:
     # Worker side
     # ------------------------------------------------------------------
 
+    def _on_dequeue(self, job: _Job) -> None:
+        """Batch-collection admit hook: the end of the queue wait."""
+        job.dequeued = time.monotonic()
+
     def _drop_dead(self, job: _Job) -> bool:
         """Batch-collection predicate: shed expired or abandoned work.
 
@@ -226,6 +292,7 @@ class AnalysisService:
         """
         if job.pending.cancelled:
             self.metrics.record_cancelled()
+            self._finish_job(job, "cancelled")
             return True
         if job.deadline is not None and time.monotonic() >= job.deadline:
             delivered = job.pending.fail(DeadlineExceededError(
@@ -235,24 +302,43 @@ class AnalysisService:
             ))
             if delivered:
                 self.metrics.record_expired()
+                self._finish_job(job, "expired")
             else:
                 self.metrics.record_cancelled()
+                self._finish_job(job, "cancelled")
             return True
         return False
 
     def _process_batch(self, jobs: List[_Job]) -> None:
+        flushed = time.monotonic()
         self.metrics.record_flush(len(jobs))
+        batch_size = len(jobs)
+        traced = [job for job in jobs if job.trace is not None]
+        for job in jobs:
+            job.batch_size = batch_size
+        for job in traced:
+            dequeued = job.dequeued if job.dequeued is not None else flushed
+            job.trace.add_stage(STAGE_QUEUE_WAIT, job.enqueued, dequeued)
+            job.trace.add_stage(STAGE_BATCH_COLLECT, dequeued, flushed)
+            job.trace.annotate(batch_size=batch_size)
         groups: "collections.OrderedDict[str, List[_Job]]" = collections.OrderedDict()
         for job in jobs:
             groups.setdefault(job.key, []).append(job)
 
         to_solve: List[List[_Job]] = []
+        recheck_started = time.monotonic()
         for key, group in groups.items():
             cached = self.cache.get(key)  # an earlier batch may have filled it
             if cached is not None:
+                for job in group:
+                    job.cache_hit = True
                 self._resolve_group(group, cached)
             else:
                 to_solve.append(group)
+        recheck_ended = time.monotonic()
+        for job in traced:
+            job.trace.add_stage(STAGE_CACHE_LOOKUP, recheck_started,
+                                recheck_ended)
         if not to_solve:
             return
 
@@ -263,7 +349,20 @@ class AnalysisService:
         )
         for size in stack_sizes.values():
             self.metrics.record_solve(size)
-        outcomes = evaluate_requests([job.request for job in representatives])
+        # Stage stamps from the evaluation internals (assembly / solve /
+        # postprocess) are shared verbatim by every traced member of the
+        # batch: the stack is solved once, so its cost is every rider's
+        # cost — exactly how the paper accounts a slice.
+        solve_traced = [job for group in to_solve for job in group
+                        if job.trace is not None]
+        stage_hook = None
+        if solve_traced:
+            def stage_hook(stage, start, end, count):
+                for job in solve_traced:
+                    job.trace.add_stage(stage, start, end)
+        outcomes = evaluate_requests(
+            [job.request for job in representatives], stage_hook=stage_hook
+        )
 
         now = time.monotonic()
         for group, outcome in zip(to_solve, outcomes):
@@ -272,11 +371,18 @@ class AnalysisService:
                 for job in group:
                     self._fail_job(job, outcome, now)
                 continue
+            serialize_started = time.monotonic()
             payload = serialize_analysis(leader.request, outcome)
+            serialize_ended = time.monotonic()
+            for job in group:
+                if job.trace is not None:
+                    job.trace.add_stage(STAGE_SERIALIZE, serialize_started,
+                                        serialize_ended)
             self.cache.put(leader.key, payload)
             self._complete_job(leader, payload, now)
             for job in group[1:]:  # coalesced duplicates: cache hits
                 value = self.cache.get(job.key) or payload
+                job.cache_hit = True
                 self._complete_job(job, value, now)
 
     def _fail_batch(self, jobs: List[_Job], error: BaseException) -> None:
@@ -297,25 +403,83 @@ class AnalysisService:
         """Deliver a result; a detached waiter counts as cancelled."""
         if job.pending.resolve(payload):
             self.metrics.record_completed(now - job.enqueued)
+            self._finish_job(job, "completed")
         else:
             self.metrics.record_cancelled()
+            self._finish_job(job, "cancelled")
 
     def _fail_job(self, job: _Job, error: BaseException, now: float) -> None:
         """Deliver a failure; a detached waiter counts as cancelled."""
         if job.pending.fail(error):
             self.metrics.record_failed(now - job.enqueued)
+            self._finish_job(job, "failed", error=error)
         else:
             self.metrics.record_cancelled()
+            self._finish_job(job, "cancelled")
+
+    def _finish_job(self, job: _Job, outcome: str,
+                    error: Optional[BaseException] = None) -> None:
+        """Close the job's trace (if sampled) and emit its log line."""
+        if job.trace is not None:
+            job.trace.annotate(cache_hit=job.cache_hit)
+            self.tracer.finish(job.trace, outcome)
+        self._log_request(
+            job.request_id, outcome, cache_hit=job.cache_hit,
+            batch_size=job.batch_size,
+            latency_ms=1e3 * (time.monotonic() - job.enqueued),
+            error=None if error is None else type(error).__name__,
+            trace=job.trace,
+        )
+
+    def _log_request(self, request_id: str, outcome: str, *,
+                     cache_hit: Optional[bool] = None,
+                     batch_size: Optional[int] = None,
+                     latency_ms: Optional[float] = None,
+                     error: Optional[str] = None,
+                     trace: Optional[Trace] = None) -> None:
+        """One structured log line per request outcome."""
+        if not self.logger.enabled:
+            return
+        stages = None
+        if trace is not None and trace.closed:
+            stages = {name: round(1e3 * seconds, 3)
+                      for name, seconds in trace.stage_seconds().items()}
+        self.logger.event(
+            "request", request_id=request_id, outcome=outcome,
+            cache_hit=cache_hit, batch_size=batch_size,
+            latency_ms=None if latency_ms is None else round(latency_ms, 3),
+            error=error, stages_ms=stages,
+        )
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle
     # ------------------------------------------------------------------
 
     def metrics_snapshot(self) -> dict:
-        """The ``/metrics`` document: counters, queue depth, cache stats."""
-        return self.metrics.snapshot(
+        """The ``/metrics`` document: counters, queue depth, cache
+        stats, and the live W/A/L/O ``stages`` aggregate (same
+        vocabulary — and same ``O = W - L`` identity — as the
+        simulator's tables)."""
+        snapshot = self.metrics.snapshot(
             queue_depth=self.queue_depth, cache_stats=self.cache.stats()
         )
+        snapshot["stages"] = self.tracer.stages_snapshot()
+        return snapshot
+
+    def recent_traces(self, n: Optional[int] = None) -> List[Trace]:
+        """The most recent completed request traces, oldest first."""
+        return self.tracer.recent(n)
+
+    def render_trace(self, n: int = 16, *, width: int = 78) -> str:
+        """ASCII Gantt of the last *n* completed requests
+        (the ``/debug/trace`` body)."""
+        return render_recent(self.tracer.recent(n), width=width)
+
+    def walo_breakdown(self, n: Optional[int] = None) -> List[dict]:
+        """Per-trace W/A/L/O summaries for the most recent requests."""
+        return [dict(walo_summary(trace), request_id=trace.trace_id,
+                     outcome=trace.outcome)
+                for trace in self.tracer.recent(n)]
 
     def close(self, timeout: float = 10.0) -> bool:
         """Drain accepted work and stop the workers (idempotent)."""

@@ -41,7 +41,8 @@ class PendingResult:
     wins; the writers learn which from the boolean return value.
     """
 
-    __slots__ = ("_event", "_lock", "_value", "_error", "_cancelled")
+    __slots__ = ("_event", "_lock", "_value", "_error", "_cancelled",
+                 "request_id")
 
     def __init__(self) -> None:
         self._event = threading.Event()
@@ -49,6 +50,9 @@ class PendingResult:
         self._value = None
         self._error: Optional[BaseException] = None
         self._cancelled = False
+        #: Request ID assigned at admission (set by the service), so
+        #: front ends can echo it even for instantly-resolved waiters.
+        self.request_id: Optional[str] = None
 
     def resolve(self, value) -> bool:
         """Deliver a successful result; True if this write won."""
@@ -142,6 +146,10 @@ class WorkerPool:
         joins a batch (see :func:`~repro.serve.batcher.collect_batch`).
         Return True to discard the item; the callable owns any waiter
         notification and accounting for what it drops.
+    on_admit:
+        Optional callback invoked with every item the moment it joins
+        a forming batch — the tracing stamp that ends the item's queue
+        wait.  Must be cheap and must not raise.
     """
 
     def __init__(self, process: Callable[[List], None],
@@ -149,7 +157,8 @@ class WorkerPool:
                  n_workers: int = 2, queue_limit: int = 256,
                  name: str = "repro-serve",
                  on_error: Optional[Callable[[List, BaseException], None]] = None,
-                 drop: Optional[Callable[[object], bool]] = None):
+                 drop: Optional[Callable[[object], bool]] = None,
+                 on_admit: Optional[Callable[[object], None]] = None):
         if int(n_workers) < 1:
             raise ServeError(f"n_workers must be at least 1, got {n_workers}")
         if int(queue_limit) < 1:
@@ -160,6 +169,7 @@ class WorkerPool:
         self._queue_limit = int(queue_limit)
         self._on_error = on_error
         self._drop = drop
+        self._on_admit = on_admit
         self._draining = threading.Event()
         # Guards the check-drain-then-enqueue pair in submit() against a
         # concurrent shutdown(): without it the sentinel can land between
@@ -248,7 +258,7 @@ class WorkerPool:
                 return
             items, saw_sentinel = collect_batch(
                 self._queue, first, self._policy, sentinel=_SENTINEL,
-                drop=self._drop,
+                drop=self._drop, on_admit=self._on_admit,
             )
             if items:
                 try:

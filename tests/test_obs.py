@@ -1,0 +1,289 @@
+"""Unit tests for the shared observability primitives (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs.ids import (MAX_REQUEST_ID_LENGTH, coerce_request_id,
+                           new_request_id, validate_request_id)
+from repro.obs.logging import LOG_FORMATS, StructuredLogger, make_logger
+from repro.obs.prometheus import metric_name, render_prometheus
+from repro.obs.trace import Trace, walo_summary
+
+
+class FakeClock:
+    """A deterministic monotonic clock tests can advance by hand."""
+
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# Request IDs
+# ----------------------------------------------------------------------
+
+class TestRequestIds:
+    def test_new_ids_are_unique_hex(self):
+        first, second = new_request_id(), new_request_id()
+        assert first != second
+        assert len(first) == 32
+        int(first, 16)  # must parse as hex
+
+    def test_validate_accepts_common_formats(self):
+        for value in ("abc-123", "a" * MAX_REQUEST_ID_LENGTH,
+                      "trace.1:span/2", "550e8400-e29b-41d4-a716-446655440000"):
+            assert validate_request_id(value) == value
+
+    @pytest.mark.parametrize("bad", [
+        "", "a" * (MAX_REQUEST_ID_LENGTH + 1), "evil\nheader", "with space",
+        "quote\"", 42, None, b"bytes",
+    ])
+    def test_validate_rejects_unsafe_values(self, bad):
+        with pytest.raises(ServeError):
+            validate_request_id(bad)
+
+    def test_coerce_generates_when_missing_and_validates_otherwise(self):
+        assert len(coerce_request_id(None)) == 32
+        assert coerce_request_id("mine") == "mine"
+        with pytest.raises(ServeError):
+            coerce_request_id("bad id")
+
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+
+class TestTrace:
+    def test_nested_spans_record_parents(self):
+        clock = FakeClock()
+        trace = Trace("req-1", clock=clock)
+        with trace.span("outer") as outer:
+            clock.advance(1.0)
+            with trace.span("inner") as inner:
+                clock.advance(0.5)
+        clock.advance(0.25)
+        trace.close("completed")
+
+        outer_span = trace.spans[outer.index]
+        inner_span = trace.spans[inner.index]
+        assert outer_span.parent == 0
+        assert inner_span.parent == outer.index
+        assert inner_span.duration == pytest.approx(0.5)
+        assert outer_span.duration == pytest.approx(1.5)
+        assert trace.root.duration == pytest.approx(1.75)
+        assert [span.name for span in trace.children(0)] == ["outer"]
+
+    def test_exit_closes_inner_spans_left_open(self):
+        clock = FakeClock()
+        trace = Trace("req-2", clock=clock)
+        handle = trace.span("outer")
+        trace.span("inner")  # never explicitly closed
+        clock.advance(2.0)
+        trace.end_span(handle.index)
+        assert all(span.end is not None for span in trace.spans[1:])
+
+    def test_add_stage_records_external_stamps(self):
+        clock = FakeClock()
+        trace = Trace("req-3", clock=clock)
+        trace.add_stage("solve", clock.now + 1.0, clock.now + 3.0)
+        clock.advance(4.0)
+        trace.close()
+        assert trace.stage_seconds()["solve"] == pytest.approx(2.0)
+
+    def test_walo_reduction_holds_the_overhead_identity(self):
+        clock = FakeClock()
+        trace = Trace("req-4", clock=clock)
+        trace.add_stage("assembly", clock.now, clock.now + 1.0)
+        trace.add_stage("solve", clock.now + 1.0, clock.now + 2.5)
+        trace.add_stage("solve", clock.now + 2.5, clock.now + 3.0)
+        clock.advance(4.0)
+        trace.close()
+
+        walo = walo_summary(trace)
+        assert walo["wall_seconds"] == pytest.approx(4.0)
+        assert walo["assembly_seconds"] == pytest.approx(1.0)
+        assert walo["solve_seconds"] == pytest.approx(2.0)
+        # O = W - L, by construction.
+        assert walo["overhead_seconds"] == pytest.approx(
+            walo["wall_seconds"] - walo["solve_seconds"])
+
+    def test_close_is_idempotent_and_stamps_outcome(self):
+        trace = Trace("req-5", clock=FakeClock())
+        trace.close("failed")
+        end = trace.root.end
+        trace.close("completed")
+        assert trace.root.end == end
+        assert trace.closed
+
+    def test_to_dict_is_json_ready(self):
+        clock = FakeClock()
+        trace = Trace("req-6", clock=clock)
+        trace.annotate(batch_size=4, cache_hit=False)
+        clock.advance(1.0)
+        trace.close()
+        document = json.loads(json.dumps(trace.to_dict()))
+        assert document["trace_id"] == "req-6"
+        assert document["annotations"] == {"batch_size": 4, "cache_hit": False}
+        assert document["walo"]["wall_seconds"] == pytest.approx(1.0)
+        assert document["spans"][0]["name"] == "request"
+
+
+# ----------------------------------------------------------------------
+# Structured logging
+# ----------------------------------------------------------------------
+
+class TestStructuredLogger:
+    def test_json_lines_are_compact_sorted_and_parse(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("json", stream, clock=lambda: 123.456)
+        logger.event("request", request_id="r-1", latency_ms=1.5,
+                     outcome="completed", skipped=None)
+        line = stream.getvalue().strip()
+        record = json.loads(line)
+        assert record == {"ts": 123.456, "event": "request",
+                          "request_id": "r-1", "latency_ms": 1.5,
+                          "outcome": "completed"}
+        assert "skipped" not in record
+        # Compact separators and sorted keys: stable bytes for pipelines.
+        assert ", " not in line
+        assert line.index('"event"') < line.index('"latency_ms"')
+
+    def test_text_format_renders_key_value_pairs(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("text", stream, clock=lambda: 2.0)
+        logger.event("request", outcome="shed", request_id="r-2")
+        line = stream.getvalue().strip()
+        assert line.startswith("2.000 request")
+        assert "outcome=shed" in line and "request_id=r-2" in line
+
+    def test_off_logger_is_silent(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("off", stream)
+        logger.event("request", outcome="completed")
+        assert stream.getvalue() == ""
+        assert not logger.enabled
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ServeError, match="log format"):
+            StructuredLogger("xml")
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("json", stream)
+        stream.close()
+        logger.event("request", outcome="completed")  # must not raise
+
+    def test_make_logger_maps_none_to_off(self):
+        assert not make_logger(None).enabled
+        assert make_logger("json").enabled
+        assert set(LOG_FORMATS) == {"json", "text", "off"}
+
+    def test_non_json_values_fall_back_to_repr(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("json", stream, clock=lambda: 0.0)
+        logger.event("request", weird=object())
+        assert json.loads(stream.getvalue())  # still a valid JSON line
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+
+def parse_prometheus(text):
+    """Parse exposition text into {(name, labels) -> value}; every line
+    must be a comment or a well-formed sample."""
+    samples = {}
+    types = {}
+    for line in text.splitlines():
+        assert line.strip() == line and line, f"ragged line: {line!r}"
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, mtype = line.split(" ", 3)
+            assert mtype in {"counter", "gauge", "summary"}, line
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = mtype
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        metric, value = line.rsplit(" ", 1)
+        float(value)  # every sample value must be numeric
+        if "{" in metric:
+            name, labels = metric[:-1].split("{", 1)
+            assert metric.endswith("}"), line
+        else:
+            name, labels = metric, ""
+        key = (name, labels)
+        assert key not in samples, f"duplicate sample: {key}"
+        samples[key] = float(value)
+    return samples, types
+
+
+SNAPSHOT = {
+    "started_at": 1700000000.0,
+    "uptime_seconds": 12.5,
+    "snapshot_seq": 3,
+    "requests": {"admitted": 10, "completed": 8, "failed": 1, "shed": 1,
+                 "in_flight": 0, "accounting_drift": 0},
+    "queue_depth": 2,
+    "batching": {
+        "flushes": 4,
+        "batch_size_histogram": {"1": 2, "8": 1, "32": 1},
+    },
+    "latency_ms": {"count": 9, "mean": 4.2, "p50": 3.0, "p90": 8.0,
+                   "p99": 9.5, "max": 10.0},
+    "cache": {"hits": 5, "misses": 5, "hit_rate": 0.5, "capacity": 128},
+    "stages": {"traced": 9, "sample_rate": 1.0, "wall_seconds": 0.5,
+               "solve_seconds": 0.2, "overhead_seconds": 0.3,
+               "ring": {"capacity": 256, "size": 9, "evicted": 0}},
+}
+
+
+class TestPrometheus:
+    def test_every_line_parses_with_zero_duplicates(self):
+        samples, types = parse_prometheus(render_prometheus(SNAPSHOT))
+        assert samples and types
+
+    def test_nested_paths_flatten_with_prefix(self):
+        samples, types = parse_prometheus(render_prometheus(SNAPSHOT))
+        assert samples[("repro_requests_admitted", "")] == 10
+        assert types["repro_requests_admitted"] == "counter"
+        assert samples[("repro_queue_depth", "")] == 2
+        assert types["repro_queue_depth"] == "gauge"
+        assert samples[("repro_stages_overhead_seconds", "")] == 0.3
+
+    def test_histograms_become_bucket_labelled_families(self):
+        samples, _ = parse_prometheus(render_prometheus(SNAPSHOT))
+        assert samples[("repro_batching_batch_size", 'bucket="8"')] == 1
+        assert samples[("repro_batching_batch_size", 'bucket="32"')] == 1
+
+    def test_latency_becomes_a_quantile_summary(self):
+        samples, types = parse_prometheus(render_prometheus(SNAPSHOT))
+        assert types["repro_latency_ms"] == "summary"
+        assert samples[("repro_latency_ms", 'quantile="0.5"')] == 3.0
+        assert samples[("repro_latency_ms", 'quantile="0.9"')] == 8.0
+        assert samples[("repro_latency_ms", 'quantile="0.99"')] == 9.5
+        assert samples[("repro_latency_ms_count", "")] == 9
+        assert samples[("repro_latency_ms_max", "")] == 10.0
+
+    def test_none_and_strings_are_skipped_not_emitted(self):
+        text = render_prometheus({"a": None, "b": "string", "c": 1})
+        samples, _ = parse_prometheus(text)
+        assert list(samples) == [("repro_c", "")]
+
+    def test_duplicate_samples_raise_instead_of_corrupting(self):
+        with pytest.raises(ServeError, match="duplicate"):
+            render_prometheus({"a": {"b": 1}, "a_b": 2})
+
+    def test_metric_name_sanitizes(self):
+        assert metric_name("repro", "latency_ms") == "repro_latency_ms"
+        assert metric_name("weird key!") == "weird_key_"
+        assert metric_name("9lives").startswith("_")

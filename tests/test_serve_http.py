@@ -62,8 +62,8 @@ class TestEndpoints:
         metrics = client.metrics()
         assert metrics["requests"]["admitted"] >= 1
         assert metrics["batching"]["batched_solves"] >= 1
-        assert set(metrics["latency_ms"]) == {"count", "mean", "p50", "p99",
-                                              "max"}
+        assert set(metrics["latency_ms"]) == {"count", "mean", "p50", "p90",
+                                              "p99", "max"}
         assert metrics["cache"]["capacity"] == 128
 
     def test_bad_json_is_400(self, served):
