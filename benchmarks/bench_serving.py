@@ -8,6 +8,14 @@ the batching column — with ``max_batch=1`` every request is its own
 LU call, while the batched settings collapse the same traffic into a
 handful of stacks (the serving analogue of the paper's slice sweep).
 
+A ``backend=process`` row repeats the best batched setting with the
+micro-batches sharded across worker processes (see
+:mod:`repro.parallel`), and a separate *assembly-bound* section times
+``evaluate_requests`` directly on a workload of distinct large systems
+— the regime the process backend exists for — comparing the traced
+assembly wall time across backends (asserted to improve only when the
+host actually has 2+ usable cores).
+
 A final *deadline pressure* row runs the same traffic under a
 microscopic per-request deadline: every request expires in the queue
 and is shed at batch collection, so the row demonstrates the lifecycle
@@ -27,11 +35,13 @@ Also runnable standalone::
 
 import argparse
 import json
+import os
 import threading
 import time
 
-from repro.core.api import AnalyzeRequest
+from repro.core.api import AnalyzeRequest, evaluate_requests
 from repro.errors import DeadlineExceededError
+from repro.parallel import make_backend
 from repro.serve import AnalysisService
 
 #: (max_batch, max_wait_seconds) settings swept by the benchmark.
@@ -75,17 +85,27 @@ def _stage_breakdown(snapshot):
     return breakdown
 
 
-def drive(max_batch, max_wait, *, deadline_ms=None,
+def _usable_cores():
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def drive(max_batch, max_wait, *, deadline_ms=None, backend="inline",
           n_clients=N_CLIENTS, requests_per_client=REQUESTS_PER_CLIENT):
     """Run one setting; returns the JSON summary row.
 
     With ``deadline_ms`` set, every request carries that budget and a
     :class:`DeadlineExceededError` is an expected outcome rather than a
-    failure.
+    failure.  ``backend`` selects the execution backend the service
+    solves its micro-batches on (``"inline"`` or ``"process"``).
     """
     service = AnalysisService(max_batch=max_batch, max_wait=max_wait,
                               cache_size=256, n_workers=2, queue_limit=1024,
-                              default_deadline_ms=deadline_ms)
+                              default_deadline_ms=deadline_ms,
+                              exec_backend=backend, exec_procs=2)
     errors = []
     deadline_hits = [0] * n_clients
 
@@ -115,7 +135,9 @@ def drive(max_batch, max_wait, *, deadline_ms=None,
 
     total = n_clients * requests_per_client
     latency = snapshot["latency_ms"]
+    exec_stats = snapshot["exec_backend"]
     return {
+        "backend": backend,
         "max_batch": max_batch,
         "max_wait_ms": 1e3 * max_wait,
         "deadline_ms": deadline_ms,
@@ -135,6 +157,11 @@ def drive(max_batch, max_wait, *, deadline_ms=None,
         "cancelled": snapshot["requests"]["cancelled"],
         "deadline_misses_seen_by_clients": sum(deadline_hits),
         "stages": _stage_breakdown(snapshot),
+        "exec": {
+            "worker_crashes": exec_stats.get("worker_crashes", 0),
+            "inline_fallbacks": exec_stats.get("inline_fallbacks", 0),
+            "sharded_requests": exec_stats.get("sharded_requests", 0),
+        },
     }
 
 
@@ -145,15 +172,87 @@ def run_sweep(*, smoke=False):
     rows = [drive(max_batch, max_wait, n_clients=n_clients,
                   requests_per_client=per_client)
             for max_batch, max_wait in settings]
+    # The best batched setting again, sharded across worker processes.
+    rows.append(drive(settings[-1][0], settings[-1][1], backend="process",
+                      n_clients=n_clients, requests_per_client=per_client))
     rows.append(drive(settings[-1][0], settings[-1][1],
                       deadline_ms=PRESSURE_DEADLINE_MS, n_clients=n_clients,
                       requests_per_client=per_client))
     return rows
 
 
-def _artifact(rows, *, smoke):
+#: Assembly-bound workload shape: distinct geometries at the paper's
+#: reference panel count, inviscid, so per-request assembly dominates
+#: over the (vectorized, stack-wide) LU and the viscous pass.
+ASSEMBLY_BOUND_PANELS = 200
+ASSEMBLY_BOUND_REQUESTS = 24
+SMOKE_ASSEMBLY_BOUND_REQUESTS = 8
+
+
+def assembly_bound_comparison(*, smoke=False):
+    """Time inline vs process execution on an assembly-bound batch.
+
+    Returns a comparison dict for the artifact: per-backend traced
+    assembly wall time (the envelope the stage hook reports, best of
+    three runs), total wall time, and the process backend's health
+    counters — the acceptance signal that sharding actually reduced
+    the assembly stage on multi-core hosts.
+    """
+    n_requests = SMOKE_ASSEMBLY_BOUND_REQUESTS if smoke else ASSEMBLY_BOUND_REQUESTS
+    requests = [
+        AnalyzeRequest(airfoil=f"{1 + index % 6}412",
+                       alpha_degrees=0.5 * index, reynolds=None,
+                       n_panels=ASSEMBLY_BOUND_PANELS)
+        for index in range(n_requests)
+    ]
+
+    def measure(backend):
+        best = None
+        for _ in range(3):
+            spans = {}
+
+            def hook(stage, start, end, count):
+                spans.setdefault(stage, 0.0)
+                spans[stage] += end - start
+
+            started = time.perf_counter()
+            outcomes = evaluate_requests(requests, stage_hook=hook,
+                                         backend=backend)
+            wall = time.perf_counter() - started
+            assert not any(isinstance(o, Exception) for o in outcomes)
+            run = {"assembly_s": round(spans.get("assembly", 0.0), 6),
+                   "solve_s": round(spans.get("solve", 0.0), 6),
+                   "wall_s": round(wall, 6)}
+            if best is None or run["assembly_s"] < best["assembly_s"]:
+                best = run
+        return best
+
+    inline_row = dict(measure(None), backend="inline")
+    process = make_backend("process", n_procs=2)
+    try:
+        process.solve(requests[:2])  # warm the pool out of the timing
+        process_row = dict(measure(process), backend="process")
+        stats = process.stats()
+    finally:
+        process.close()
+    process_row["exec"] = {key: stats[key] for key in
+                           ("procs", "worker_crashes", "inline_fallbacks",
+                            "start_failures", "sharded_requests")}
+    return {
+        "n_requests": n_requests,
+        "n_panels": ASSEMBLY_BOUND_PANELS,
+        "usable_cores": _usable_cores(),
+        "rows": [inline_row, process_row],
+        "assembly_speedup": round(
+            inline_row["assembly_s"] / max(process_row["assembly_s"], 1e-9), 3
+        ),
+    }
+
+
+def _artifact(rows, assembly_bound, *, smoke):
     """The ``BENCH_serving.json`` document for one sweep."""
-    return {"benchmark": "serving", "smoke": smoke, "rows": rows}
+    return {"benchmark": "serving", "smoke": smoke, "rows": rows,
+            "assembly_bound": assembly_bound}
 
 
 def check_rows(rows):
@@ -174,6 +273,14 @@ def check_rows(rows):
     unbatched = normal[0]
     for summary in normal[1:]:
         assert summary["batched_solves"] <= unbatched["batched_solves"]
+    # The process-backend row must have served the same traffic
+    # healthily: real sharded work, no crashes, no silent fallbacks.
+    process_rows = [row for row in normal if row["backend"] == "process"]
+    assert process_rows
+    for summary in process_rows:
+        assert summary["exec"]["worker_crashes"] == 0
+        assert summary["exec"]["inline_fallbacks"] == 0
+        assert summary["exec"]["sharded_requests"] > 0
     # Deadline pressure: every request expires in the queue, every
     # expiry reaches its client as a 504-equivalent error, and no
     # expired request ever costs a solve.
@@ -182,18 +289,41 @@ def check_rows(rows):
     assert pressure["solved_systems"] == 0
 
 
+def check_assembly_bound(comparison):
+    """Invariants for the assembly-bound backend comparison."""
+    inline_row, process_row = comparison["rows"]
+    assert inline_row["backend"] == "inline"
+    assert process_row["backend"] == "process"
+    assert inline_row["assembly_s"] > 0.0
+    exec_stats = process_row["exec"]
+    assert exec_stats["worker_crashes"] == 0
+    assert exec_stats["inline_fallbacks"] == 0
+    assert exec_stats["start_failures"] == 0
+    assert exec_stats["sharded_requests"] >= comparison["n_requests"]
+    if comparison["usable_cores"] >= 2:
+        # The acceptance signal: with 2+ worker processes on a host
+        # that can actually run them concurrently, sharding reduces
+        # the traced assembly-stage wall time.  On a 1-core host the
+        # rows still land in the artifact, but the comparison is
+        # physically meaningless, so it is not asserted.
+        assert process_row["assembly_s"] < inline_row["assembly_s"]
+
+
 def test_serving_throughput(benchmark):
     from conftest import run_once, write_bench_json
 
     summaries = run_once(benchmark, run_sweep)
     print("\n" + json.dumps(summaries, indent=2))
     check_rows(summaries)
-    path = write_bench_json(OUTPUT_FILENAME, _artifact(summaries, smoke=False))
+    comparison = assembly_bound_comparison(smoke=False)
+    print(json.dumps(comparison, indent=2))
+    check_assembly_bound(comparison)
+    path = write_bench_json(OUTPUT_FILENAME,
+                            _artifact(summaries, comparison, smoke=False))
     print(f"wrote {path}")
 
 
 if __name__ == "__main__":
-    import os
     import sys
 
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -210,7 +340,10 @@ if __name__ == "__main__":
     sweep_rows = run_sweep(smoke=arguments.smoke)
     print(json.dumps(sweep_rows, indent=2))
     check_rows(sweep_rows)
+    comparison = assembly_bound_comparison(smoke=arguments.smoke)
+    print(json.dumps(comparison, indent=2))
+    check_assembly_bound(comparison)
     artifact_path = write_bench_json(arguments.output,
-                                     _artifact(sweep_rows,
+                                     _artifact(sweep_rows, comparison,
                                                smoke=arguments.smoke))
     print(f"wrote {artifact_path}")

@@ -358,28 +358,45 @@ class AnalyzeRequest:
         return result
 
 
-def evaluate_requests(requests: Sequence[AnalyzeRequest], *,
-                      stage_hook=None) -> List:
-    """Evaluate many requests through the batched assembly/LU path.
+@dataclasses.dataclass(frozen=True)
+class SolvedSystem:
+    """A solved panel system, ready for post-processing.
+
+    This is the unit of work an execution backend returns: the
+    assembled-and-solved state of one request *before* the viscous pass
+    and response shaping.  ``gamma`` is the expanded circulation row in
+    the system's native precision (the post-process step widens it to
+    ``float64``, exactly); ``constant`` is the boundary-condition
+    constant from the closure row.
+    """
+
+    airfoil: Airfoil
+    freestream: Freestream
+    closure: object
+    gamma: np.ndarray
+    constant: float
+
+
+def solve_request_systems(requests: Sequence[AnalyzeRequest], *,
+                          stage_hook=None) -> List:
+    """Assemble and LU-solve many requests (the backend work unit).
 
     Requests are grouped by system size and dtype; each group is
     assembled into one ``(batch, m, m)`` stack and solved with
     :func:`repro.linalg.batched_lu_factor` — the code path the paper's
-    hardware timings describe, and the one :mod:`repro.serve` feeds its
-    micro-batches through.
+    hardware timings describe.  This function is the contract an
+    :class:`repro.parallel.ExecutionBackend` implements: the inline
+    backend calls it directly, and the process backend runs it (or its
+    assembly half) inside worker processes, shard by shard.  The
+    batched kernels are elementwise across the stack, which is why
+    shard-wise solving produces bit-identical numbers.
 
-    ``stage_hook``, when given, is called as ``stage_hook(stage, start,
-    end, count)`` with monotonic stamps around each internal stage —
-    ``"assembly"`` once for the whole assemble loop, ``"solve"`` per
-    batched LU call, ``"postprocess"`` per group's expand+viscous loop
-    — so the serving tracer and ``analyze --trace`` can report the
-    paper's W/A/L/O decomposition for live work without this module
-    knowing anything about spans.
+    ``stage_hook`` receives ``(stage, start, end, count)`` stamps:
+    ``"assembly"`` once for the whole assemble loop and ``"solve"`` per
+    batched LU call.
 
-    Returns one entry per request, in order: an
-    :class:`AirfoilAnalysis` on success, or the :class:`ReproError`
-    that request raised (so one bad geometry cannot poison its
-    batchmates).
+    Returns one entry per request, in order: a :class:`SolvedSystem` on
+    success, or the :class:`ReproError` that request raised.
     """
     def _stage(name: str, start: float, end: float, count: int) -> None:
         if stage_hook is not None:
@@ -411,25 +428,75 @@ def evaluate_requests(requests: Sequence[AnalyzeRequest], *,
             continue
         finally:
             _stage("solve", solve_started, time.monotonic(), len(members))
-        post_started = time.monotonic()
         for (index, request, system), row in zip(members, unknowns):
             try:
                 gamma, constant = system.expand_solution(row)
-                solution = PanelSolution(
-                    airfoil=system.airfoil,
-                    freestream=system.freestream,
-                    closure=system.closure,
-                    gamma=np.asarray(gamma, dtype=np.float64),
-                    constant=constant,
-                )
-                viscous = None
-                if request.reynolds is not None:
-                    viscous = analyze_viscous(solution, request.reynolds,
-                                              use_head=request.use_head)
-                results[index] = AirfoilAnalysis(solution=solution, viscous=viscous)
             except ReproError as error:
                 results[index] = error
-        _stage("postprocess", post_started, time.monotonic(), len(members))
+                continue
+            results[index] = SolvedSystem(
+                airfoil=system.airfoil, freestream=system.freestream,
+                closure=system.closure, gamma=gamma, constant=constant,
+            )
+    return results
+
+
+def evaluate_requests(requests: Sequence[AnalyzeRequest], *,
+                      stage_hook=None, backend=None) -> List:
+    """Evaluate many requests through the batched assembly/LU path.
+
+    The assembly + batched LU runs on an execution backend (see
+    :mod:`repro.parallel`): ``backend=None`` uses the process-wide
+    default — inline unless ``REPRO_EXEC_BACKEND=process`` — and an
+    :class:`~repro.parallel.ExecutionBackend` instance is used as
+    given.  Responses are byte-identical across backends: the batched
+    kernels are elementwise across the stack, so sharding a batch over
+    worker processes changes where the arithmetic happens, never its
+    result.  The viscous pass and response shaping always run in the
+    calling thread.
+
+    ``stage_hook``, when given, is called as ``stage_hook(stage, start,
+    end, count)`` with monotonic stamps around each internal stage —
+    ``"assembly"`` and ``"solve"`` from the backend (plus per-shard
+    ``"assembly_shard"`` / ``"solve_shard"`` spans under the process
+    backend), ``"postprocess"`` once for the expand+viscous loop — so
+    the serving tracer and ``analyze --trace`` can report the paper's
+    W/A/L/O decomposition for live work without this module knowing
+    anything about spans.
+
+    Returns one entry per request, in order: an
+    :class:`AirfoilAnalysis` on success, or the :class:`ReproError`
+    that request raised (so one bad geometry cannot poison its
+    batchmates).
+    """
+    from repro.parallel import resolve_backend
+
+    requests = list(requests)
+    solved = resolve_backend(backend).solve(requests, stage_hook=stage_hook)
+    results: List = [None] * len(requests)
+    post_started = time.monotonic()
+    for index, (request, entry) in enumerate(zip(requests, solved)):
+        if isinstance(entry, BaseException):
+            results[index] = entry
+            continue
+        try:
+            solution = PanelSolution(
+                airfoil=entry.airfoil,
+                freestream=entry.freestream,
+                closure=entry.closure,
+                gamma=np.asarray(entry.gamma, dtype=np.float64),
+                constant=entry.constant,
+            )
+            viscous = None
+            if request.reynolds is not None:
+                viscous = analyze_viscous(solution, request.reynolds,
+                                          use_head=request.use_head)
+            results[index] = AirfoilAnalysis(solution=solution, viscous=viscous)
+        except ReproError as error:
+            results[index] = error
+    if stage_hook is not None:
+        stage_hook("postprocess", post_started, time.monotonic(),
+                   len(requests))
     return results
 
 

@@ -32,6 +32,8 @@ COUNTER_KEYS = frozenset({
     "admitted", "completed", "failed", "shed", "expired", "cancelled",
     "accounting_drift", "flushes", "batched_solves", "solved_systems",
     "hits", "misses", "evictions", "snapshot_seq", "traced", "evicted",
+    "shards", "sharded_requests", "worker_crashes", "worker_restarts",
+    "inline_fallbacks", "start_failures",
 })
 
 #: Quantile-label spellings for the latency block's ``pXX`` keys.

@@ -1,0 +1,42 @@
+"""Process-parallel execution backends for micro-batch evaluation.
+
+This package supplies the :class:`ExecutionBackend` seam used by
+:func:`repro.core.api.evaluate_requests`: ``inline`` (default — solve
+in the calling thread) and ``process`` (shard a micro-batch's assembly
+and, optionally, the batched LU across persistent worker processes,
+moving bulk arrays through POSIX shared memory).  See
+:mod:`repro.parallel.pool` for the backend implementations,
+:mod:`repro.parallel.protocol` for the shard/layout maths, and the
+"Execution backends" section of ``docs/serving.md`` for trade-offs.
+"""
+
+from repro.parallel.pool import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    PROCS_ENV,
+    SOLVE_ENV,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    close_default_backend,
+    default_backend,
+    make_backend,
+    resolve_backend,
+)
+from repro.parallel.protocol import MODE_PARENT, MODE_WORKER
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "PROCS_ENV",
+    "SOLVE_ENV",
+    "MODE_PARENT",
+    "MODE_WORKER",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessBackend",
+    "close_default_backend",
+    "default_backend",
+    "make_backend",
+    "resolve_backend",
+]

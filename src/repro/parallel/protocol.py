@@ -1,0 +1,188 @@
+"""Shard protocol for the process-pool execution backend.
+
+A micro-batch handed to :class:`repro.parallel.ProcessBackend` is cut
+into contiguous *shards*, one per worker process.  Everything small
+(the :class:`~repro.core.api.AnalyzeRequest` objects, per-request
+outcomes, stage timings) crosses the process boundary as pickled
+:class:`ShardTask` / :class:`ShardReply` messages over a pipe; the
+*bulk* ``float64`` payload — stacked matrices and right-hand sides, or
+solved circulation rows — moves through a ``multiprocessing.shared_memory``
+segment whose layout both sides compute from this module, so the big
+arrays are written exactly once and never pickled.
+
+Two shard modes exist (see :mod:`repro.parallel.pool`):
+
+* ``"worker"`` — the child assembles *and* solves its shard (the full
+  :func:`repro.core.api.solve_request_systems` path) and writes one
+  ``n_panels + 1`` row of ``float64`` per request: the expanded
+  circulation strengths followed by the boundary constant.
+* ``"parent"`` — the child only assembles; each request's slot holds
+  the closed ``(m, m)`` system matrix followed by its ``m`` right-hand
+  side values, in the request's own precision.  The parent stacks the
+  groups and runs the batched LU itself, preserving the inline path's
+  one-factorization-per-group structure.
+
+Both layouts are bit-faithful to the inline backend: the batched LU
+kernels are elementwise across the stack (each matrix is factored
+independently), widening ``float32`` results to ``float64`` is exact,
+and the Kutta expansion below mirrors
+:meth:`repro.panel.assembly.PanelSystem.expand_solution` — which is
+what makes response bytes identical across backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Shard mode: the child assembles and solves (gamma rows cross back).
+MODE_WORKER = "worker"
+
+#: Shard mode: the child only assembles (matrices + rhs cross back).
+MODE_PARENT = "parent"
+
+#: Slot alignment in bytes; keeps every ``float64`` view aligned even
+#: after a single-precision slot of odd byte length.
+_ALIGN = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """One worker's share of a micro-batch.
+
+    Attributes
+    ----------
+    seq:
+        Monotonic dispatch sequence number (labels replies).
+    shard_index:
+        Position of this shard within the batch's shard list.
+    mode:
+        :data:`MODE_WORKER` or :data:`MODE_PARENT`.
+    requests:
+        The shard's :class:`~repro.core.api.AnalyzeRequest` objects.
+    shm_name:
+        Name of the parent-owned shared-memory segment to write into.
+    offsets:
+        Per-request byte offset of each slot within the segment.
+    """
+
+    seq: int
+    shard_index: int
+    mode: str
+    requests: Tuple
+    shm_name: str
+    offsets: Tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardReply:
+    """A worker's answer for one :class:`ShardTask`.
+
+    ``outcomes`` aligns with the task's requests: ``None`` marks a slot
+    whose payload landed in shared memory, an exception instance marks
+    a request that failed during assembly/solve (the same per-request
+    error convention :func:`~repro.core.api.evaluate_requests` uses).
+    ``error`` is a whole-shard failure (``outcomes`` is then ``None``).
+    ``stamps`` are ``(stage, rel_start, rel_end, count)`` tuples
+    relative to the child's task start, and ``elapsed`` is the child's
+    total task wall time — the parent re-anchors both on its own
+    monotonic clock for tracing.
+    """
+
+    seq: int
+    shard_index: int
+    outcomes: Optional[Tuple]
+    error: Optional[BaseException]
+    stamps: Tuple = ()
+    elapsed: float = 0.0
+
+
+def plan_shards(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Cut ``range(n_items)`` into at most *n_shards* contiguous chunks.
+
+    Chunks are balanced to within one item and never empty, so the
+    shard count adapts to small batches (a 3-request batch on a
+    4-process pool yields 3 single-request shards).
+    """
+    n_shards = max(1, min(int(n_shards), int(n_items)))
+    base, extra = divmod(int(n_items), n_shards)
+    bounds = []
+    start = 0
+    for index in range(n_shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _slot_bytes(request, mode: str) -> int:
+    """Byte size of one request's shared-memory slot (aligned)."""
+    n = int(request.n_panels)
+    if mode == MODE_WORKER:
+        raw = (n + 1) * 8  # float64 gamma row + boundary constant
+    else:
+        itemsize = np.dtype(request.precision.dtype).itemsize
+        raw = (n * n + n) * itemsize  # closed matrix + rhs, native dtype
+    return (raw + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def plan_layout(requests: Sequence, mode: str) -> Tuple[Tuple[int, ...], int]:
+    """Per-request slot offsets and the total segment size in bytes.
+
+    The Kutta-closed system of an ``n``-panel request is ``n x n`` (see
+    :func:`repro.panel.assembly.assemble`), which is what lets the
+    parent size every slot without assembling anything.
+    """
+    offsets = []
+    total = 0
+    for request in requests:
+        offsets.append(total)
+        total += _slot_bytes(request, mode)
+    return tuple(offsets), max(total, _ALIGN)
+
+
+def expand_kutta_row(unknowns: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Recover ``(gamma, C)`` from one solved Kutta-closure row.
+
+    Mirrors :meth:`repro.panel.assembly.PanelSystem.expand_solution`
+    for :attr:`~repro.panel.assembly.Closure.KUTTA`: the eliminated
+    trailing-edge strength ``gamma_{n-1} = -gamma_0`` is reinstated and
+    the last unknown is the boundary constant.  Used by the parent-mode
+    solve, where the assembled :class:`PanelSystem` lives only in the
+    child that built it.
+    """
+    unknowns = np.asarray(unknowns)
+    gamma = np.empty(unknowns.shape[0], dtype=unknowns.dtype)
+    gamma[:-1] = unknowns[:-1]
+    gamma[-1] = -unknowns[0]
+    return gamma, float(unknowns[-1])
+
+
+def anchor_stamps(stamps: Sequence, elapsed: float,
+                  received_at: float) -> List[Tuple[str, float, float, int]]:
+    """Re-anchor a child's relative stage stamps on the parent's clock.
+
+    The child's monotonic clock is not comparable to the parent's, so
+    its task timeline is pinned by estimating the task start as
+    ``received_at - elapsed`` (reply receipt minus the child's measured
+    task duration) — exact up to the pipe latency of one small message.
+    """
+    base = float(received_at) - float(elapsed)
+    return [(stage, base + start, base + end, count)
+            for stage, start, end, count in stamps]
+
+
+def merge_envelope(spans: Sequence[Tuple[float, float]]
+                   ) -> Optional[Tuple[float, float]]:
+    """The ``(min_start, max_end)`` envelope of concurrent shard spans.
+
+    This is the *wall* time of a stage running in parallel across the
+    pool — the number the paper's W/A/L/O tables put in the ``A`` and
+    ``L`` columns — as opposed to the sum of per-shard durations, which
+    measures CPU work and exceeds wall whenever shards overlap.
+    """
+    if not spans:
+        return None
+    return min(start for start, _ in spans), max(end for _, end in spans)

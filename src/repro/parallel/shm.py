@@ -1,0 +1,74 @@
+"""Shared-memory transport for the process-pool execution backend.
+
+The parent owns every segment: it creates one per shard before
+dispatch, the child attaches and writes its slots, and the parent
+unlinks in a ``finally`` once the payload has been copied out — so a
+crashed child can never leak a segment past the batch that created it.
+
+Attaching is where the stdlib needs help: before Python 3.13,
+``SharedMemory(name=...)`` registers the segment with the attaching
+process's resource tracker as if it owned it, which produces spurious
+"leaked shared_memory" warnings (and a double unlink attempt) when the
+child exits.  :func:`attach_segment` uses ``track=False`` where
+available and falls back to unregistering by hand, so ownership stays
+with the parent on every supported Python.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+
+def create_segment(n_bytes: int) -> shared_memory.SharedMemory:
+    """Create a parent-owned segment of at least *n_bytes*."""
+    return shared_memory.SharedMemory(create=True, size=max(int(n_bytes), 8))
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without claiming ownership."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        # Suppress the attach-side register instead of unregistering
+        # afterwards: under a fork context the child shares the
+        # parent's tracker process, whose name set dedupes the double
+        # register — an unregister here would then make the parent's
+        # own unlink-time unregister fail (bpo-38119).
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(res_name, rtype):  # pragma: no cover - 3.13+ skips
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def destroy_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink a parent-owned segment (idempotent-ish)."""
+    try:
+        segment.close()
+    finally:
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def slot_view(segment: shared_memory.SharedMemory, offset: int,
+              shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """A zero-copy ndarray view of one slot inside a segment.
+
+    The view is only valid while the segment is open; callers that
+    outlive the segment must copy (``np.array(view)``) first.
+    """
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf,
+                      offset=int(offset))

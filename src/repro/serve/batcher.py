@@ -54,9 +54,18 @@ class BatchPolicy:
     max_wait: float = 0.005
 
     def __post_init__(self) -> None:
-        if int(self.max_batch) < 1:
+        try:
+            batch = int(self.max_batch)
+        except (TypeError, ValueError):
+            raise ServeError(f"max_batch must be an integer, got {self.max_batch!r}")
+        if batch != self.max_batch:
+            # A fractional max_batch (say 2.7) used to be silently
+            # truncated to 2 — flushing earlier than configured, which
+            # reads as a throughput regression with no error anywhere.
+            raise ServeError(f"max_batch must be an integer, got {self.max_batch!r}")
+        if batch < 1:
             raise ServeError(f"max_batch must be at least 1, got {self.max_batch}")
-        object.__setattr__(self, "max_batch", int(self.max_batch))
+        object.__setattr__(self, "max_batch", batch)
         wait = float(self.max_wait)
         if not math.isfinite(wait) or wait < 0.0:
             raise ServeError(f"max_wait must be finite and >= 0, got {self.max_wait}")
@@ -111,13 +120,23 @@ def suggested_policy(n_panels: int = 200, *, max_batch: Optional[int] = None,
 
 def collect_batch(source: "queue_module.Queue", first_item, policy: BatchPolicy, *,
                   sentinel=None, clock=time.monotonic,
-                  drop=None, on_admit=None) -> Tuple[List, bool]:
+                  drop=None, on_admit=None, enqueued_at=None) -> Tuple[List, bool]:
     """Coalesce one micro-batch starting from an already-dequeued item.
 
     Drains *source* until the batch holds ``policy.max_batch`` items or
-    ``policy.max_wait`` has elapsed since collection began; a backlog
-    present at the deadline is still drained without waiting, so a
-    congested queue always flushes full stacks.
+    the *oldest admitted item* has waited ``policy.max_wait`` since it
+    was enqueued; a backlog present at the deadline is still drained
+    without waiting, so a congested queue always flushes full stacks.
+
+    *enqueued_at*, when given, maps an item to the ``clock()`` stamp at
+    which it entered the queue; the flush deadline is anchored there.
+    This matters whenever the worker dequeues *first_item* later than
+    it was submitted (a solve was in flight, say): ``max_wait`` is a
+    promise about how long a request may sit waiting for batchmates,
+    and anchoring at collection start silently extended that promise by
+    the whole queue wait.  Without *enqueued_at* the deadline falls
+    back to collection start (the old behavior, correct only when the
+    queue wait is negligible).
 
     *drop*, when given, is consulted for every dequeued item (including
     *first_item*): returning True discards the item instead of batching
@@ -138,17 +157,27 @@ def collect_batch(source: "queue_module.Queue", first_item, policy: BatchPolicy,
     collected so far is returned, and ``saw_sentinel`` is True.
     """
     items: List = []
+    deadline: Optional[float] = None
 
     def admit(item) -> None:
+        nonlocal deadline
         if drop is None or not drop(item):
             if on_admit is not None:
                 on_admit(item)
             items.append(item)
+            if deadline is None and enqueued_at is not None:
+                # Anchor at the oldest *admitted* item: dropped items
+                # never waited for this batch, so they cannot shorten
+                # its window.
+                deadline = float(enqueued_at(item)) + policy.max_wait
 
+    started = clock()
     admit(first_item)
-    deadline = clock() + policy.max_wait
     while len(items) < policy.max_batch:
-        remaining = deadline - clock()
+        # No anchored deadline yet (no enqueued_at, or everything so
+        # far was dropped): fall back to the collection-start anchor.
+        effective = deadline if deadline is not None else started + policy.max_wait
+        remaining = effective - clock()
         try:
             if remaining <= 0.0:
                 item = source.get_nowait()

@@ -50,23 +50,33 @@ class ResultCache:
     @property
     def hits(self) -> int:
         """Number of lookups that returned a value."""
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
         """Number of lookups that returned ``None``."""
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @property
     def evictions(self) -> int:
         """Number of entries displaced by the LRU policy."""
-        return self._evictions
+        with self._lock:
+            return self._evictions
 
     @property
     def hit_rate(self) -> float:
-        """``hits / (hits + misses)``; 0.0 before any lookup."""
-        total = self._hits + self._misses
-        return self._hits / total if total else 0.0
+        """``hits / (hits + misses)``; 0.0 before any lookup.
+
+        Numerator and denominator come from one locked snapshot — an
+        unlocked read could pair a pre-lookup ``hits`` with a
+        post-lookup ``misses`` and report a rate no counter state ever
+        had (including one slightly above 1.0).
+        """
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
 
     def __len__(self) -> int:
         return len(self._entries)

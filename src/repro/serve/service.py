@@ -118,6 +118,17 @@ class AnalysisService:
         A :class:`~repro.obs.logging.StructuredLogger` receiving one
         event per request outcome (completed / failed / shed / expired
         / cancelled).  ``None`` logs nothing (the in-process default).
+    exec_backend:
+        Where micro-batches are assembled and solved: a backend name
+        (``"inline"`` / ``"process"``, constructed — and closed — by
+        the service), an :class:`~repro.parallel.ExecutionBackend`
+        instance (borrowed; the caller closes it), or ``None`` for the
+        process-wide default (``REPRO_EXEC_BACKEND``, inline unless
+        set).  See the "Execution backends" section of
+        ``docs/serving.md``.
+    exec_procs:
+        Worker-process count when *exec_backend* is the name
+        ``"process"``; ignored otherwise.
     """
 
     def __init__(self, *, max_batch: Optional[int] = None,
@@ -126,7 +137,9 @@ class AnalysisService:
                  n_panels_hint: int = 200,
                  default_deadline_ms: Optional[float] = None,
                  trace_sample: float = 1.0, trace_ring: int = 256,
-                 logger: Optional[StructuredLogger] = None) -> None:
+                 logger: Optional[StructuredLogger] = None,
+                 exec_backend=None,
+                 exec_procs: Optional[int] = None) -> None:
         self.policy: BatchPolicy = suggested_policy(
             n_panels_hint, max_batch=max_batch, max_wait=max_wait
         )
@@ -138,11 +151,22 @@ class AnalysisService:
         self.metrics = ServiceMetrics()
         self.tracer = Tracer(sample_rate=trace_sample, ring_size=trace_ring)
         self.logger = logger if logger is not None else StructuredLogger("off")
+        from repro.parallel import make_backend, resolve_backend
+
+        if isinstance(exec_backend, str):
+            # A named backend is constructed here and owned here: the
+            # service closes it (and its worker processes) on close().
+            self._exec_backend = make_backend(exec_backend, n_procs=exec_procs)
+            self._owns_exec_backend = True
+        else:
+            self._exec_backend = resolve_backend(exec_backend)
+            self._owns_exec_backend = False
         self._pool = WorkerPool(
             self._process_batch, self.policy,
             n_workers=n_workers, queue_limit=queue_limit,
             on_error=self._fail_batch, drop=self._drop_dead,
             on_admit=self._on_dequeue,
+            enqueued_at=lambda job: job.enqueued,
         )
         self._closed = False
 
@@ -361,7 +385,8 @@ class AnalysisService:
                 for job in solve_traced:
                     job.trace.add_stage(stage, start, end)
         outcomes = evaluate_requests(
-            [job.request for job in representatives], stage_hook=stage_hook
+            [job.request for job in representatives], stage_hook=stage_hook,
+            backend=self._exec_backend,
         )
 
         now = time.monotonic()
@@ -464,6 +489,7 @@ class AnalysisService:
             queue_depth=self.queue_depth, cache_stats=self.cache.stats()
         )
         snapshot["stages"] = self.tracer.stages_snapshot()
+        snapshot["exec_backend"] = self._exec_backend.stats()
         return snapshot
 
     def recent_traces(self, n: Optional[int] = None) -> List[Trace]:
@@ -482,9 +508,17 @@ class AnalysisService:
                 for trace in self.tracer.recent(n)]
 
     def close(self, timeout: float = 10.0) -> bool:
-        """Drain accepted work and stop the workers (idempotent)."""
+        """Drain accepted work and stop the workers (idempotent).
+
+        A service-owned execution backend is closed only after the
+        thread pool drains, so in-flight micro-batches keep their
+        worker processes until the last solve lands.
+        """
         self._closed = True
-        return self._pool.shutdown(timeout=timeout)
+        drained = self._pool.shutdown(timeout=timeout)
+        if self._owns_exec_backend:
+            self._exec_backend.close()
+        return drained
 
     def __enter__(self) -> "AnalysisService":
         return self

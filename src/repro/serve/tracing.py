@@ -37,6 +37,11 @@ STAGE_ASSEMBLY = "assembly"
 STAGE_SOLVE = "solve"
 STAGE_POSTPROCESS = "postprocess"
 STAGE_SERIALIZE = "serialize"
+#: Per-worker-process spans emitted by the process execution backend;
+#: the plain ``assembly``/``solve`` stages remain the *wall-time*
+#: envelope across shards, so W/A/L/O stays backend-comparable.
+STAGE_ASSEMBLY_SHARD = "assembly_shard"
+STAGE_SOLVE_SHARD = "solve_shard"
 
 #: Gantt glyphs for live serving stages (ASCII rendering).
 LIVE_GLYPHS: Dict[str, str] = {
@@ -47,6 +52,8 @@ LIVE_GLYPHS: Dict[str, str] = {
     STAGE_SOLVE: "s",
     STAGE_POSTPROCESS: "p",
     STAGE_SERIALIZE: "z",
+    STAGE_ASSEMBLY_SHARD: "A",
+    STAGE_SOLVE_SHARD: "S",
 }
 
 #: Row titles for the live-stage legend.
@@ -58,6 +65,8 @@ LIVE_TITLES: Dict[str, str] = {
     STAGE_SOLVE: "solve",
     STAGE_POSTPROCESS: "postprocess",
     STAGE_SERIALIZE: "serialize",
+    STAGE_ASSEMBLY_SHARD: "assembly (per shard)",
+    STAGE_SOLVE_SHARD: "solve (per shard)",
 }
 
 #: Stage keys always present in :meth:`Tracer.stages_snapshot`.

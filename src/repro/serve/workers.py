@@ -150,6 +150,12 @@ class WorkerPool:
         Optional callback invoked with every item the moment it joins
         a forming batch — the tracing stamp that ends the item's queue
         wait.  Must be cheap and must not raise.
+    enqueued_at:
+        Optional callable mapping an item to the monotonic stamp at
+        which it was enqueued; batch collection anchors its flush
+        deadline there, so ``max_wait`` bounds the oldest item's total
+        wait rather than restarting when a worker picks the batch up
+        (see :func:`~repro.serve.batcher.collect_batch`).
     """
 
     def __init__(self, process: Callable[[List], None],
@@ -158,7 +164,8 @@ class WorkerPool:
                  name: str = "repro-serve",
                  on_error: Optional[Callable[[List, BaseException], None]] = None,
                  drop: Optional[Callable[[object], bool]] = None,
-                 on_admit: Optional[Callable[[object], None]] = None):
+                 on_admit: Optional[Callable[[object], None]] = None,
+                 enqueued_at: Optional[Callable[[object], float]] = None):
         if int(n_workers) < 1:
             raise ServeError(f"n_workers must be at least 1, got {n_workers}")
         if int(queue_limit) < 1:
@@ -170,6 +177,7 @@ class WorkerPool:
         self._on_error = on_error
         self._drop = drop
         self._on_admit = on_admit
+        self._enqueued_at = enqueued_at
         self._draining = threading.Event()
         # Guards the check-drain-then-enqueue pair in submit() against a
         # concurrent shutdown(): without it the sentinel can land between
@@ -259,6 +267,7 @@ class WorkerPool:
             items, saw_sentinel = collect_batch(
                 self._queue, first, self._policy, sentinel=_SENTINEL,
                 drop=self._drop, on_admit=self._on_admit,
+                enqueued_at=self._enqueued_at,
             )
             if items:
                 try:

@@ -25,6 +25,16 @@ class TestBatchPolicy:
         policy = BatchPolicy(max_batch=8.0, max_wait=1)
         assert policy.max_batch == 8 and policy.max_wait == 1.0
 
+    def test_rejects_fractional_max_batch(self):
+        # Regression: 2.7 used to be silently truncated to 2, flushing
+        # smaller batches than configured with no error anywhere.
+        with pytest.raises(ServeError, match="integer"):
+            BatchPolicy(max_batch=2.7)
+
+    def test_rejects_non_numeric_max_batch(self):
+        with pytest.raises(ServeError, match="integer"):
+            BatchPolicy(max_batch="eight")
+
 
 class TestCollectBatch:
     def test_max_batch_path_flushes_without_waiting(self):
@@ -168,6 +178,64 @@ class TestCollectBatchDrop:
         if len(items) < max_batch:  # backlog exhausted without filling up
             assert items == live
             assert dropped == [entry for entry in backlog if entry[1]]
+
+
+class TestDeadlineAnchoring:
+    """The flush deadline is a promise about the *oldest request's*
+    total wait, so it anchors at that request's enqueue stamp, not at
+    whenever a worker got around to collecting the batch."""
+
+    def test_stale_first_item_flushes_immediately(self):
+        # Regression: the item already waited 10 s in the queue (a
+        # solve was in flight); pre-fix the deadline restarted at
+        # collection time and the item sat out another full max_wait.
+        source = queue.Queue()
+        item = ("req", time.monotonic() - 10.0)
+        start = time.monotonic()
+        items, saw = collect_batch(source, item,
+                                   BatchPolicy(max_batch=8, max_wait=0.25),
+                                   enqueued_at=lambda it: it[1])
+        elapsed = time.monotonic() - start
+        assert items == [item] and not saw
+        assert elapsed < 0.1
+
+    def test_partially_spent_budget_waits_only_the_remainder(self):
+        source = queue.Queue()
+        item = ("req", time.monotonic() - 0.2)
+        start = time.monotonic()
+        items, _ = collect_batch(source, item,
+                                 BatchPolicy(max_batch=8, max_wait=0.3),
+                                 enqueued_at=lambda it: it[1])
+        elapsed = time.monotonic() - start
+        assert items == [item]
+        assert 0.05 <= elapsed < 0.25  # ~0.1 s remained of the budget
+
+    def test_fresh_first_item_still_waits_the_full_window(self):
+        source = queue.Queue()
+        item = ("req", time.monotonic())
+        start = time.monotonic()
+        items, _ = collect_batch(source, item,
+                                 BatchPolicy(max_batch=8, max_wait=0.05),
+                                 enqueued_at=lambda it: it[1])
+        elapsed = time.monotonic() - start
+        assert items == [item]
+        assert 0.04 <= elapsed < 1.0
+
+    def test_anchor_comes_from_first_admitted_not_first_dropped(self):
+        # The dropped first item never waited for this batch; the
+        # deadline anchors at the first *admitted* item, whose budget
+        # here is already spent — so collection returns immediately.
+        source = queue.Queue()
+        live = ("live", time.monotonic() - 10.0)
+        source.put(live)
+        start = time.monotonic()
+        items, _ = collect_batch(source, ("dead", time.monotonic()),
+                                 BatchPolicy(max_batch=8, max_wait=0.25),
+                                 drop=lambda it: it[0] == "dead",
+                                 enqueued_at=lambda it: it[1])
+        elapsed = time.monotonic() - start
+        assert items == [live]
+        assert elapsed < 0.1
 
 
 class TestSuggestedPolicy:

@@ -82,3 +82,36 @@ class TestEdgeCases:
         cache.clear()
         assert len(cache) == 0
         assert cache.hits == 1
+
+
+class _CountingLock:
+    """Wraps the cache's lock to count context-manager acquisitions."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.acquisitions = 0
+
+    def __enter__(self):
+        self.acquisitions += 1
+        return self._inner.__enter__()
+
+    def __exit__(self, exc_type, exc, tb):
+        return self._inner.__exit__(exc_type, exc, tb)
+
+
+class TestCounterLocking:
+    def test_counter_properties_read_under_the_lock(self):
+        """Regression: hits/misses/evictions/hit_rate read the counters
+        without the lock, so hit_rate could pair a pre-lookup numerator
+        with a post-lookup denominator from a concurrent get()."""
+        cache = ResultCache(capacity=4)
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.get("absent")
+        counting = _CountingLock(cache._lock)
+        cache._lock = counting
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.evictions == 0
+        assert cache.hit_rate == 0.5
+        assert counting.acquisitions == 4  # one locked snapshot apiece
