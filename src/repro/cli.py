@@ -119,6 +119,62 @@ def build_parser() -> argparse.ArgumentParser:
                            help="process backend only: run the batched LU in "
                                 "each worker (default) or assemble in workers "
                                 "and solve one batched LU in the parent")
+    sub_serve.add_argument("--jobs-dir", metavar="DIR", default=None,
+                           help="enable the durable jobs subsystem, storing "
+                                "journal and checkpoints under DIR; jobs "
+                                "interrupted by a crash resume on restart "
+                                "(default: jobs disabled)")
+    sub_serve.add_argument("--job-slots", type=int, default=1, metavar="N",
+                           help="optimization jobs run concurrently "
+                                "(default 1)")
+
+    connection = argparse.ArgumentParser(add_help=False)
+    connection.add_argument("--host", default="127.0.0.1",
+                            help="server address (default 127.0.0.1)")
+    connection.add_argument("--port", type=int, default=8000,
+                            help="server port (default 8000)")
+    connection.add_argument("--timeout", type=float, default=60.0,
+                            help="socket timeout per HTTP call, seconds")
+
+    sub_jobs = subparsers.add_parser(
+        "jobs", help="submit and track optimization jobs on a running server"
+    )
+    jobs_sub = sub_jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_submit = jobs_sub.add_parser(
+        "submit", parents=[connection],
+        help="POST a job spec and print the created record",
+    )
+    jobs_submit.add_argument("--spec", default=None, metavar="JSON",
+                             help="full job spec as inline JSON, or @FILE "
+                                  "to read it from a file; the flags below "
+                                  "override individual fields")
+    jobs_submit.add_argument("--seed", type=int, default=None,
+                             help="RNG seed (default 0)")
+    jobs_submit.add_argument("--generations", type=int, default=None,
+                             help="GA generations")
+    jobs_submit.add_argument("--population", type=int, default=None,
+                             help="GA population size")
+    jobs_submit.add_argument("--checkpoint-every", type=int, default=None,
+                             metavar="K", help="checkpoint every K generations")
+    jobs_submit.add_argument("--watch", action="store_true",
+                             help="stream progress until the job finishes")
+    jobs_status = jobs_sub.add_parser(
+        "status", parents=[connection], help="print one job record as JSON"
+    )
+    jobs_status.add_argument("job_id")
+    jobs_watch = jobs_sub.add_parser(
+        "watch", parents=[connection],
+        help="stream per-generation progress until the job finishes",
+    )
+    jobs_watch.add_argument("job_id")
+    jobs_watch.add_argument("--poll", type=float, default=0.2, metavar="S",
+                            help="poll interval in seconds (default 0.2)")
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", parents=[connection], help="request cooperative cancellation"
+    )
+    jobs_cancel.add_argument("job_id")
+    jobs_sub.add_parser("list", parents=[connection],
+                        help="list every job the server knows about")
     return parser
 
 
@@ -148,6 +204,7 @@ def run_serve(arguments) -> int:
         trace_ring=arguments.trace_ring,
         logger=make_logger(arguments.log_format),
         exec_backend=exec_backend, exec_procs=arguments.exec_procs,
+        jobs_dir=arguments.jobs_dir, job_slots=arguments.job_slots,
     )
     server = start_server(service, host=arguments.host, port=arguments.port)
     policy = service.policy
@@ -157,6 +214,8 @@ def run_serve(arguments) -> int:
     exec_info = exec_stats["name"]
     if exec_stats.get("procs"):
         exec_info += f"x{exec_stats['procs']}"
+    jobs_info = ("off" if service.jobs is None
+                 else f"{arguments.jobs_dir} x{arguments.job_slots}")
     print(f"repro serve listening on http://{arguments.host}:{server.port}  "
           f"(max_batch={policy.max_batch}, "
           f"max_wait={1e3 * policy.max_wait:.1f} ms, "
@@ -164,6 +223,7 @@ def run_serve(arguments) -> int:
           f"queue_limit={arguments.queue_limit}, "
           f"default_deadline={deadline}, "
           f"exec_backend={exec_info}, "
+          f"jobs={jobs_info}, "
           f"trace_sample={arguments.trace_sample:g}, "
           f"log_format={arguments.log_format})", flush=True)
     try:
@@ -179,6 +239,111 @@ def run_serve(arguments) -> int:
         print("drained and stopped" if drained else "stopped (drain timed out)",
               flush=True)
     return 0
+
+
+def run_jobs(arguments) -> int:
+    """The ``jobs`` command group: talk to a running server's jobs API."""
+    import json
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(arguments.host, arguments.port,
+                         timeout=arguments.timeout)
+    action = arguments.jobs_command
+    if action == "submit":
+        spec = _build_job_spec(arguments)
+        record = client.submit_job(spec)
+        if arguments.watch:
+            print(f"submitted {record['id']}", flush=True)
+            return _watch_job(client, record["id"], poll=0.2)
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    if action == "status":
+        print(json.dumps(client.job(arguments.job_id), indent=2,
+                         sort_keys=True))
+        return 0
+    if action == "watch":
+        return _watch_job(client, arguments.job_id, poll=arguments.poll)
+    if action == "cancel":
+        record = client.cancel_job(arguments.job_id)
+        print(f"{record['id']} {record['state']} "
+              f"(cancel_requested={record['cancel_requested']})")
+        return 0
+    # list
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for record in jobs:
+        print(f"{record['id']}  {record['state']:<9} "
+              f"gen {record['generations_done']}/{record['total_generations']}"
+              f"  resumes={record['resumes']}"
+              + (f"  error={record['error']}" if record.get("error") else ""))
+    return 0
+
+
+def _build_job_spec(arguments) -> dict:
+    """Merge ``jobs submit`` flags over an optional ``--spec`` document."""
+    import json
+
+    from repro.errors import ServeError
+
+    spec: dict = {}
+    if arguments.spec is not None:
+        text = arguments.spec
+        if text.startswith("@"):
+            with open(text[1:], "r", encoding="utf-8") as handle:
+                text = handle.read()
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ServeError(f"--spec is not valid JSON: {error}")
+        if not isinstance(spec, dict):
+            raise ServeError("--spec must be a JSON object")
+    ga = dict(spec.get("ga", {}))
+    if arguments.seed is not None:
+        spec["seed"] = arguments.seed
+    if arguments.generations is not None:
+        ga["generations"] = arguments.generations
+    if arguments.population is not None:
+        ga["population_size"] = arguments.population
+    if arguments.checkpoint_every is not None:
+        spec["checkpoint_every"] = arguments.checkpoint_every
+    spec.setdefault("seed", 0)
+    if ga:
+        spec["ga"] = ga
+    return spec
+
+
+def _watch_job(client, job_id: str, *, poll: float) -> int:
+    """Stream progress events until *job_id* reaches a terminal state."""
+    import time
+
+    from repro.jobs import JobState
+
+    since = 0
+    while True:
+        page = client.job_events(job_id, since=since)
+        for event in page["events"]:
+            best = event.get("best_fitness")
+            mean = event.get("mean_fitness")
+            best_text = "n/a" if best is None else f"{float(best):.6g}"
+            mean_text = "n/a" if mean is None else f"{float(mean):.6g}"
+            print(f"gen {event['generation'] + 1}: "
+                  f"best={best_text} mean={mean_text}", flush=True)
+        since = page["next_since"]
+        if page["state"] in JobState.TERMINAL:
+            record = client.job(job_id)
+            line = f"{job_id} {record['state']}"
+            if record["state"] == JobState.DONE:
+                champion = record["result"]["champion"]
+                line += (f": best fitness {champion['fitness']} "
+                         f"after {record['generations_done']} generations")
+            elif record.get("error"):
+                line += f": {record['error']}"
+            print(line, flush=True)
+            return 0 if record["state"] == JobState.DONE else 1
+        time.sleep(poll)
 
 
 def _analyze_with_timeout(run, timeout: float):
@@ -291,6 +456,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         if arguments.command == "serve":
             return run_serve(arguments)
+        if arguments.command == "jobs":
+            return run_jobs(arguments)
         if arguments.command == "report":
             from repro.experiments.markdown import generate_experiments_markdown
 

@@ -97,5 +97,20 @@ class DeadlineExceededError(ServeError):
     """
 
 
+class JobError(ServeError):
+    """Raised by the jobs subsystem for invalid specs or misuse.
+
+    Examples: a malformed job spec, submitting to a server without a
+    jobs directory, or a corrupt (non-final) journal line.
+    """
+
+
+class JobNotFoundError(JobError):
+    """Raised when a job ID does not exist in the jobs store.
+
+    The HTTP front end maps this to a ``404 Not Found`` response.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment harness receives an unknown target."""

@@ -1,0 +1,36 @@
+"""Process-lifetime counters for the jobs subsystem.
+
+Mirrors :class:`repro.serve.metrics.ServiceMetrics`: a lock around
+plain integers, snapshotted into the ``jobs`` section of the
+``/metrics`` document.  Counters reflect *this process's* activity
+(journal replay does not count — a restarted server starts its
+counters at zero, the Prometheus convention for counter resets).
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Counter names, in snapshot order.
+COUNTERS = (
+    "submitted", "started", "done", "failed", "cancelled", "resumed",
+    "checkpoints", "generations_completed",
+)
+
+
+class JobMetrics:
+    """Thread-safe counters for job lifecycle events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in COUNTERS}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (must be a known counter)."""
+        with self._lock:
+            self._counts[name] += amount
+
+    def snapshot(self) -> dict:
+        """One coherent copy of every counter."""
+        with self._lock:
+            return dict(self._counts)

@@ -34,6 +34,9 @@ COUNTER_KEYS = frozenset({
     "hits", "misses", "evictions", "snapshot_seq", "traced", "evicted",
     "shards", "sharded_requests", "worker_crashes", "worker_restarts",
     "inline_fallbacks", "start_failures",
+    # jobs subsystem (the "jobs" snapshot section)
+    "submitted", "started", "done", "resumed", "checkpoints",
+    "generations_completed",
 })
 
 #: Quantile-label spellings for the latency block's ``pXX`` keys.

@@ -68,20 +68,33 @@ class FitnessEvaluator:
     use_head: bool = True
     solver: PanelSolver = dataclasses.field(default_factory=PanelSolver)
 
-    def evaluate(self, genome: np.ndarray) -> EvaluationRecord:
-        """Score one genome, returning the full record."""
+    def build_airfoil(self, genome: np.ndarray):
+        """Discretize one genome, or return the failed record instead.
+
+        Returns ``(airfoil, None)`` for a feasible candidate and
+        ``(None, record)`` when the genome fails before the solve.  The
+        split lets the jobs subsystem collect a generation's airfoils
+        into one stacked batch while keeping the exact pre-solve
+        semantics of :meth:`evaluate`.
+        """
         parametrization = self.layout.to_parametrization(genome)
         if not parametrization.is_feasible(min_thickness=self.min_thickness):
-            return EvaluationRecord(INFEASIBLE_FITNESS, failure="thin or crossed section")
+            return None, EvaluationRecord(
+                INFEASIBLE_FITNESS, failure="thin or crossed section"
+            )
         try:
-            airfoil = parametrization.to_airfoil(self.n_panels)
+            return parametrization.to_airfoil(self.n_panels), None
         except GeometryError as error:
-            return EvaluationRecord(INFEASIBLE_FITNESS, failure=f"geometry: {error}")
-        freestream = Freestream.from_degrees(self.alpha_degrees)
-        try:
-            solution = self.solver.solve(airfoil, freestream)
-        except LinalgError as error:
-            return EvaluationRecord(INFEASIBLE_FITNESS, failure=f"solve: {error}")
+            return None, EvaluationRecord(
+                INFEASIBLE_FITNESS, failure=f"geometry: {error}"
+            )
+
+    def classify_solution(self, solution) -> EvaluationRecord:
+        """Turn one solved panel system into its evaluation record.
+
+        Shared between the serial path and the batched generation
+        evaluator so both classify identically (bit-for-bit).
+        """
         cl = solution.lift_coefficient
         if cl <= 0.0:
             # Negative lift at the design point: valid geometry, hopeless
@@ -98,6 +111,25 @@ class FitnessEvaluator:
             return EvaluationRecord(INFEASIBLE_FITNESS, cl=cl, cd=cd,
                                     failure="non-positive drag")
         return EvaluationRecord(cl / cd, cl=cl, cd=cd)
+
+    def evaluate(self, genome: np.ndarray) -> EvaluationRecord:
+        """Score one genome, returning the full record.
+
+        The solve runs through :meth:`PanelSolver.solve_batch` as a
+        stack of one: the batched LU kernels are elementwise across the
+        stack, so this produces the same bits as a genome evaluated in
+        the middle of a full-generation batch — the invariant the jobs
+        subsystem's batched evaluator relies on.
+        """
+        airfoil, failed = self.build_airfoil(genome)
+        if failed is not None:
+            return failed
+        freestream = Freestream.from_degrees(self.alpha_degrees)
+        try:
+            solution = self.solver.solve_batch([airfoil], freestream)[0]
+        except LinalgError as error:
+            return EvaluationRecord(INFEASIBLE_FITNESS, failure=f"solve: {error}")
+        return self.classify_solution(solution)
 
     def __call__(self, genome: np.ndarray) -> float:
         """Score one genome, returning only the fitness value."""

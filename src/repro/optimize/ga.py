@@ -21,7 +21,11 @@ import numpy as np
 from repro.errors import OptimizationError
 from repro.optimize.fitness import EvaluationRecord, FitnessEvaluator
 from repro.optimize.genome import GenomeLayout
-from repro.optimize.history import GenerationRecord, OptimizationHistory
+from repro.optimize.history import (
+    GenerationRecord,
+    OptimizationHistory,
+    ranking_order,
+)
 from repro.optimize.operators import (
     mutate_single_coefficient,
     one_point_crossover,
@@ -63,6 +67,13 @@ class GAConfig:
             raise OptimizationError("mutation probability must be in [0, 1]")
         if not 0 <= self.elitism < self.population_size:
             raise OptimizationError("elitism must be < population size")
+        if self.keep_best < 1:
+            raise OptimizationError(
+                "keep_best must be >= 1 (GenerationRecord.champion needs "
+                "at least one recorded individual)"
+            )
+        if self.tournament_size < 1:
+            raise OptimizationError("tournament size must be >= 1")
         from repro.optimize.selection import SelectionMethod
 
         try:
@@ -99,11 +110,18 @@ class GeneticOptimizer:
     on_generation:
         Optional callback invoked with each :class:`GenerationRecord`
         as it completes (used for progress reporting).
+    evaluate_all:
+        Optional replacement for the serial per-genome evaluation loop.
+        Called with the population (list of genomes) and must return one
+        :class:`EvaluationRecord` per genome, in order — this is the seam
+        the jobs subsystem uses to route whole generations through the
+        batched solver path (see :mod:`repro.jobs.evaluator`).
     """
 
     evaluator: FitnessEvaluator
     config: GAConfig = dataclasses.field(default_factory=GAConfig)
     on_generation: Optional[Callable[[GenerationRecord], None]] = None
+    evaluate_all: Optional[Callable[[list], List[EvaluationRecord]]] = None
 
     @property
     def layout(self) -> GenomeLayout:
@@ -163,11 +181,19 @@ class GeneticOptimizer:
         return population
 
     def _evaluate_all(self, population) -> List[EvaluationRecord]:
+        if self.evaluate_all is not None:
+            records = list(self.evaluate_all(population))
+            if len(records) != len(population):
+                raise OptimizationError(
+                    f"evaluate_all returned {len(records)} records for "
+                    f"{len(population)} genomes"
+                )
+            return records
         return [self.evaluator.evaluate(genome) for genome in population]
 
     def _next_generation(self, rng, population, records) -> List[np.ndarray]:
         fitnesses = [record.fitness for record in records]
-        order = np.argsort(fitnesses)[::-1]
+        order = ranking_order(fitnesses)
         select = self.config.selection_method.selector(
             tournament_size=self.config.tournament_size
         )

@@ -13,6 +13,19 @@ from typing import List
 import numpy as np
 
 
+def ranking_order(fitnesses) -> np.ndarray:
+    """Indices sorting *fitnesses* best-first, ties in input order.
+
+    NaN counts as ``-inf`` (worst).  Reversing a stable ascending
+    argsort would emit equal-fitness individuals in *reversed* index
+    order, which breaks checkpoint/resume determinism — negate and
+    sort ascending with a stable kind instead.
+    """
+    values = np.asarray(fitnesses, dtype=np.float64)
+    values = np.where(np.isnan(values), -np.inf, values)
+    return np.argsort(-values, kind="stable")
+
+
 @dataclasses.dataclass(frozen=True)
 class Individual:
     """A genome together with its evaluation."""
@@ -54,7 +67,7 @@ class OptimizationHistory:
         """Summarize a generation from its genomes and evaluation records."""
         fitnesses = np.array([record.fitness for record in records])
         finite = np.isfinite(fitnesses)
-        order = np.argsort(np.where(finite, fitnesses, -np.inf))[::-1]
+        order = ranking_order(fitnesses)
         best = [
             Individual(
                 genome=genomes[i],

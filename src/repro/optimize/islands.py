@@ -26,7 +26,7 @@ import numpy as np
 from repro.errors import OptimizationError
 from repro.optimize.fitness import FitnessEvaluator
 from repro.optimize.ga import GAConfig, GeneticOptimizer
-from repro.optimize.history import OptimizationHistory
+from repro.optimize.history import OptimizationHistory, ranking_order
 
 
 @dataclasses.dataclass(frozen=True)
@@ -134,7 +134,7 @@ class IslandOptimizer:
         champions: List[List[np.ndarray]] = []
         for island_index, population in enumerate(populations):
             fitnesses = [self.evaluator(genome) for genome in population]
-            order = np.argsort(fitnesses)[::-1]
+            order = ranking_order(fitnesses)
             champions.append([population[i].copy() for i in order[:k]])
         migrated = []
         for island_index, population in enumerate(populations):

@@ -152,6 +152,51 @@ class ServeClient:
                 time.sleep(0.02)
 
     # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit_job(self, spec: dict, *,
+                   request_id: Optional[str] = None) -> dict:
+        """``POST /jobs`` — submit an optimization job spec."""
+        return json.loads(self._post("/jobs", dict(spec),
+                                     request_id=request_id))
+
+    def jobs(self) -> List[dict]:
+        """``GET /jobs`` — every job the server knows about."""
+        return json.loads(self._get("/jobs"))["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>`` — full record, result included when done."""
+        return json.loads(self._get(f"/jobs/{job_id}"))
+
+    def job_events(self, job_id: str, since: int = 0) -> dict:
+        """``GET /jobs/<id>/events?since=N`` — progress events after N."""
+        return json.loads(self._get(f"/jobs/{job_id}/events?since={int(since)}"))
+
+    def cancel_job(self, job_id: str, *,
+                   request_id: Optional[str] = None) -> dict:
+        """``POST /jobs/<id>/cancel`` — request cooperative cancellation."""
+        return json.loads(self._post(f"/jobs/{job_id}/cancel", {},
+                                     request_id=request_id))
+
+    def wait_job(self, job_id: str, *, timeout: float = 60.0,
+                 poll: float = 0.05) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job reaches a terminal state."""
+        from repro.jobs import JobState
+
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in JobState.TERMINAL:
+                return record
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:.1f}s"
+                )
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 

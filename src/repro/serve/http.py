@@ -49,6 +49,7 @@ from typing import Optional, Tuple
 from repro.core.api import canonical_json, extract_deadline_ms, validate_deadline_ms
 from repro.errors import (
     DeadlineExceededError,
+    JobNotFoundError,
     OverloadedError,
     ReproError,
     ServeError,
@@ -162,15 +163,22 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             self._handle_metrics({"format": ["prometheus"]})
         elif route == "/debug/trace":
             self._handle_debug_trace(query)
+        elif route == "/jobs" or route.startswith("/jobs/"):
+            self._handle_jobs_get(route, query)
         else:
             self._send_json(404, {"error": f"unknown path {self.path}",
                                   "type": "NotFound"})
 
     def do_POST(self) -> None:
-        if self.path == "/analyze":
+        route = urllib.parse.urlsplit(self.path).path
+        if route == "/analyze":
             self._handle_analyze()
-        elif self.path == "/analyze_batch":
+        elif route == "/analyze_batch":
             self._handle_analyze_batch()
+        elif route == "/jobs":
+            self._handle_jobs_submit()
+        elif route.startswith("/jobs/") and route.endswith("/cancel"):
+            self._handle_job_cancel(route)
         else:
             self._send_json(404, {"error": f"unknown path {self.path}",
                                   "type": "NotFound"})
@@ -214,6 +222,109 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
                          "(expected 'ascii' or 'json')",
                 "type": "ServeError",
             })
+
+    # ------------------------------------------------------------------
+    # Jobs routes
+    # ------------------------------------------------------------------
+
+    def _jobs_runner(self, request_id: Optional[str] = None):
+        """The service's job runner, or ``None`` after sending a 404."""
+        runner = self.server.service.jobs
+        if runner is None:
+            self._send_json(404, {
+                "error": "jobs are not enabled "
+                         "(start the server with --jobs-dir)",
+                "type": "JobError",
+            }, request_id=request_id)
+        return runner
+
+    def _send_job_error(self, error: BaseException,
+                        request_id: Optional[str]) -> None:
+        if isinstance(error, JobNotFoundError):
+            status = 404
+        elif isinstance(error, ReproError):
+            status = 400
+        else:  # pragma: no cover - defensive
+            status = 500
+        self._send_json(status, _error_body(error, request_id),
+                        request_id=request_id)
+
+    def _handle_jobs_get(self, route: str, query: dict) -> None:
+        from repro.jobs import json_safe
+
+        request_id = self._header_request_id()
+        runner = self._jobs_runner(request_id)
+        if runner is None:
+            return
+        parts = [part for part in route.split("/") if part]
+        try:
+            if parts == ["jobs"]:
+                jobs = [json_safe(record.to_dict(include_result=False))
+                        for record in runner.store.list()]
+                self._send_json(200, {"jobs": jobs}, request_id=request_id)
+            elif len(parts) == 2:
+                record = runner.store.get(parts[1])
+                self._send_json(200, json_safe(record.to_dict()),
+                                request_id=request_id)
+            elif len(parts) == 3 and parts[2] == "events":
+                try:
+                    since = int(query.get("since", [0])[-1])
+                except ValueError:
+                    raise ServeError("since must be an integer")
+                record = runner.store.get(parts[1])
+                events = runner.store.events(parts[1], since=since)
+                self._send_json(200, {
+                    "id": record.id,
+                    "state": record.state,
+                    "generations_done": record.generations_done,
+                    "events": json_safe(events),
+                    "next_since": events[-1]["seq"] if events else since,
+                }, request_id=request_id)
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path}",
+                                      "type": "NotFound"},
+                                request_id=request_id)
+        except ReproError as error:
+            self._send_job_error(error, request_id)
+
+    def _handle_jobs_submit(self) -> None:
+        from repro.jobs import JobSpec, json_safe
+
+        payload = self._read_json()
+        if payload is None:
+            return
+        request_id = self._header_request_id()
+        runner = self._jobs_runner(request_id)
+        if runner is None:
+            return
+        try:
+            record = runner.submit(JobSpec.from_dict(payload))
+        except ReproError as error:
+            self._send_job_error(error, request_id)
+            return
+        self._send_json(200, json_safe(record.to_dict()),
+                        request_id=request_id)
+
+    def _handle_job_cancel(self, route: str) -> None:
+        from repro.jobs import json_safe
+
+        self._drain_body()
+        request_id = self._header_request_id()
+        runner = self._jobs_runner(request_id)
+        if runner is None:
+            return
+        parts = [part for part in route.split("/") if part]
+        if len(parts) != 3:
+            self._send_json(404, {"error": f"unknown path {self.path}",
+                                  "type": "NotFound"}, request_id=request_id)
+            return
+        try:
+            record = runner.cancel(parts[1])
+        except ReproError as error:
+            self._send_job_error(error, request_id)
+            return
+        self._send_json(200, json_safe(record.to_dict(include_result=False)),
+                        request_id=request_id)
 
     def _header_deadline_ms(self) -> Optional[float]:
         """The validated ``X-Repro-Deadline-Ms`` header, if present."""
@@ -316,6 +427,16 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+
+    def _drain_body(self) -> None:
+        """Read and discard a request body (keep-alive hygiene for
+        endpoints that take no input, like ``/jobs/<id>/cancel``)."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if 0 < length <= MAX_BODY_BYTES:
+            self.rfile.read(length)
 
     def _read_json(self):
         try:

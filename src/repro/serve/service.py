@@ -129,6 +129,13 @@ class AnalysisService:
     exec_procs:
         Worker-process count when *exec_backend* is the name
         ``"process"``; ignored otherwise.
+    jobs_dir:
+        Directory for durable optimization jobs (journal +
+        checkpoints); ``None`` (the default) disables the jobs
+        subsystem and its HTTP routes.  Unfinished jobs found in the
+        directory resume immediately.  See ``docs/jobs.md``.
+    job_slots:
+        Concurrent job slots when *jobs_dir* is set (default 1).
     """
 
     def __init__(self, *, max_batch: Optional[int] = None,
@@ -139,7 +146,9 @@ class AnalysisService:
                  trace_sample: float = 1.0, trace_ring: int = 256,
                  logger: Optional[StructuredLogger] = None,
                  exec_backend=None,
-                 exec_procs: Optional[int] = None) -> None:
+                 exec_procs: Optional[int] = None,
+                 jobs_dir: Optional[str] = None,
+                 job_slots: int = 1) -> None:
         self.policy: BatchPolicy = suggested_policy(
             n_panels_hint, max_batch=max_batch, max_wait=max_wait
         )
@@ -168,6 +177,17 @@ class AnalysisService:
             on_admit=self._on_dequeue,
             enqueued_at=lambda job: job.enqueued,
         )
+        #: The :class:`~repro.jobs.runner.JobRunner` when *jobs_dir* is
+        #: configured, else ``None`` (the HTTP layer 404s job routes).
+        self.jobs = None
+        if jobs_dir is not None:
+            from repro.jobs import JobRunner, JobStore
+
+            store = JobStore(jobs_dir, logger=self.logger)
+            self.jobs = JobRunner(
+                store, slots=job_slots, exec_backend=self._exec_backend,
+                tracer=self.tracer,
+            ).start()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -490,6 +510,8 @@ class AnalysisService:
         )
         snapshot["stages"] = self.tracer.stages_snapshot()
         snapshot["exec_backend"] = self._exec_backend.stats()
+        if self.jobs is not None:
+            snapshot["jobs"] = self.jobs.metrics_snapshot()
         return snapshot
 
     def recent_traces(self, n: Optional[int] = None) -> List[Trace]:
@@ -510,12 +532,17 @@ class AnalysisService:
     def close(self, timeout: float = 10.0) -> bool:
         """Drain accepted work and stop the workers (idempotent).
 
-        A service-owned execution backend is closed only after the
-        thread pool drains, so in-flight micro-batches keep their
-        worker processes until the last solve lands.
+        The job runner stops first (running jobs checkpoint and stay
+        resumable); a service-owned execution backend is closed only
+        after the thread pool drains, so in-flight micro-batches keep
+        their worker processes until the last solve lands.
         """
         self._closed = True
-        drained = self._pool.shutdown(timeout=timeout)
+        drained = True
+        if self.jobs is not None:
+            drained = self.jobs.close(timeout=timeout) and drained
+            self.jobs.store.close()
+        drained = self._pool.shutdown(timeout=timeout) and drained
         if self._owns_exec_backend:
             self._exec_backend.close()
         return drained

@@ -42,6 +42,10 @@ STAGE_SERIALIZE = "serialize"
 #: envelope across shards, so W/A/L/O stays backend-comparable.
 STAGE_ASSEMBLY_SHARD = "assembly_shard"
 STAGE_SOLVE_SHARD = "solve_shard"
+#: One GA generation of a background optimization job (emitted by
+#: :mod:`repro.jobs.runner`; folds into the aggregate as
+#: ``generation_seconds``).
+STAGE_GENERATION = "generation"
 
 #: Gantt glyphs for live serving stages (ASCII rendering).
 LIVE_GLYPHS: Dict[str, str] = {
@@ -54,6 +58,7 @@ LIVE_GLYPHS: Dict[str, str] = {
     STAGE_SERIALIZE: "z",
     STAGE_ASSEMBLY_SHARD: "A",
     STAGE_SOLVE_SHARD: "S",
+    STAGE_GENERATION: "g",
 }
 
 #: Row titles for the live-stage legend.
@@ -67,6 +72,7 @@ LIVE_TITLES: Dict[str, str] = {
     STAGE_SERIALIZE: "serialize",
     STAGE_ASSEMBLY_SHARD: "assembly (per shard)",
     STAGE_SOLVE_SHARD: "solve (per shard)",
+    STAGE_GENERATION: "GA generation",
 }
 
 #: Stage keys always present in :meth:`Tracer.stages_snapshot`.

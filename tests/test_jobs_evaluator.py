@@ -1,0 +1,145 @@
+"""Serial/batched generation evaluation parity — the jobs subsystem's
+bit-for-bit contract with :meth:`FitnessEvaluator.evaluate`."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptimizationError
+from repro.jobs import BatchedGenerationEvaluator
+from repro.optimize import (
+    FitnessEvaluator,
+    GAConfig,
+    GeneticOptimizer,
+    GenomeLayout,
+)
+from repro.panel import PanelSolver
+from repro.precision import Precision
+
+
+def make_evaluator(**overrides):
+    settings = dict(layout=GenomeLayout(n_upper=5, n_lower=5),
+                    n_panels=60, reynolds=4e5)
+    settings.update(overrides)
+    return FitnessEvaluator(**settings)
+
+
+def records_identical(serial, batched):
+    """Bit-for-bit equality of two EvaluationRecords (NaN-safe)."""
+    for field in ("fitness", "cl", "cd"):
+        left = getattr(serial, field)
+        right = getattr(batched, field)
+        if left is None or right is None:
+            assert left is right, f"{field}: {left!r} != {right!r}"
+        else:
+            assert (np.float64(left).tobytes()
+                    == np.float64(right).tobytes()), \
+                f"{field}: {left!r} != {right!r}"
+    assert serial.failure == batched.failure
+    return True
+
+
+#: Genomes drawn wide enough to hit every evaluate() branch: feasible
+#: sections, thin/crossed sections, and negative-lift shapes.
+genome_strategy = st.lists(
+    st.floats(min_value=-0.12, max_value=0.12, allow_nan=False,
+              width=64),
+    min_size=10, max_size=10,
+).map(lambda genes: np.asarray(genes, dtype=np.float64))
+
+
+class TestBitParity:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(genome_strategy, min_size=1, max_size=6))
+    def test_batched_generation_matches_serial_bit_for_bit(self, genomes):
+        evaluator = make_evaluator()
+        batched = BatchedGenerationEvaluator(evaluator)
+        serial_records = [evaluator.evaluate(genome) for genome in genomes]
+        batched_records = batched(genomes)
+        assert len(batched_records) == len(serial_records)
+        for serial, batch in zip(serial_records, batched_records):
+            assert records_identical(serial, batch)
+
+    def test_mixed_population_with_failures(self, rng):
+        evaluator = make_evaluator()
+        genomes = [
+            evaluator.layout.random_genome(rng),          # usually feasible
+            np.full(10, 0.03),                            # zero thickness
+            np.array([0.02, 0.02, 0.02, 0.02, 0.02,
+                      -0.09, -0.10, -0.10, -0.09, -0.04]),  # negative lift
+            evaluator.layout.random_genome(rng),
+        ]
+        batched = BatchedGenerationEvaluator(evaluator)(genomes)
+        for genome, record in zip(genomes, batched):
+            assert records_identical(evaluator.evaluate(genome), record)
+
+    def test_single_precision_solver_falls_back_to_serial(self):
+        evaluator = make_evaluator(
+            solver=PanelSolver(precision=Precision.SINGLE)
+        )
+        batched = BatchedGenerationEvaluator(evaluator)
+        assert not batched.batchable
+        genome = np.array([0.05, 0.08, 0.08, 0.06, 0.03,
+                           -0.02, -0.03, -0.03, -0.02, -0.01])
+        assert records_identical(evaluator.evaluate(genome),
+                                 batched([genome])[0])
+
+
+class TestGAIntegration:
+    def test_ga_with_batched_evaluate_all_is_identical(self):
+        evaluator = make_evaluator()
+        config = GAConfig(population_size=10, generations=3)
+        serial = GeneticOptimizer(evaluator=evaluator, config=config).run(
+            np.random.default_rng(11)
+        )
+        batched = GeneticOptimizer(
+            evaluator=evaluator, config=config,
+            evaluate_all=BatchedGenerationEvaluator(evaluator),
+        ).run(np.random.default_rng(11))
+        assert len(serial.generations) == len(batched.generations)
+        for left, right in zip(serial.generations, batched.generations):
+            assert left.best_fitness == right.best_fitness
+            assert left.mean_fitness == right.mean_fitness
+            assert left.feasible_fraction == right.feasible_fraction
+            for a, b in zip(left.best, right.best):
+                assert np.array_equal(a.genome, b.genome)
+                assert a.fitness == b.fitness
+
+    def test_wrong_length_evaluate_all_rejected(self):
+        evaluator = make_evaluator()
+        config = GAConfig(population_size=8, generations=1)
+        optimizer = GeneticOptimizer(
+            evaluator=evaluator, config=config,
+            evaluate_all=lambda population: [],
+        )
+        with pytest.raises(OptimizationError, match="8"):
+            optimizer.run(np.random.default_rng(0))
+
+    def test_run_from_chaining_matches_single_run(self):
+        """One-generation stepping (what the job runner does) is
+        exactly one multi-generation run."""
+        evaluator = make_evaluator()
+        config = GAConfig(population_size=10, generations=3)
+        reference = GeneticOptimizer(evaluator=evaluator, config=config).run(
+            np.random.default_rng(5)
+        )
+        from repro.optimize import OptimizationHistory
+
+        rng = np.random.default_rng(5)
+        population = [evaluator.layout.random_genome(rng)
+                      for _ in range(config.population_size)]
+        history = OptimizationHistory()
+        step = dataclasses.replace(config, generations=1)
+        for generation in range(config.generations):
+            population = GeneticOptimizer(
+                evaluator=evaluator, config=step,
+            ).run_from(population, rng, history=history,
+                       generation_offset=generation)
+        assert len(history.generations) == len(reference.generations)
+        for left, right in zip(reference.generations, history.generations):
+            assert left.index == right.index
+            assert left.best_fitness == right.best_fitness
+            assert np.array_equal(left.champion.genome, right.champion.genome)

@@ -1,0 +1,210 @@
+"""Tests for the job runner: determinism, resume, cancel, failure isolation."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import JobError
+from repro.jobs import (
+    JobRunner,
+    JobSpec,
+    JobState,
+    JobStore,
+    history_to_dict,
+)
+from repro.optimize import FitnessEvaluator, GAConfig, GeneticOptimizer, GenomeLayout
+from repro.serve.tracing import Tracer
+
+SPEC = {"seed": 7, "checkpoint_every": 2,
+        "ga": {"population_size": 10, "generations": 4, "keep_best": 2},
+        "fitness": {"n_panels": 60}}
+
+
+def reference_history(spec=None):
+    """The uninterrupted serial GA run the jobs path must reproduce."""
+    spec = JobSpec.from_dict(spec or SPEC)
+    history = GeneticOptimizer(
+        evaluator=spec.fitness_evaluator(), config=spec.ga_config(),
+    ).run(np.random.default_rng(spec.seed))
+    return history_to_dict(history)
+
+
+def wait_terminal(store, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = store.get(job_id)
+        if record.terminal:
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} still {store.get(job_id).state}")
+
+
+class TestRunnerBasics:
+    def test_slots_validation(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        with pytest.raises(JobError, match="slots"):
+            JobRunner(store, slots=0)
+        store.close()
+
+    def test_double_start_rejected(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        runner = JobRunner(store).start()
+        with pytest.raises(JobError, match="started"):
+            runner.start()
+        assert runner.close()
+        store.close()
+
+    def test_close_before_start_is_safe(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        assert JobRunner(store).close()
+        store.close()
+
+    def test_metrics_snapshot_shape(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        runner = JobRunner(store, slots=2)
+        snapshot = runner.metrics_snapshot()
+        assert snapshot["slots"] == 2
+        assert snapshot["queue_depth"] == 0
+        assert set(snapshot["states"]) == set(JobState.ALL)
+        assert snapshot["torn_journal_lines"] == 0
+        assert snapshot["submitted"] == 0
+        store.close()
+
+
+class TestDeterminism:
+    def test_job_history_matches_uninterrupted_serial_run(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        runner = JobRunner(store, tracer=Tracer()).start()
+        record = runner.submit(JobSpec.from_dict(SPEC))
+        final = wait_terminal(store, record.id)
+        assert runner.close()
+        assert final.state == JobState.DONE
+        assert json.dumps(final.result["history"], sort_keys=True) == \
+            json.dumps(reference_history(), sort_keys=True)
+        assert final.generations_done == 4
+        assert store.metrics.snapshot()["generations_completed"] == 4
+        store.close()
+
+    def test_graceful_stop_then_resume_is_byte_identical(self, tmp_path):
+        """Stop the runner mid-job; a fresh runner on the same directory
+        must finish the job with history identical to an uninterrupted
+        run — the tentpole's determinism contract."""
+        store = JobStore(str(tmp_path))
+        seen = threading.Event()
+        release = threading.Event()
+
+        def hold_at_generation_one(record, summary):
+            if summary.index == 1:
+                seen.set()
+                release.wait(timeout=60.0)
+
+        runner = JobRunner(store, on_generation=hold_at_generation_one)
+        runner.start()
+        record = runner.submit(JobSpec.from_dict(SPEC))
+        assert seen.wait(timeout=120.0)
+        # Stop while the worker is parked inside the callback: the
+        # stopping flag is set before release, so the next generation
+        # boundary checkpoints and leaves the job RUNNING.
+        runner._stopping.set()
+        release.set()
+        assert runner.close()
+        interrupted = store.get(record.id)
+        assert interrupted.state == JobState.RUNNING
+        assert store.load_checkpoint(record.id) is not None
+        store.close()
+
+        reopened = JobStore(str(tmp_path))
+        resumed = JobRunner(reopened).start()
+        final = wait_terminal(reopened, record.id)
+        assert resumed.close()
+        assert final.state == JobState.DONE
+        assert final.resumes == 1
+        assert reopened.metrics.snapshot()["resumed"] == 1
+        assert json.dumps(final.result["history"], sort_keys=True) == \
+            json.dumps(reference_history(), sort_keys=True)
+        reopened.close()
+
+
+class TestCancellation:
+    def test_cancel_between_generations(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        cancelled = threading.Event()
+
+        def cancel_after_first(record, summary):
+            if summary.index == 0 and not cancelled.is_set():
+                store.request_cancel(record.id)
+                cancelled.set()
+
+        runner = JobRunner(store, on_generation=cancel_after_first).start()
+        spec = dict(SPEC, ga=dict(SPEC["ga"], generations=6))
+        record = runner.submit(JobSpec.from_dict(spec))
+        final = wait_terminal(store, record.id)
+        assert runner.close()
+        assert final.state == JobState.CANCELLED
+        assert 1 <= final.generations_done < 6
+        store.close()
+
+    def test_cancel_before_start(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        runner = JobRunner(store)  # not started: nothing consumes yet
+        record = runner.submit(JobSpec.from_dict(SPEC))
+        runner.cancel(record.id)
+        runner.start()
+        final = wait_terminal(store, record.id)
+        assert runner.close()
+        assert final.state == JobState.CANCELLED
+        assert final.generations_done == 0
+        store.close()
+
+
+class TestFailureIsolation:
+    def test_raising_callback_fails_job_not_thread(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        calls = []
+
+        def explode_once(record, summary):
+            if not calls:
+                calls.append(record.id)
+                raise RuntimeError("observer bug")
+
+        runner = JobRunner(store, on_generation=explode_once).start()
+        doomed = runner.submit(JobSpec.from_dict(SPEC))
+        final = wait_terminal(store, doomed.id)
+        assert final.state == JobState.FAILED
+        assert "RuntimeError: observer bug" in final.error
+        # The slot thread survived: the next job runs to completion.
+        healthy = runner.submit(JobSpec.from_dict(SPEC))
+        assert wait_terminal(store, healthy.id).state == JobState.DONE
+        assert runner.close()
+        assert store.metrics.snapshot()["failed"] == 1
+        store.close()
+
+    def test_invalid_spec_never_reaches_a_thread(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        runner = JobRunner(store)
+        with pytest.raises(JobError):
+            runner.submit(JobSpec.from_dict({"seed": 0,
+                                             "ga": {"population_size": 3}}))
+        assert runner.queue_depth == 0
+        store.close()
+
+
+class TestTracing:
+    def test_generation_spans_feed_the_tracer(self, tmp_path):
+        tracer = Tracer()
+        store = JobStore(str(tmp_path))
+        runner = JobRunner(store, tracer=tracer).start()
+        record = runner.submit(JobSpec.from_dict(SPEC))
+        wait_terminal(store, record.id)
+        assert runner.close()
+        stages = tracer.stages_snapshot()
+        assert stages["traced"] == 4
+        assert stages["generation_seconds"] > 0.0
+        assert stages["solve_seconds"] > 0.0  # batched solves ran inside
+        trace = tracer.recent(1)[0]
+        assert trace.trace_id == f"{record.id}:g3"
+        assert trace.annotations["job_id"] == record.id
+        store.close()

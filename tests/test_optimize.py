@@ -233,3 +233,72 @@ class TestGeneticOptimizer:
     def test_empty_history_champion_raises(self):
         with pytest.raises(ValueError):
             OptimizationHistory().champion
+
+
+class TestRankingOrder:
+    """Regression tests for the tie-break instability: reversing a
+    stable ascending argsort emitted equal-fitness individuals in
+    *reversed* index order, so two identical populations could record
+    different champions."""
+
+    def test_ties_keep_input_order(self):
+        from repro.optimize.history import ranking_order
+
+        order = ranking_order([1.0, 2.0, 2.0, 0.5, 2.0])
+        assert order.tolist() == [1, 2, 4, 0, 3]
+        # The old np.argsort(...)[::-1] spelling fails this: it yields
+        # the tied indices as [4, 2, 1].
+
+    def test_nan_ranks_last(self):
+        from repro.optimize.history import ranking_order
+
+        order = ranking_order([float("nan"), 1.0, float("-inf"), 2.0])
+        assert order.tolist()[:2] == [3, 1]
+        assert set(order.tolist()[2:]) == {0, 2}
+
+    def test_record_breaks_fitness_ties_by_index(self):
+        from repro.optimize.fitness import EvaluationRecord
+
+        history = OptimizationHistory()
+        genomes = [np.full(10, 0.01 * i) for i in range(4)]
+        records = [EvaluationRecord(5.0, cl=1.0, cd=0.2) for _ in genomes]
+        generation = history.record(0, genomes, records, keep_best=3)
+        for slot, expected in enumerate(genomes[:3]):
+            assert np.array_equal(generation.best[slot].genome, expected)
+
+    def test_elitism_tie_break_is_deterministic(self):
+        """Two GA runs over a fitness landscape full of ties must make
+        identical selections (the checkpoint/resume prerequisite)."""
+        class Constant:
+            layout = GenomeLayout(n_upper=5, n_lower=5)
+
+            def evaluate(self, genome):
+                from repro.optimize.fitness import EvaluationRecord
+
+                return EvaluationRecord(1.0, cl=1.0, cd=1.0)
+
+        config = GAConfig(population_size=8, generations=3)
+        first = GeneticOptimizer(evaluator=Constant(), config=config).run(
+            np.random.default_rng(2)
+        )
+        second = GeneticOptimizer(evaluator=Constant(), config=config).run(
+            np.random.default_rng(2)
+        )
+        for left, right in zip(first.generations, second.generations):
+            for a, b in zip(left.best, right.best):
+                assert np.array_equal(a.genome, b.genome)
+
+
+class TestGAConfigValidationSatellites:
+    def test_keep_best_below_one_rejected(self):
+        with pytest.raises(OptimizationError, match="keep_best"):
+            GAConfig(keep_best=0)
+
+    def test_tournament_size_below_one_rejected(self):
+        with pytest.raises(OptimizationError, match="tournament"):
+            GAConfig(tournament_size=0)
+
+    def test_minimal_valid_values_accepted(self):
+        config = GAConfig(keep_best=1, tournament_size=1)
+        assert config.keep_best == 1
+        assert config.tournament_size == 1
