@@ -7,6 +7,8 @@ Commands:
 * ``all`` — regenerate everything.
 * ``analyze`` — run the inner solver on a NACA section.
 * ``serve`` — run the batched analysis HTTP service.
+* ``jobs`` — submit and track optimization jobs on a running server.
+* ``cluster`` — route the serve API across multiple replicas.
 """
 
 from __future__ import annotations
@@ -175,6 +177,51 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_cancel.add_argument("job_id")
     jobs_sub.add_parser("list", parents=[connection],
                         help="list every job the server knows about")
+
+    sub_cluster = subparsers.add_parser(
+        "cluster", help="route the serve API across multiple replicas"
+    )
+    cluster_sub = sub_cluster.add_subparsers(dest="cluster_command",
+                                             required=True)
+    cluster_route = cluster_sub.add_parser(
+        "route", help="run the consistent-hash cluster router"
+    )
+    cluster_route.add_argument("--replica", action="append", dest="replicas",
+                               metavar="URL[=JOBS_DIR]", default=None,
+                               help="one backend serve replica, e.g. "
+                                    "http://127.0.0.1:8001 — repeat per "
+                                    "replica; append =JOBS_DIR to enable "
+                                    "checkpoint staging when migrating that "
+                                    "replica's jobs")
+    cluster_route.add_argument("--host", default="127.0.0.1",
+                               help="router bind address (default 127.0.0.1)")
+    cluster_route.add_argument("--port", type=int, default=8100,
+                               help="router bind port (0 picks a free port)")
+    cluster_route.add_argument("--vnodes", type=int, default=None,
+                               help="virtual nodes per replica on the hash "
+                                    "ring (default 64)")
+    cluster_route.add_argument("--health-interval-ms", type=float,
+                               default=500.0, metavar="MS",
+                               help="mean /healthz probe interval per replica "
+                                    "(default 500)")
+    cluster_route.add_argument("--down-after", type=int, default=3,
+                               metavar="N",
+                               help="consecutive probe failures before a "
+                                    "replica is DOWN (default 3)")
+    cluster_route.add_argument("--up-after", type=int, default=1, metavar="N",
+                               help="consecutive probe successes before a "
+                                    "DOWN replica returns (default 1)")
+    cluster_route.add_argument("--state-dir", metavar="DIR", default=None,
+                               help="directory for the placement journal; "
+                                    "placements then survive a router "
+                                    "restart (default: in-memory only)")
+    cluster_route.add_argument("--timeout", type=float, default=60.0,
+                               help="proxy timeout per replica attempt, "
+                                    "seconds (default 60)")
+    cluster_sub.add_parser(
+        "status", parents=[connection],
+        help="print a running router's /cluster/status document",
+    )
     return parser
 
 
@@ -279,6 +326,63 @@ def run_jobs(arguments) -> int:
               f"gen {record['generations_done']}/{record['total_generations']}"
               f"  resumes={record['resumes']}"
               + (f"  error={record['error']}" if record.get("error") else ""))
+    return 0
+
+
+def run_cluster(arguments) -> int:
+    """The ``cluster`` command group: run or inspect the router."""
+    import json
+
+    if arguments.cluster_command == "status":
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(arguments.host, arguments.port,
+                             timeout=arguments.timeout)
+        print(json.dumps(client.cluster_status(), indent=2, sort_keys=True))
+        return 0
+
+    # route
+    from repro.cluster import DEFAULT_VNODES, ClusterRouter, start_cluster_server
+    from repro.errors import ClusterError
+
+    replicas = arguments.replicas or []
+    if not replicas:
+        raise ClusterError(
+            "cluster route needs at least one --replica URL"
+        )
+    if not arguments.health_interval_ms > 0.0:
+        raise ClusterError(
+            f"--health-interval-ms must be positive, "
+            f"got {arguments.health_interval_ms}"
+        )
+    vnodes = DEFAULT_VNODES if arguments.vnodes is None else arguments.vnodes
+    # Topology validation happens here, before anything binds or
+    # probes: a malformed or duplicate --replica is a startup error.
+    router = ClusterRouter(
+        replicas, vnodes=vnodes, state_dir=arguments.state_dir,
+        health_interval=arguments.health_interval_ms / 1e3,
+        down_after=arguments.down_after, up_after=arguments.up_after,
+        timeout=arguments.timeout,
+    )
+    router.start()
+    server = start_cluster_server(router, host=arguments.host,
+                                  port=arguments.port)
+    names = ",".join(sorted(router.replicas))
+    print(f"repro cluster router listening on "
+          f"http://{arguments.host}:{server.port}  "
+          f"(replicas=[{names}], vnodes={vnodes}, "
+          f"health_interval={arguments.health_interval_ms:g} ms, "
+          f"down_after={arguments.down_after}, "
+          f"state_dir={arguments.state_dir or 'none'})", flush=True)
+    try:
+        while not server.wait(3600.0):
+            pass
+    except KeyboardInterrupt:
+        print("\nstopping router...", flush=True)
+    finally:
+        server.stop()
+        router.close()
+        print("router stopped", flush=True)
     return 0
 
 
@@ -458,6 +562,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return run_serve(arguments)
         if arguments.command == "jobs":
             return run_jobs(arguments)
+        if arguments.command == "cluster":
+            return run_cluster(arguments)
         if arguments.command == "report":
             from repro.experiments.markdown import generate_experiments_markdown
 

@@ -1,0 +1,49 @@
+"""Multi-node sharded serving: a consistent-hash cluster router.
+
+``python -m repro cluster route --replica URL [--replica URL ...]``
+starts a stdlib-only router process fronting N independent
+``repro serve`` replicas with the same wire API a single replica
+speaks.  The pieces (see ``docs/cluster.md``):
+
+* :mod:`repro.cluster.ring` — consistent-hash ring with virtual
+  nodes, keyed on the genome cache key, so identical geometry always
+  lands on the replica whose LRU already holds it;
+* :mod:`repro.cluster.health` — out-of-band ``/healthz`` polling with
+  UP/DRAINING/DOWN states and flap thresholds;
+* :mod:`repro.cluster.router` — request proxying with 503-aware
+  failover along the ring preference order, job placement, and
+  checkpoint-staged job migration off dead replicas;
+* :mod:`repro.cluster.placement` — the durable placement journal and
+  the least-loaded/capacity-split placement policies;
+* :mod:`repro.cluster.metrics` — router counters plus the merged
+  cluster-wide ``/metrics`` view;
+* :mod:`repro.cluster.http` — the HTTP front end, plus
+  ``/cluster/status`` and ``/cluster/drain``.
+"""
+
+from repro.cluster.health import DOWN, DRAINING, UP, HealthManager
+from repro.cluster.http import ClusterHTTPServer, start_cluster_server
+from repro.cluster.metrics import RouterMetrics, aggregate_cluster, merge_snapshots
+from repro.cluster.placement import JobPlacer, Placement, PlacementJournal
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.router import ClusterRouter, Replica, parse_replica
+
+__all__ = [
+    "ClusterHTTPServer",
+    "ClusterRouter",
+    "DEFAULT_VNODES",
+    "DOWN",
+    "DRAINING",
+    "HashRing",
+    "HealthManager",
+    "JobPlacer",
+    "Placement",
+    "PlacementJournal",
+    "Replica",
+    "RouterMetrics",
+    "UP",
+    "aggregate_cluster",
+    "merge_snapshots",
+    "parse_replica",
+    "start_cluster_server",
+]

@@ -1,0 +1,284 @@
+"""Replica health tracking for the cluster router.
+
+One :class:`HealthManager` watches a fixed set of replicas by polling
+a caller-supplied probe (the router probes ``GET /healthz``) from a
+single daemon thread.  Each replica is in one of three states:
+
+* ``UP`` — probes succeed; the replica serves new work.
+* ``DOWN`` — ``down_after`` *consecutive* probe failures; the router
+  removes it from the ring and migrates its jobs.  It returns to
+  ``UP`` after ``up_after`` consecutive successes (a flap therefore
+  costs at least one full probe round trip in each direction).
+* ``DRAINING`` — an operator flag, not a probe outcome: the replica is
+  excluded from *new* routing and placement but keeps its in-flight
+  work, and its death would still be detected.  Draining is how you
+  take a replica out for maintenance without triggering migration.
+
+Probe intervals are jittered (``interval ± jitter * interval``,
+deterministic RNG seeded per manager) so a router fronting many
+replicas does not synchronize its probes into periodic bursts — the
+same decorrelation argument as the client's full-jitter backoff.
+
+State transitions invoke ``on_change(name, old_state, new_state)``
+synchronously on the poller thread; the router uses this to edit the
+ring and trigger job migration.  A raising callback is counted
+(``callback_errors``) and never kills the poller.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ClusterError
+
+#: Replica state vocabulary.
+UP = "UP"
+DOWN = "DOWN"
+DRAINING = "DRAINING"
+
+
+class _ReplicaHealth:
+    """Mutable per-replica probe bookkeeping (guarded by the manager lock)."""
+
+    __slots__ = ("name", "state", "failures", "successes", "draining",
+                 "probes", "probe_failures", "last_probe_at", "next_due")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state = UP
+        self.failures = 0
+        self.successes = 0
+        self.draining = False
+        self.probes = 0
+        self.probe_failures = 0
+        self.last_probe_at: Optional[float] = None
+        self.next_due = 0.0
+
+
+class HealthManager:
+    """Polls replicas and runs the UP/DRAINING/DOWN state machine.
+
+    Parameters
+    ----------
+    names:
+        Replica names to watch (fixed for the manager's lifetime).
+    probe:
+        ``probe(name) -> bool`` — one liveness check; exceptions count
+        as failures.
+    interval:
+        Mean seconds between probes of one replica.
+    jitter:
+        Fractional jitter applied per probe (0.25 = ±25%).
+    down_after:
+        Consecutive failures before ``UP -> DOWN``.
+    up_after:
+        Consecutive successes before ``DOWN -> UP``.
+    on_change:
+        ``on_change(name, old, new)`` called for every UP/DOWN flip
+        and every draining toggle.
+    """
+
+    def __init__(self, names: Iterable[str], probe: Callable[[str], bool], *,
+                 interval: float = 0.5, jitter: float = 0.25,
+                 down_after: int = 3, up_after: int = 1,
+                 on_change: Optional[Callable[[str, str, str], None]] = None,
+                 seed: int = 0) -> None:
+        names = list(names)
+        if not names:
+            raise ClusterError("health manager needs at least one replica")
+        if len(set(names)) != len(names):
+            raise ClusterError("duplicate replica names in health manager")
+        if not interval > 0.0:
+            raise ClusterError(f"probe interval must be positive, got {interval}")
+        if not 0.0 <= jitter < 1.0:
+            raise ClusterError(f"jitter must be in [0, 1), got {jitter}")
+        if int(down_after) < 1 or int(up_after) < 1:
+            raise ClusterError("down_after and up_after must be >= 1")
+        self.interval = float(interval)
+        self.jitter = float(jitter)
+        self.down_after = int(down_after)
+        self.up_after = int(up_after)
+        self.on_change = on_change
+        self.callback_errors = 0
+        self._probe = probe
+        self._rng = random.Random(seed)
+        self._lock = threading.RLock()
+        self._replicas: Dict[str, _ReplicaHealth] = {
+            name: _ReplicaHealth(name) for name in names
+        }
+        self._stopping = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "HealthManager":
+        """Start the poller thread (idempotent start is an error)."""
+        if self._thread is not None:
+            raise ClusterError("health manager is already started")
+        self._thread = threading.Thread(target=self._poll_loop,
+                                        name="repro-cluster-health",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> bool:
+        """Stop the poller; True once the thread exited (idempotent)."""
+        self._stopping.set()
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def state(self, name: str) -> str:
+        """The replica's current state (``UP``/``DRAINING``/``DOWN``)."""
+        with self._lock:
+            return self._effective_state(self._require(name))
+
+    def states(self) -> Dict[str, str]:
+        """Every replica's current state."""
+        with self._lock:
+            return {name: self._effective_state(replica)
+                    for name, replica in self._replicas.items()}
+
+    def routable(self) -> List[str]:
+        """Names currently eligible for new work (UP, not draining)."""
+        with self._lock:
+            return [name for name, replica in self._replicas.items()
+                    if self._effective_state(replica) == UP]
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-replica probe counters for the metrics document."""
+        with self._lock:
+            return {
+                name: {
+                    "state": self._effective_state(replica),
+                    "probes": replica.probes,
+                    "probe_failures": replica.probe_failures,
+                    "consecutive_failures": replica.failures,
+                }
+                for name, replica in self._replicas.items()
+            }
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+
+    def set_draining(self, name: str, draining: bool = True) -> str:
+        """Toggle the operator draining flag; returns the new state."""
+        with self._lock:
+            replica = self._require(name)
+            if replica.draining == bool(draining):
+                return self._effective_state(replica)
+            old = self._effective_state(replica)
+            replica.draining = bool(draining)
+            new = self._effective_state(replica)
+        if old != new:
+            self._notify(name, old, new)
+        return new
+
+    def check_now(self, name: Optional[str] = None) -> Dict[str, str]:
+        """Probe one replica (or all) synchronously; returns states.
+
+        The deterministic entry point tests and the router's startup
+        use instead of waiting a poll interval.
+        """
+        with self._lock:
+            names = [self._require(name).name] if name is not None \
+                else list(self._replicas)
+        for target in names:
+            self._probe_one(target)
+        return self.states()
+
+    # ------------------------------------------------------------------
+    # Poller internals
+    # ------------------------------------------------------------------
+
+    def _require(self, name: str) -> _ReplicaHealth:
+        replica = self._replicas.get(name)
+        if replica is None:
+            raise ClusterError(f"unknown replica {name!r}")
+        return replica
+
+    @staticmethod
+    def _effective_state(replica: _ReplicaHealth) -> str:
+        if replica.state == DOWN:
+            return DOWN
+        return DRAINING if replica.draining else UP
+
+    def _jittered_interval(self) -> float:
+        with self._lock:
+            spread = self.jitter * self.interval
+            return self.interval + self._rng.uniform(-spread, spread)
+
+    def _poll_loop(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            # Stagger the first round across one interval so N replicas
+            # are not all probed back to back at startup.
+            for replica in self._replicas.values():
+                replica.next_due = now + self._rng.uniform(0.0, self.interval)
+        while not self._stopping.is_set():
+            now = time.monotonic()
+            with self._lock:
+                due = [replica.name for replica in self._replicas.values()
+                       if replica.next_due <= now]
+                wake = min(replica.next_due
+                           for replica in self._replicas.values())
+            for name in due:
+                if self._stopping.is_set():
+                    return
+                self._probe_one(name)
+                with self._lock:
+                    self._require(name).next_due = (time.monotonic()
+                                                    + self._jittered_interval())
+            if not due:
+                self._stopping.wait(min(0.2, max(0.001, wake - now)))
+
+    def _probe_one(self, name: str) -> None:
+        try:
+            healthy = bool(self._probe(name))
+        except Exception:
+            healthy = False
+        change = None
+        with self._lock:
+            replica = self._replicas.get(name)
+            if replica is None:  # pragma: no cover - defensive
+                return
+            old = self._effective_state(replica)
+            replica.probes += 1
+            replica.last_probe_at = time.monotonic()
+            if healthy:
+                replica.successes += 1
+                replica.failures = 0
+                if replica.state == DOWN and replica.successes >= self.up_after:
+                    replica.state = UP
+            else:
+                replica.probe_failures += 1
+                replica.failures += 1
+                replica.successes = 0
+                if replica.state == UP and replica.failures >= self.down_after:
+                    replica.state = DOWN
+            new = self._effective_state(replica)
+            if old != new:
+                change = (name, old, new)
+        if change is not None:
+            self._notify(*change)
+
+    def _notify(self, name: str, old: str, new: str) -> None:
+        if self.on_change is None:
+            return
+        try:
+            self.on_change(name, old, new)
+        except Exception:
+            with self._lock:
+                self.callback_errors += 1

@@ -1,0 +1,307 @@
+"""Job placement and migration state for the cluster router.
+
+The router is the only component that knows *where* a job lives, so
+that knowledge must survive a router restart: every placement decision
+is one JSON line appended to the router's own state file
+(``<state_dir>/placements.jsonl``), replayed on open — the same
+append-only pattern as the jobs journal in :mod:`repro.jobs.store`,
+without the checkpoint machinery (the replicas own job *state*; the
+router only owns job *location*).
+
+Two decisions live here:
+
+* **Placement** (:meth:`JobPlacer.choose`) — new jobs go to the
+  least-loaded replica, where load is the live ``PENDING + RUNNING``
+  job count from each replica's ``/metrics`` ``jobs`` section.
+* **Migration planning** (:meth:`JobPlacer.plan_migration`) — when a
+  replica dies with several live jobs, the batch of orphans is split
+  across survivors proportionally to their free capacity using the
+  same largest-remainder split the heterogeneous pipeline uses to
+  divide a batch across unequal accelerators
+  (:func:`repro.pipeline.heterogeneous.split_batch`) — nodes are just
+  one more tier of unequal devices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ClusterError
+from repro.jobs.model import JobState
+from repro.pipeline.heterogeneous import split_batch
+
+#: Placement journal filename inside the router state directory.
+PLACEMENTS_NAME = "placements.jsonl"
+
+
+@dataclasses.dataclass
+class Placement:
+    """Where one keyed job lives, as the router last knew it."""
+
+    job_key: str
+    job_id: str
+    replica: str
+    spec: dict
+    state: str = JobState.PENDING
+    migrations: int = 0
+
+    @property
+    def live(self) -> bool:
+        """True while the job may still need migrating."""
+        return self.state not in JobState.TERMINAL
+
+    def to_dict(self) -> dict:
+        return {
+            "job_key": self.job_key,
+            "job_id": self.job_id,
+            "replica": self.replica,
+            "state": self.state,
+            "migrations": self.migrations,
+        }
+
+
+class PlacementJournal:
+    """Durable ``job_key -> placement`` map behind a JSONL file.
+
+    ``state_dir=None`` keeps the journal in memory only — placements
+    then die with the router process, which is fine for tests and
+    benchmarks but forfeits migration after a router restart.
+
+    Replay follows the jobs-journal contract: a torn *final* line (the
+    crash-mid-append signature) is dropped and counted; a corrupt
+    interior line raises, because silently skipping history would
+    fabricate placements.
+    """
+
+    def __init__(self, state_dir: Optional[str] = None) -> None:
+        self._lock = threading.RLock()
+        self._placements: Dict[str, Placement] = {}
+        self.torn_lines = 0
+        self._journal = None
+        self._path = None
+        if state_dir is not None:
+            os.makedirs(str(state_dir), exist_ok=True)
+            self._path = os.path.join(str(state_dir), PLACEMENTS_NAME)
+            self._replay()
+            self._journal = open(self._path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Replay / persistence
+    # ------------------------------------------------------------------
+
+    def _replay(self) -> None:
+        if not os.path.exists(self._path):
+            return
+        with open(self._path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines) - 1:
+                    self.torn_lines += 1
+                    with open(self._path, "r+b") as handle:
+                        handle.seek(0, os.SEEK_END)
+                        handle.truncate(max(0, handle.tell()
+                                            - len(line.encode("utf-8"))))
+                    continue
+                raise ClusterError(
+                    f"corrupt placement line {number + 1} in {self._path} "
+                    "(only the final line may be torn)"
+                )
+            self._apply(entry)
+
+    def _apply(self, entry: dict) -> None:
+        kind = entry.get("type")
+        job_key = entry.get("job_key")
+        if kind == "placed":
+            self._placements[job_key] = Placement(
+                job_key=job_key, job_id=entry["job_id"],
+                replica=entry["replica"], spec=entry.get("spec", {}),
+            )
+            return
+        placement = self._placements.get(job_key)
+        if placement is None:
+            return  # unknown job: skipped, not fatal
+        if kind == "migrated":
+            placement.replica = entry["replica"]
+            placement.migrations += 1
+            placement.state = JobState.PENDING
+        elif kind == "state":
+            placement.state = entry["state"]
+        # Unknown entry types are skipped (forward compatibility).
+
+    def _append(self, entry: dict) -> None:
+        if self._journal is None:
+            return
+        self._journal.write(json.dumps(entry, sort_keys=True,
+                                       separators=(",", ":")) + "\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+
+    def close(self) -> None:
+        """Flush and close the journal handle (idempotent)."""
+        with self._lock:
+            if self._journal is not None and not self._journal.closed:
+                self._journal.flush()
+                self._journal.close()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_placed(self, job_key: str, job_id: str, replica: str,
+                      spec: dict) -> Placement:
+        """Journal a fresh placement decision."""
+        with self._lock:
+            if job_key in self._placements:
+                raise ClusterError(f"job_key {job_key!r} is already placed")
+            placement = Placement(job_key=job_key, job_id=job_id,
+                                  replica=replica, spec=dict(spec))
+            self._placements[job_key] = placement
+            self._append({"type": "placed", "job_key": job_key,
+                          "job_id": job_id, "replica": replica,
+                          "spec": dict(spec)})
+            return placement
+
+    def record_migrated(self, job_key: str, replica: str) -> Placement:
+        """Journal a migration of *job_key* onto *replica*."""
+        with self._lock:
+            placement = self.get(job_key)
+            placement.replica = replica
+            placement.migrations += 1
+            placement.state = JobState.PENDING
+            self._append({"type": "migrated", "job_key": job_key,
+                          "replica": replica})
+            return placement
+
+    def record_state(self, job_key: str, state: str) -> None:
+        """Journal an observed job state (used to skip settled jobs).
+
+        Only transitions *to a terminal state* are journaled — the
+        interesting fact is "this job can never need migration again";
+        live-state churn would bloat the journal for no information.
+        """
+        with self._lock:
+            placement = self.get(job_key)
+            if placement.state == state:
+                return
+            placement.state = state
+            if state in JobState.TERMINAL:
+                self._append({"type": "state", "job_key": job_key,
+                              "state": state})
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, job_key: str) -> Placement:
+        with self._lock:
+            placement = self._placements.get(job_key)
+            if placement is None:
+                raise ClusterError(f"no placement for job_key {job_key!r}")
+            return placement
+
+    def by_job_id(self, job_id: str) -> Optional[Placement]:
+        """The placement holding *job_id*, or ``None``."""
+        with self._lock:
+            for placement in self._placements.values():
+                if placement.job_id == job_id:
+                    return placement
+            return None
+
+    def list(self) -> List[Placement]:
+        """Every placement, insertion order."""
+        with self._lock:
+            return list(self._placements.values())
+
+    def live_on(self, replica: str) -> List[Placement]:
+        """Non-terminal placements currently assigned to *replica*."""
+        with self._lock:
+            return [placement for placement in self._placements.values()
+                    if placement.replica == replica and placement.live]
+
+
+class JobPlacer:
+    """Least-loaded-first placement over live replica metrics.
+
+    Parameters
+    ----------
+    load_of:
+        ``load_of(replica_name) -> Optional[dict]`` returning the
+        replica's ``/metrics`` ``jobs`` section (or ``None`` when the
+        replica has no jobs subsystem or cannot be reached).
+    """
+
+    def __init__(self, load_of) -> None:
+        self._load_of = load_of
+
+    @staticmethod
+    def _live_jobs(jobs_section: dict) -> int:
+        states = jobs_section.get("states", {})
+        return (int(states.get(JobState.PENDING, 0))
+                + int(states.get(JobState.RUNNING, 0)))
+
+    @staticmethod
+    def _free_slots(jobs_section: dict) -> float:
+        slots = int(jobs_section.get("slots", 1))
+        running = int(jobs_section.get("states", {}).get(JobState.RUNNING, 0))
+        return max(0.25, float(slots - running))  # floor keeps a busy
+        # survivor eligible: every candidate saturated is still a plan.
+
+    def loads(self, candidates: Sequence[str]) -> Dict[str, dict]:
+        """The ``jobs`` metrics section per placeable candidate."""
+        loads: Dict[str, dict] = {}
+        for name in candidates:
+            section = self._load_of(name)
+            if section is not None:
+                loads[name] = section
+        return loads
+
+    def choose(self, candidates: Sequence[str]) -> str:
+        """The least-loaded candidate (ties break by name for
+        determinism); raises :class:`ClusterError` when no candidate
+        can take jobs."""
+        loads = self.loads(candidates)
+        if not loads:
+            raise ClusterError(
+                "no replica can accept jobs (none reachable with the jobs "
+                "subsystem enabled — start replicas with --jobs-dir)"
+            )
+        return min(sorted(loads),
+                   key=lambda name: (self._live_jobs(loads[name]), name))
+
+    def plan_migration(self, orphans: Sequence[str],
+                       survivors: Sequence[str]) -> Dict[str, str]:
+        """Assign each orphaned job key to a surviving replica.
+
+        The orphan batch is split across survivors with the
+        heterogeneous work-splitting rule — shares proportional to
+        free job slots, integerized largest-remainder — then filled
+        in sorted order so the plan is deterministic for a given
+        (orphans, survivor loads) observation.
+        """
+        loads = self.loads(survivors)
+        if not loads:
+            raise ClusterError(
+                "cannot migrate jobs: no surviving replica accepts jobs"
+            )
+        names = sorted(loads)
+        shares = split_batch(len(orphans),
+                             [self._free_slots(loads[name]) for name in names])
+        plan: Dict[str, str] = {}
+        queue = list(orphans)
+        for name, share in zip(names, shares):
+            for _ in range(share):
+                if queue:
+                    plan[queue.pop(0)] = name
+        return plan

@@ -1,0 +1,609 @@
+"""The cluster router: consistent-hash fan-out over serve replicas.
+
+One :class:`ClusterRouter` fronts N independent ``repro serve``
+processes ("replicas") and exposes the same wire API they do, so a
+client cannot tell a cluster from a single node:
+
+* ``/analyze`` and ``/analyze_batch`` route each request by the *same*
+  genome cache key the replica LRU uses
+  (:meth:`repro.core.api.AnalyzeRequest.cache_key`), so identical
+  geometry always lands on the same replica and the cluster-wide cache
+  hit rate approaches a single node's — that is the whole point of
+  consistent hashing here.
+* ``/jobs`` places new optimization jobs on the least-loaded replica
+  and journals the placement; when a replica dies, its unfinished jobs
+  are resubmitted to survivors with their checkpoint staged first, so
+  the migrated run *resumes* rather than restarts.
+
+Failure handling has exactly two moves, keyed on the ``status``
+attribute of :class:`~repro.errors.ServeError`:
+
+* ``None`` (transport) or ``503`` (shed) — try the next replica in the
+  key's ring preference order; the candidate walk doubles as failover.
+* anything else (400, 404, 504) — the replica made a decision; the
+  router propagates it unchanged.  Retrying a malformed request or a
+  spent deadline elsewhere would only lie to the caller.
+
+Replica health is polled out-of-band (:mod:`repro.cluster.health`);
+DOWN replicas are skipped at candidate selection and their jobs
+migrate.  The ring itself never changes shape — minimal movement on
+failure comes from walking the *preference* order, which is exactly
+the order keys would be reassigned under node removal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import uuid
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.health import DOWN, HealthManager
+from repro.cluster.metrics import RouterMetrics, aggregate_cluster
+from repro.cluster.placement import JobPlacer, Placement, PlacementJournal
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.core.api import AnalyzeRequest, canonical_json, extract_deadline_ms
+from repro.errors import ClusterError, OverloadedError, ReproError, ServeError
+from repro.jobs.model import JobState, validate_job_key
+from repro.jobs.store import CHECKPOINT_DIR, JOURNAL_NAME
+from repro.serve.client import ServeClient
+
+
+def parse_replica(spec: str) -> Tuple[str, int, Optional[str]]:
+    """Parse one ``--replica`` value into ``(host, port, jobs_dir)``.
+
+    Accepted spellings: ``http://host:port``, ``host:port``, each
+    optionally suffixed ``=JOBS_DIR`` to tell the router where that
+    replica keeps its jobs directory (required for checkpoint staging
+    during migration; the replicas must share a filesystem with the
+    router for that feature, which is the single-workstation topology
+    this repo targets).
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ClusterError("replica spec must be a non-empty string")
+    text = spec.strip()
+    jobs_dir: Optional[str] = None
+    if "=" in text:
+        text, _, jobs_dir = text.partition("=")
+        jobs_dir = jobs_dir.strip()
+        if not jobs_dir:
+            raise ClusterError(
+                f"replica spec {spec!r} has an empty jobs dir after '='"
+            )
+    if "://" in text:
+        scheme, _, rest = text.partition("://")
+        if scheme != "http":
+            raise ClusterError(
+                f"replica {spec!r}: only http:// URLs are supported"
+            )
+        text = rest
+    text = text.strip().rstrip("/")
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host or "/" in text:
+        raise ClusterError(
+            f"replica {spec!r} is malformed (expected host:port or "
+            "http://host:port, optionally =JOBS_DIR)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ClusterError(f"replica {spec!r} has a non-integer port")
+    if not 0 < port < 65536:
+        raise ClusterError(f"replica {spec!r} port must be in 1..65535")
+    return host, port, jobs_dir
+
+
+class Replica:
+    """One backend serve process as the router sees it."""
+
+    def __init__(self, host: str, port: int, jobs_dir: Optional[str] = None,
+                 *, timeout: float = 60.0, probe_timeout: float = 2.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.name = f"{host}:{self.port}"
+        self.base_url = f"http://{self.name}"
+        self.jobs_dir = jobs_dir
+        # Two clients on purpose: the proxy client carries request
+        # deadlines (long timeout), while probes must fail fast or a
+        # hung replica would stall the whole health poller.
+        self.client = ServeClient(host=host, port=port, timeout=timeout)
+        self.probe_client = ServeClient(host=host, port=port,
+                                        timeout=probe_timeout)
+
+    def close(self) -> None:
+        self.client.close()
+        self.probe_client.close()
+
+
+class ClusterRouter:
+    """Routes the serve API across replicas; see the module docstring.
+
+    Parameters
+    ----------
+    replicas:
+        ``--replica`` spec strings (see :func:`parse_replica`).
+    vnodes:
+        Virtual nodes per replica on the hash ring.
+    state_dir:
+        Directory for the placement journal; ``None`` keeps placements
+        in memory only (no migration across router restarts).
+    health_interval, down_after, up_after:
+        Probe cadence and flap thresholds (see
+        :class:`~repro.cluster.health.HealthManager`).
+    timeout:
+        Proxy-request timeout per replica attempt, seconds.
+    """
+
+    def __init__(self, replicas: Sequence[str], *,
+                 vnodes: int = DEFAULT_VNODES,
+                 state_dir: Optional[str] = None,
+                 health_interval: float = 0.5,
+                 down_after: int = 3, up_after: int = 1,
+                 timeout: float = 60.0, seed: int = 0) -> None:
+        if not replicas:
+            raise ClusterError("a cluster needs at least one --replica")
+        self.replicas: Dict[str, Replica] = {}
+        for spec in replicas:
+            host, port, jobs_dir = parse_replica(spec)
+            replica = Replica(host, port, jobs_dir, timeout=timeout)
+            if replica.name in self.replicas:
+                raise ClusterError(f"duplicate replica {replica.name}")
+            self.replicas[replica.name] = replica
+        self.ring = HashRing(self.replicas, vnodes=vnodes)
+        self.metrics = RouterMetrics()
+        self.journal = PlacementJournal(state_dir)
+        self.placer = JobPlacer(self._jobs_section)
+        self.health = HealthManager(
+            list(self.replicas), self._probe, interval=health_interval,
+            down_after=down_after, up_after=up_after,
+            on_change=self._on_health_change, seed=seed,
+        )
+        self.last_request_id: Optional[str] = None
+        self._migration_lock = threading.Lock()
+        self._migrations: List[threading.Thread] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ClusterRouter":
+        """Probe every replica once, then start background polling."""
+        self.health.check_now()
+        self.health.start()
+        return self
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop polling, finish in-flight migrations, release sockets."""
+        if self._closed:
+            return
+        self._closed = True
+        self.health.close(timeout)
+        for thread in self._migrations:
+            thread.join(timeout)
+        for replica in self.replicas.values():
+            replica.close()
+        self.journal.close()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Health plumbing
+    # ------------------------------------------------------------------
+
+    def _probe(self, name: str) -> bool:
+        # Probes always dial a fresh connection: a pooled keep-alive
+        # socket can stay serviceable after the replica stops accepting
+        # new connections, which is exactly the condition a probe must
+        # detect (new routed work needs new connections).
+        probe_client = self.replicas[name].probe_client
+        try:
+            health = probe_client.healthz()
+        finally:
+            probe_client.close()
+        return health.get("status") == "ok"
+
+    def _on_health_change(self, name: str, old: str, new: str) -> None:
+        self.metrics.increment("health_transitions")
+        if new == DOWN and not self._closed:
+            thread = threading.Thread(
+                target=self._migrate_from, args=(name,),
+                name=f"repro-cluster-migrate-{name}", daemon=True,
+            )
+            self._migrations.append(thread)
+            thread.start()
+
+    def _candidates(self, key: str) -> List[str]:
+        """Ring preference order filtered to routable replicas.
+
+        When health marks *everything* unroutable the unfiltered order
+        is returned as a last-ditch attempt — trying and failing gives
+        the caller a truthful error, refusing outright could mask a
+        probe false-negative.
+        """
+        preference = self.ring.preference(key)
+        routable = set(self.health.routable())
+        ordered = [name for name in preference if name in routable]
+        return ordered or preference
+
+    # ------------------------------------------------------------------
+    # Analyze routing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _routing_key(payload: dict) -> str:
+        """The replica-affinity key: the genome cache key when the
+        payload parses, else its canonical JSON (invalid payloads then
+        still route deterministically, and the replica's own validation
+        produces the error the caller deserves)."""
+        try:
+            return AnalyzeRequest.from_dict(payload).cache_key()
+        except ReproError:
+            return canonical_json(payload if isinstance(payload, dict)
+                                  else {"payload": repr(payload)})
+
+    def analyze_raw(self, payload: dict, *,
+                    deadline_ms: Optional[float] = None,
+                    request_id: Optional[str] = None) -> str:
+        """Proxy one ``/analyze`` payload; returns the canonical body."""
+        payload, body_deadline = extract_deadline_ms(payload)
+        if body_deadline is not None:
+            deadline_ms = body_deadline
+        key = self._routing_key(payload)
+        last_error: Optional[ServeError] = None
+        for attempt, name in enumerate(self._candidates(key)):
+            if attempt:
+                self.metrics.increment("failovers")
+            client = self.replicas[name].client
+            try:
+                raw = client.analyze_raw(payload, deadline_ms=deadline_ms,
+                                         request_id=request_id)
+            except ServeError as error:
+                if getattr(error, "status", None) in (None, 503):
+                    last_error = error
+                    continue
+                self.metrics.increment("proxy_errors")
+                raise
+            self.metrics.increment("routed")
+            self.last_request_id = client.last_request_id
+            return raw
+        self.metrics.increment("exhausted")
+        raise OverloadedError(
+            f"no replica could serve the request (last error: {last_error})"
+        )
+
+    def analyze(self, payload: dict, *, deadline_ms: Optional[float] = None,
+                request_id: Optional[str] = None) -> dict:
+        return json.loads(self.analyze_raw(payload, deadline_ms=deadline_ms,
+                                           request_id=request_id))
+
+    def analyze_batch(self, items: Sequence[dict], *,
+                      deadline_ms: Optional[float] = None,
+                      request_id: Optional[str] = None) -> List[dict]:
+        """Split a batch by routing key, fan sub-batches out in
+        parallel, and reassemble results in submission order.
+
+        A sub-batch whose replica fails retryably is re-routed item by
+        item through the single-request failover path, so one replica
+        death degrades throughput, not correctness.
+        """
+        self.metrics.increment("routed_batch")
+        groups: Dict[str, List[Tuple[int, dict]]] = {}
+        for index, item in enumerate(items):
+            clean = item if isinstance(item, dict) else {}
+            name = self._candidates(self._routing_key(
+                extract_deadline_ms(clean)[0]))[0]
+            groups.setdefault(name, []).append((index, item))
+        results: List[Optional[dict]] = [None] * len(items)
+
+        def fan_out(name: str, group: List[Tuple[int, dict]]) -> None:
+            self.metrics.increment("fanout_requests")
+            try:
+                batch = self.replicas[name].client.analyze_batch(
+                    [item for _, item in group],
+                    deadline_ms=deadline_ms, request_id=request_id)
+                for (index, _), result in zip(group, batch):
+                    results[index] = result
+                return
+            except ServeError as error:
+                if getattr(error, "status", None) not in (None, 503):
+                    failure = {"error": str(error),
+                               "type": type(error).__name__}
+                    for index, _ in group:
+                        results[index] = failure
+                    return
+            # Retryable sub-batch failure: salvage item by item.
+            for index, item in group:
+                try:
+                    results[index] = self.analyze(
+                        item, deadline_ms=deadline_ms, request_id=request_id)
+                except ReproError as error:
+                    results[index] = {"error": str(error),
+                                      "type": type(error).__name__}
+
+        threads = [threading.Thread(target=fan_out, args=(name, group),
+                                    daemon=True)
+                   for name, group in groups.items()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results
+
+    # ------------------------------------------------------------------
+    # Jobs: placement, proxying, migration
+    # ------------------------------------------------------------------
+
+    def _jobs_section(self, name: str) -> Optional[dict]:
+        """The replica's live ``jobs`` metrics section, or ``None``."""
+        try:
+            section = self.replicas[name].client.metrics().get("jobs")
+        except ServeError:
+            return None
+        return section if isinstance(section, dict) else None
+
+    def submit_job(self, payload: dict, *,
+                   request_id: Optional[str] = None) -> dict:
+        """Place and submit one job; returns the record plus the
+        ``replica`` it landed on.
+
+        A client-supplied ``job_key`` makes this idempotent across the
+        whole cluster: a duplicate routes to the job's existing replica
+        (wherever placement or migration last put it) and returns the
+        original record.  Without one the router generates a key, since
+        the key is also the migration identity.
+        """
+        payload = dict(payload) if isinstance(payload, dict) else payload
+        if not isinstance(payload, dict):
+            raise ServeError("job spec must be a JSON object")
+        job_key = payload.pop("job_key", None)
+        if job_key is None:
+            job_key = f"router/{uuid.uuid4().hex}"
+        job_key = validate_job_key(job_key)
+
+        existing = None
+        try:
+            existing = self.journal.get(job_key)
+        except ClusterError:
+            pass
+        if existing is not None:
+            record = self.replicas[existing.replica].client.submit_job(
+                payload, job_key=job_key, request_id=request_id)
+            self.journal.record_state(job_key, record["state"])
+            return dict(record, replica=existing.replica)
+
+        candidates = list(self.health.routable()) or list(self.replicas)
+        while True:
+            name = self.placer.choose(candidates)
+            try:
+                record = self.replicas[name].client.submit_job(
+                    payload, job_key=job_key, request_id=request_id)
+            except ServeError as error:
+                if getattr(error, "status", None) in (None, 503):
+                    candidates = [c for c in candidates if c != name]
+                    if candidates:
+                        self.metrics.increment("failovers")
+                        continue
+                raise
+            self.journal.record_placed(job_key, record["id"], name, payload)
+            self.metrics.increment("jobs_placed")
+            return dict(record, replica=name)
+
+    def _locate(self, job_id: str) -> Optional[Placement]:
+        return self.journal.by_job_id(job_id)
+
+    def _job_call(self, job_id: str, call) -> dict:
+        """Run ``call(client)`` against the replica owning *job_id*.
+
+        Placed jobs go straight to their placement; unknown IDs (jobs
+        submitted behind the router's back, or placements lost with no
+        state dir) fall back to asking every replica in turn.
+        """
+        placement = self._locate(job_id)
+        if placement is not None:
+            try:
+                record = call(self.replicas[placement.replica].client)
+            except ServeError as error:
+                if getattr(error, "status", None) is None:
+                    # The owning replica is unreachable; if it is dying
+                    # the job will migrate — tell the caller to retry.
+                    raise OverloadedError(
+                        f"replica {placement.replica} is unreachable; "
+                        f"job {job_id} may be migrating ({error})"
+                    )
+                raise
+            if isinstance(record, dict) and "state" in record:
+                self.journal.record_state(placement.job_key, record["state"])
+            return dict(record, replica=placement.replica)
+        last_error: Optional[ServeError] = None
+        for name in sorted(self.replicas):
+            try:
+                return dict(call(self.replicas[name].client), replica=name)
+            except ServeError as error:
+                last_error = error
+        raise last_error if last_error is not None else ServeError(
+            f"job {job_id} not found on any replica")
+
+    def job(self, job_id: str) -> dict:
+        return self._job_call(job_id, lambda client: client.job(job_id))
+
+    def job_events(self, job_id: str, since: int = 0) -> dict:
+        return self._job_call(
+            job_id, lambda client: client.job_events(job_id, since=since))
+
+    def cancel_job(self, job_id: str, *,
+                   request_id: Optional[str] = None) -> dict:
+        return self._job_call(
+            job_id,
+            lambda client: client.cancel_job(job_id, request_id=request_id))
+
+    def jobs(self) -> List[dict]:
+        """Every job on every reachable replica, tagged with its host."""
+        merged: List[dict] = []
+        for name in sorted(self.replicas):
+            try:
+                records = self.replicas[name].client.jobs()
+            except ServeError:
+                continue
+            merged.extend(dict(record, replica=name) for record in records)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _journal_states(jobs_dir: str) -> Dict[str, str]:
+        """Final job states from a (dead) replica's on-disk journal.
+
+        Reads the JSONL directly — the owning process is gone, and this
+        is exactly the durable record it left behind.  A torn final
+        line is skipped, like the store's own replay.
+        """
+        states: Dict[str, str] = {}
+        path = os.path.join(jobs_dir, JOURNAL_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().split("\n")
+        except OSError:
+            return states
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if entry.get("type") == "submitted":
+                states.setdefault(entry.get("id"), JobState.PENDING)
+            elif entry.get("type") == "state":
+                states[entry.get("id")] = entry.get("state")
+        return states
+
+    def _migrate_from(self, dead: str) -> None:
+        """Resettle every live job placed on a now-DOWN replica."""
+        with self._migration_lock:
+            orphans = self.journal.live_on(dead)
+            if not orphans:
+                return
+            dead_dir = self.replicas[dead].jobs_dir
+            states = self._journal_states(dead_dir) if dead_dir else {}
+            pending: List[Placement] = []
+            for placement in orphans:
+                state = states.get(placement.job_id)
+                if state in JobState.TERMINAL:
+                    # Finished before the crash: nothing to migrate.
+                    self.journal.record_state(placement.job_key, state)
+                    continue
+                pending.append(placement)
+            if not pending:
+                return
+            survivors = [name for name in self.health.routable()
+                         if name != dead]
+            try:
+                plan = self.placer.plan_migration(
+                    [placement.job_key for placement in pending], survivors)
+            except ClusterError:
+                self.metrics.increment("migration_failures", len(pending))
+                return
+            for placement in pending:
+                target = plan.get(placement.job_key)
+                if target is None:
+                    self.metrics.increment("migration_failures")
+                    continue
+                try:
+                    self._migrate_one(placement, dead_dir, target)
+                except (ReproError, OSError):
+                    self.metrics.increment("migration_failures")
+                else:
+                    self.metrics.increment("jobs_migrated")
+
+    def _migrate_one(self, placement: Placement, dead_dir: Optional[str],
+                     target: str) -> None:
+        """Move one job: stage its checkpoint, resubmit, re-journal.
+
+        The job ID is derived from the job key
+        (:func:`repro.jobs.model.derive_job_id`), so the checkpoint
+        file staged under the *same* ID is exactly what the survivor's
+        runner loads — the migrated run resumes mid-flight and its
+        history stays byte-identical to an uninterrupted run.
+        """
+        replica = self.replicas[target]
+        if dead_dir and replica.jobs_dir:
+            source = os.path.join(dead_dir, CHECKPOINT_DIR,
+                                  f"{placement.job_id}.json")
+            if os.path.exists(source):
+                target_dir = os.path.join(replica.jobs_dir, CHECKPOINT_DIR)
+                os.makedirs(target_dir, exist_ok=True)
+                destination = os.path.join(target_dir,
+                                           f"{placement.job_id}.json")
+                with open(source, "rb") as src:
+                    payload = src.read()
+                with open(destination + ".tmp", "wb") as dst:
+                    dst.write(payload)
+                    dst.flush()
+                    os.fsync(dst.fileno())
+                os.replace(destination + ".tmp", destination)
+                self.metrics.increment("checkpoints_staged")
+        record = replica.client.submit_job(placement.spec,
+                                           job_key=placement.job_key)
+        if record["id"] != placement.job_id:  # pragma: no cover - defensive
+            raise ClusterError(
+                f"migrated job changed identity: {placement.job_id} "
+                f"-> {record['id']}"
+            )
+        self.journal.record_migrated(placement.job_key, target)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        states = self.health.states()
+        routable = self.health.routable()
+        return {
+            "status": "ok" if routable else "degraded",
+            "replicas": states,
+            "routable": len(routable),
+        }
+
+    def metrics_document(self) -> dict:
+        """The three-floor cluster ``/metrics`` document."""
+        router = dict(self.metrics.snapshot())
+        router["health"] = self.health.snapshot()
+        placements = self.journal.list()
+        router["placements"] = {
+            "total": len(placements),
+            "live": sum(1 for placement in placements if placement.live),
+        }
+        snapshots: Dict[str, Optional[dict]] = {}
+        for name in sorted(self.replicas):
+            try:
+                snapshots[name] = self.replicas[name].client.metrics()
+            except ServeError:
+                snapshots[name] = None
+        return aggregate_cluster(router, snapshots)
+
+    def status(self) -> dict:
+        """The ``cluster status`` document: topology + placements."""
+        states = self.health.states()
+        return {
+            "ring": {"vnodes": self.ring.vnodes,
+                     "replicas": len(self.replicas)},
+            "replicas": {
+                name: {
+                    "url": replica.base_url,
+                    "state": states.get(name),
+                    "jobs_dir": replica.jobs_dir,
+                    "live_jobs": len(self.journal.live_on(name)),
+                }
+                for name, replica in sorted(self.replicas.items())
+            },
+            "placements": [placement.to_dict()
+                           for placement in self.journal.list()],
+        }

@@ -97,6 +97,16 @@ class DeadlineExceededError(ServeError):
     """
 
 
+class ClusterError(ServeError):
+    """Raised by the cluster router for invalid topology or misuse.
+
+    Examples: a malformed or duplicate replica URL, routing with no
+    healthy replica left, or placing a job when no replica has the
+    jobs subsystem enabled.  The router CLI surfaces this as a clean
+    one-line error instead of a raw socket traceback.
+    """
+
+
 class JobError(ServeError):
     """Raised by the jobs subsystem for invalid specs or misuse.
 

@@ -27,11 +27,13 @@ from repro.jobs.model import (
     JobRecord,
     JobSpec,
     JobState,
+    derive_job_id,
     history_from_dict,
     history_to_dict,
     json_safe,
     rng_from_dict,
     rng_state_to_dict,
+    validate_job_key,
 )
 from repro.jobs.runner import STAGE_GENERATION, JobRunner
 from repro.jobs.store import JobStore
@@ -45,9 +47,11 @@ __all__ = [
     "JobState",
     "JobStore",
     "STAGE_GENERATION",
+    "derive_job_id",
     "history_from_dict",
     "history_to_dict",
     "json_safe",
     "rng_from_dict",
     "rng_state_to_dict",
+    "validate_job_key",
 ]

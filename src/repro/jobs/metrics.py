@@ -14,7 +14,7 @@ import threading
 #: Counter names, in snapshot order.
 COUNTERS = (
     "submitted", "started", "done", "failed", "cancelled", "resumed",
-    "checkpoints", "generations_completed",
+    "checkpoints", "generations_completed", "duplicate_submits",
 )
 
 

@@ -20,7 +20,9 @@ byte-identical checkpoint/resume.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import math
+import string
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -54,6 +56,48 @@ class JobState:
 
 #: Top-level wire-format fields accepted by :meth:`JobSpec.from_dict`.
 SPEC_FIELDS = ("seed", "checkpoint_every", "ga", "fitness")
+
+#: Longest accepted client-supplied job key.
+MAX_JOB_KEY_LENGTH = 128
+
+#: Characters allowed in a job key (same family as request IDs:
+#: UUIDs, ULIDs, and dotted formats pass; header/log injection does not).
+_JOB_KEY_ALLOWED = frozenset(string.ascii_letters + string.digits + "-_.:/")
+
+
+def validate_job_key(value) -> str:
+    """A validated client-supplied idempotency key.
+
+    Job keys make ``POST /jobs`` idempotent: resubmitting the same key
+    returns the existing job instead of double-running it, which is
+    what lets the cluster router's failover re-place a job without
+    risking two live copies.
+    """
+    if not isinstance(value, str):
+        raise JobError(f"job_key must be a string, got {type(value).__name__}")
+    if not value or len(value) > MAX_JOB_KEY_LENGTH:
+        raise JobError(
+            f"job_key must be 1..{MAX_JOB_KEY_LENGTH} characters, "
+            f"got {len(value)}"
+        )
+    if not set(value) <= _JOB_KEY_ALLOWED:
+        bad = sorted(set(value) - _JOB_KEY_ALLOWED)
+        raise JobError(f"job_key contains forbidden characters: {bad}")
+    return value
+
+
+def derive_job_id(job_key: str) -> str:
+    """The deterministic job ID a keyed submission creates.
+
+    Keyed jobs get an ID derived from the key (not a random UUID) so
+    every store that sees the same key materializes the same ID.  The
+    cluster router leans on this during migration: it can stage the
+    dead replica's checkpoint file under the survivor's checkpoint
+    directory *before* resubmitting, because it knows what ID the
+    resubmission will get.
+    """
+    digest = hashlib.sha256(f"job-key:{job_key}".encode("utf-8")).hexdigest()
+    return f"job-k{digest[:12]}"
 
 #: GA hyper-parameter overrides accepted in the spec's ``ga`` object
 #: (each maps straight onto a :class:`~repro.optimize.ga.GAConfig`
@@ -204,6 +248,7 @@ class JobRecord:
     id: str
     spec: JobSpec
     state: str = JobState.PENDING
+    job_key: Optional[str] = None
     created_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -231,6 +276,7 @@ class JobRecord:
             "id": self.id,
             "spec": self.spec.to_dict(),
             "state": self.state,
+            "job_key": self.job_key,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,

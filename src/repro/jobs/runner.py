@@ -148,9 +148,21 @@ class JobRunner:
     # Submission / cancellation
     # ------------------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> JobRecord:
-        """Register a job and queue it for the next free slot."""
-        record = self.store.submit(spec)
+    def submit(self, spec: JobSpec, *,
+               job_key: Optional[str] = None) -> JobRecord:
+        """Register a job and queue it for the next free slot.
+
+        With *job_key* set submission is idempotent: a duplicate key
+        returns the existing record and does **not** enqueue a second
+        run (the store's ``submit_idempotent`` decides atomically, so
+        two racing duplicates still produce exactly one queued job).
+        """
+        if job_key is not None:
+            record, created = self.store.submit_idempotent(spec, job_key)
+            if not created:
+                return record
+        else:
+            record = self.store.submit(spec)
         self._queue.put(record.id)
         return record
 

@@ -29,11 +29,17 @@ import os
 import threading
 import time
 import uuid
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import JobError, JobNotFoundError
 from repro.jobs.metrics import JobMetrics
-from repro.jobs.model import JobRecord, JobSpec, JobState
+from repro.jobs.model import (
+    JobRecord,
+    JobSpec,
+    JobState,
+    derive_job_id,
+    validate_job_key,
+)
 from repro.obs.logging import StructuredLogger
 
 #: Journal filename inside a jobs directory.
@@ -70,6 +76,7 @@ class JobStore:
         self._lock = threading.RLock()
         self._records: "Dict[str, JobRecord]" = {}
         self._events: "Dict[str, List[dict]]" = {}
+        self._keys: "Dict[str, str]" = {}  # job_key -> job_id
         #: Torn final journal lines dropped during replay (0 or 1 per
         #: boot; counted so /metrics can surface crash recoveries).
         self.torn_lines = 0
@@ -119,12 +126,16 @@ class JobStore:
         kind = entry.get("type")
         job_id = entry.get("id")
         if kind == "submitted":
+            job_key = entry.get("job_key")
             self._records[job_id] = JobRecord(
                 id=job_id,
                 spec=JobSpec.from_dict(entry["spec"]),
+                job_key=job_key,
                 created_at=float(entry.get("at", 0.0)),
             )
             self._events[job_id] = []
+            if job_key is not None:
+                self._keys[job_key] = job_id
             return
         record = self._records.get(job_id)
         if record is None:
@@ -172,21 +183,64 @@ class JobStore:
     # Submission and lookup
     # ------------------------------------------------------------------
 
-    def submit(self, spec: JobSpec, *, job_id: Optional[str] = None) -> JobRecord:
-        """Register a new PENDING job and journal it durably."""
+    def submit(self, spec: JobSpec, *, job_id: Optional[str] = None,
+               job_key: Optional[str] = None) -> JobRecord:
+        """Register a new PENDING job and journal it durably.
+
+        With *job_key* set the job gets the deterministic derived ID
+        (see :func:`~repro.jobs.model.derive_job_id`); resubmitting an
+        existing key raises — use :meth:`submit_idempotent` for the
+        duplicate-tolerant path.
+        """
         with self._lock:
+            if job_key is not None:
+                job_key = validate_job_key(job_key)
+                if job_key in self._keys:
+                    raise JobError(f"job_key {job_key!r} already exists "
+                                   f"as job {self._keys[job_key]}")
+                job_id = job_id or derive_job_id(job_key)
             job_id = job_id or f"job-{uuid.uuid4().hex[:12]}"
             if job_id in self._records:
                 raise JobError(f"job id {job_id!r} already exists")
-            record = JobRecord(id=job_id, spec=spec, created_at=time.time())
+            record = JobRecord(id=job_id, spec=spec, job_key=job_key,
+                               created_at=time.time())
             self._records[job_id] = record
             self._events[job_id] = []
-            self._append({"type": "submitted", "id": job_id,
-                          "spec": spec.to_dict(), "at": record.created_at},
-                         durable=True)
+            if job_key is not None:
+                self._keys[job_key] = job_id
+            entry = {"type": "submitted", "id": job_id,
+                     "spec": spec.to_dict(), "at": record.created_at}
+            if job_key is not None:
+                entry["job_key"] = job_key
+            self._append(entry, durable=True)
             self.metrics.increment("submitted")
             self._log_state(record)
             return record
+
+    def submit_idempotent(self, spec: JobSpec, job_key: str) -> "Tuple[JobRecord, bool]":
+        """Keyed submission: ``(record, created)``.
+
+        The first submission with *job_key* registers the job exactly
+        like :meth:`submit`; every later one returns the existing
+        record with ``created=False`` and never double-runs the job.
+        The key — not the spec — is the identity: a duplicate key with
+        a different spec still returns the original job (counted in
+        ``duplicate_submits``), because two racing submitters of "the
+        same" job must converge on one record.
+        """
+        job_key = validate_job_key(job_key)
+        with self._lock:
+            existing = self._keys.get(job_key)
+            if existing is not None:
+                self.metrics.increment("duplicate_submits")
+                return self.get(existing), False
+            return self.submit(spec, job_key=job_key), True
+
+    def find_by_key(self, job_key: str) -> Optional[JobRecord]:
+        """The record submitted under *job_key*, or ``None``."""
+        with self._lock:
+            job_id = self._keys.get(job_key)
+            return None if job_id is None else self.get(job_id)
 
     def get(self, job_id: str) -> JobRecord:
         """The record for *job_id*; raises :class:`JobNotFoundError`."""

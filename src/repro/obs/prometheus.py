@@ -36,7 +36,11 @@ COUNTER_KEYS = frozenset({
     "inline_fallbacks", "start_failures",
     # jobs subsystem (the "jobs" snapshot section)
     "submitted", "started", "done", "resumed", "checkpoints",
-    "generations_completed",
+    "generations_completed", "duplicate_submits",
+    # cluster router (the "router" section of the cluster document)
+    "routed", "routed_batch", "fanout_requests", "failovers", "exhausted",
+    "proxy_errors", "jobs_placed", "jobs_migrated", "migration_failures",
+    "checkpoints_staged", "health_transitions", "probes", "probe_failures",
 })
 
 #: Quantile-label spellings for the latency block's ``pXX`` keys.

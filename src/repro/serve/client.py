@@ -17,14 +17,32 @@ Two lifecycle features mirror the server side:
   Only 503 is retried: analyze calls are pure, so resubmitting is
   safe, but a 504 means the caller's budget is already spent and a 400
   will never succeed.
+
+Transport is a pool of **keep-alive connections** (one per calling
+thread) rather than a fresh TCP connection per request: the cluster
+router proxies every request through a client, so per-request
+connect/teardown would be a real hot-path tax.  A connection the
+server dropped between requests (keep-alive idle timeout, restart) is
+detected by the stale-connection error family and transparently
+retried exactly once on a fresh connection — counted in
+:attr:`ServeClient.reconnects`.  Note the retried request may have
+been *received* by the dying server; analyze calls are pure so this
+is safe, and job submissions should carry a ``job_key`` so a replay
+is idempotent (see ``docs/jobs.md``).
+
+Errors raised from HTTP responses carry the status code on their
+``status`` attribute (transport failures carry ``None``), which is
+how the cluster router tells retryable failures (503, unreachable)
+from genuine rejections (400/404) it must propagate.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
+import threading
 import time
-import urllib.error
 import urllib.request
 from typing import List, Optional, Sequence, Union
 
@@ -62,6 +80,8 @@ class ServeClient:
             raise ServeError(f"retries cannot be negative, got {retries}")
         if backoff_base < 0.0 or backoff_cap < 0.0:
             raise ServeError("backoff_base and backoff_cap must be >= 0")
+        self.host = host
+        self.port = int(port)
         self.base_url = f"http://{host}:{int(port)}"
         self.timeout = timeout
         self.retries = int(retries)
@@ -75,6 +95,13 @@ class ServeClient:
         #: (from the ``X-Repro-Request-Id`` response header), or None
         #: before any call / when the server sent none.
         self.last_request_id: Optional[str] = None
+        #: Stale keep-alive connections transparently replaced so far.
+        self.reconnects = 0
+        # Keep-alive connection pool: one connection per calling
+        # thread (thread-local), all tracked for close().
+        self._local = threading.local()
+        self._pool_lock = threading.Lock()
+        self._connections: set = set()
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -140,6 +167,10 @@ class ServeClient:
         """``GET /healthz``."""
         return json.loads(self._get("/healthz"))
 
+    def cluster_status(self) -> dict:
+        """``GET /cluster/status`` (when pointed at a cluster router)."""
+        return json.loads(self._get("/cluster/status"))
+
     def wait_until_ready(self, timeout: float = 5.0) -> dict:
         """Poll ``/healthz`` until the server answers (or raise)."""
         deadline = time.monotonic() + timeout
@@ -155,10 +186,19 @@ class ServeClient:
     # Jobs
     # ------------------------------------------------------------------
 
-    def submit_job(self, spec: dict, *,
+    def submit_job(self, spec: dict, *, job_key: Optional[str] = None,
                    request_id: Optional[str] = None) -> dict:
-        """``POST /jobs`` — submit an optimization job spec."""
-        return json.loads(self._post("/jobs", dict(spec),
+        """``POST /jobs`` — submit an optimization job spec.
+
+        ``job_key`` (optional) makes the submission idempotent: a
+        duplicate key returns the already-registered job instead of
+        starting a second run, which also makes a keep-alive reconnect
+        replay of this POST safe.
+        """
+        payload = dict(spec)
+        if job_key is not None:
+            payload["job_key"] = job_key
+        return json.loads(self._post("/jobs", payload,
                                      request_id=request_id))
 
     def jobs(self) -> List[dict]:
@@ -231,22 +271,127 @@ class ServeClient:
         ceiling = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
         return self._uniform(0.0, ceiling)
 
-    def _request(self, request: "urllib.request.Request") -> str:
+    def close(self) -> None:
+        """Close every pooled keep-alive connection (idempotent)."""
+        with self._pool_lock:
+            connections, self._connections = self._connections, set()
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _connection(self) -> "http.client.HTTPConnection":
+        """This thread's keep-alive connection, created on demand."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.connection = connection
+        with self._pool_lock:
+            # (Re-)track unconditionally: after close() a thread-local
+            # connection survives untracked and http.client would
+            # silently reopen it, leaking a socket close() cannot see.
+            self._connections.add(connection)
+        return connection
+
+    def _discard_connection(self) -> None:
+        """Drop this thread's connection (it is stale or broken)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            return
+        self._local.connection = None
+        with self._pool_lock:
+            self._connections.discard(connection)
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                self.last_request_id = response.headers.get(REQUEST_ID_HEADER)
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as error:
-            self.last_request_id = error.headers.get(REQUEST_ID_HEADER)
-            body = error.read().decode("utf-8", errors="replace")
-            message = _error_message(body) or f"HTTP {error.code}"
-            if error.code == 503:
-                raise OverloadedError(message)
-            if error.code == 504:
-                raise DeadlineExceededError(message)
-            raise ServeError(f"server rejected request ({error.code}): {message}")
-        except urllib.error.URLError as error:
-            raise ServeError(f"cannot reach {self.base_url}: {error.reason}")
+            connection.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    #: Errors meaning "the server dropped a previously good keep-alive
+    #: connection" — the one failure mode that is safe and sensible to
+    #: retry once on a fresh connection.
+    _STALE_CONNECTION_ERRORS = (
+        http.client.RemoteDisconnected,
+        http.client.BadStatusLine,
+        http.client.CannotSendRequest,
+        ConnectionResetError,
+        ConnectionAbortedError,
+        BrokenPipeError,
+    )
+
+    def _request(self, request: "urllib.request.Request") -> str:
+        """Issue one HTTP exchange over this thread's pooled connection.
+
+        Takes a :class:`urllib.request.Request` as the portable
+        description of (method, path, headers, body) — tests inject a
+        fake ``_request`` with the same signature — but the transport
+        underneath is a persistent :class:`http.client.HTTPConnection`
+        reused across calls.  A stale connection (server closed its
+        keep-alive side between requests) is replaced and the request
+        replayed exactly once.
+        """
+        for attempt in (0, 1):
+            connection = self._connection()
+            try:
+                connection.request(request.get_method(), request.selector,
+                                   body=request.data,
+                                   headers=dict(request.headers))
+                response = connection.getresponse()
+                body = response.read()
+            except self._STALE_CONNECTION_ERRORS as error:
+                self._discard_connection()
+                if attempt:
+                    raise ServeError(
+                        f"connection to {self.base_url} dropped twice: {error}"
+                    )
+                self.reconnects += 1
+                continue
+            except OSError as error:
+                # Includes refused connections and socket timeouts:
+                # the server is unreachable, not merely stale.
+                self._discard_connection()
+                raise ServeError(f"cannot reach {self.base_url}: {error}")
+            except (AttributeError, ValueError) as error:
+                # http.client internals raise these when close() lands
+                # on another thread mid-exchange.  Closing a shared
+                # client is allowed; the in-flight request is simply
+                # lost — surface it as a transport failure (no replay:
+                # the caller chose to close).
+                self._discard_connection()
+                raise ServeError(
+                    f"connection to {self.base_url} closed concurrently: "
+                    f"{error}"
+                )
+            return self._decode_response(response.status,
+                                         response.getheader(REQUEST_ID_HEADER),
+                                         body)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _decode_response(self, status: int, request_id: Optional[str],
+                         body: bytes) -> str:
+        self.last_request_id = request_id
+        if 200 <= status < 300:
+            return body.decode("utf-8")
+        text = body.decode("utf-8", errors="replace")
+        message = _error_message(text) or f"HTTP {status}"
+        if status == 503:
+            error: ServeError = OverloadedError(message)
+        elif status == 504:
+            error = DeadlineExceededError(message)
+        else:
+            error = ServeError(
+                f"server rejected request ({status}): {message}"
+            )
+        error.status = status
+        raise error
 
 
 def _as_payload(request: Union[str, RequestLike], alpha_degrees: float,

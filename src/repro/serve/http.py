@@ -297,8 +297,16 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
         runner = self._jobs_runner(request_id)
         if runner is None:
             return
+        # job_key is transport metadata (the idempotency identity of
+        # this submission), not part of the spec — peel it off before
+        # spec validation, like deadline_ms on the analyze path.
+        job_key = None
+        if isinstance(payload, dict) and "job_key" in payload:
+            payload = dict(payload)
+            job_key = payload.pop("job_key")
         try:
-            record = runner.submit(JobSpec.from_dict(payload))
+            record = runner.submit(JobSpec.from_dict(payload),
+                                   job_key=job_key)
         except ReproError as error:
             self._send_job_error(error, request_id)
             return

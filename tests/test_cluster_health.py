@@ -1,0 +1,191 @@
+"""Unit tests for the replica health state machine."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.health import DOWN, DRAINING, UP, HealthManager
+from repro.errors import ClusterError
+
+
+class FlakyProbe:
+    """A scriptable probe: healthy unless the replica is in the set."""
+
+    def __init__(self):
+        self.down = set()
+        self.calls = []
+
+    def __call__(self, name):
+        self.calls.append(name)
+        if name in self.down:
+            raise ConnectionRefusedError(f"{name} is down")
+        return True
+
+
+@pytest.fixture
+def probe():
+    return FlakyProbe()
+
+
+class TestStateMachine:
+    def test_starts_up_and_stays_up(self, probe):
+        manager = HealthManager(["a", "b"], probe, down_after=2)
+        assert manager.states() == {"a": UP, "b": UP}
+        manager.check_now()
+        assert manager.routable() == ["a", "b"]
+
+    def test_down_requires_consecutive_failures(self, probe):
+        manager = HealthManager(["a"], probe, down_after=3)
+        probe.down.add("a")
+        manager.check_now()
+        manager.check_now()
+        assert manager.state("a") == UP  # 2 of 3 failures: still up
+        manager.check_now()
+        assert manager.state("a") == DOWN
+        assert manager.routable() == []
+
+    def test_success_resets_the_failure_streak(self, probe):
+        manager = HealthManager(["a"], probe, down_after=3)
+        probe.down.add("a")
+        manager.check_now()
+        manager.check_now()
+        probe.down.discard("a")
+        manager.check_now()  # streak broken
+        probe.down.add("a")
+        manager.check_now()
+        manager.check_now()
+        assert manager.state("a") == UP  # needs 3 consecutive again
+
+    def test_recovery_after_up_after_successes(self, probe):
+        manager = HealthManager(["a"], probe, down_after=1, up_after=2)
+        probe.down.add("a")
+        manager.check_now()
+        assert manager.state("a") == DOWN
+        probe.down.discard("a")
+        manager.check_now()
+        assert manager.state("a") == DOWN  # 1 of 2 successes
+        manager.check_now()
+        assert manager.state("a") == UP
+
+    def test_transitions_invoke_callback(self, probe):
+        changes = []
+        manager = HealthManager(
+            ["a", "b"], probe, down_after=1,
+            on_change=lambda *event: changes.append(event))
+        probe.down.add("a")
+        manager.check_now()
+        probe.down.discard("a")
+        manager.check_now()
+        assert changes == [("a", UP, DOWN), ("a", DOWN, UP)]
+
+    def test_raising_callback_is_counted_not_fatal(self, probe):
+        def explode(*_event):
+            raise RuntimeError("boom")
+
+        manager = HealthManager(["a"], probe, down_after=1,
+                                on_change=explode)
+        probe.down.add("a")
+        manager.check_now()
+        assert manager.state("a") == DOWN
+        assert manager.callback_errors == 1
+
+
+class TestDraining:
+    def test_draining_excludes_from_routable(self, probe):
+        manager = HealthManager(["a", "b"], probe)
+        assert manager.set_draining("a") == DRAINING
+        assert manager.state("a") == DRAINING
+        assert manager.routable() == ["b"]
+        assert manager.set_draining("a", False) == UP
+        assert manager.routable() == ["a", "b"]
+
+    def test_down_wins_over_draining(self, probe):
+        manager = HealthManager(["a"], probe, down_after=1)
+        manager.set_draining("a")
+        probe.down.add("a")
+        manager.check_now()
+        assert manager.state("a") == DOWN
+
+    def test_draining_toggle_notifies(self, probe):
+        changes = []
+        manager = HealthManager(["a"], probe,
+                                on_change=lambda *event: changes.append(event))
+        manager.set_draining("a")
+        manager.set_draining("a")  # idempotent: no second event
+        assert changes == [("a", UP, DRAINING)]
+
+
+class TestValidation:
+    def test_needs_replicas(self, probe):
+        with pytest.raises(ClusterError, match="at least one"):
+            HealthManager([], probe)
+
+    def test_rejects_duplicates(self, probe):
+        with pytest.raises(ClusterError, match="duplicate"):
+            HealthManager(["a", "a"], probe)
+
+    def test_rejects_bad_thresholds(self, probe):
+        with pytest.raises(ClusterError):
+            HealthManager(["a"], probe, down_after=0)
+        with pytest.raises(ClusterError):
+            HealthManager(["a"], probe, interval=0.0)
+        with pytest.raises(ClusterError):
+            HealthManager(["a"], probe, jitter=1.5)
+
+    def test_unknown_replica_rejected(self, probe):
+        manager = HealthManager(["a"], probe)
+        with pytest.raises(ClusterError, match="unknown replica"):
+            manager.state("zzz")
+
+
+class TestSnapshot:
+    def test_snapshot_counts_probes(self, probe):
+        manager = HealthManager(["a"], probe, down_after=1)
+        manager.check_now()
+        probe.down.add("a")
+        manager.check_now()
+        snapshot = manager.snapshot()["a"]
+        assert snapshot["probes"] == 2
+        assert snapshot["probe_failures"] == 1
+        assert snapshot["state"] == DOWN
+
+
+class TestPoller:
+    def test_background_poller_detects_death(self, probe):
+        """The async path: a replica failing under the poller goes DOWN
+        within a few intervals without any explicit check_now."""
+        events = []
+        manager = HealthManager(
+            ["a"], probe, interval=0.02, down_after=2,
+            on_change=lambda *event: events.append(event))
+        manager.start()
+        try:
+            probe.down.add("a")
+            deadline = time.monotonic() + 5.0
+            while manager.state("a") != DOWN and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert manager.state("a") == DOWN
+            assert ("a", UP, DOWN) in events
+        finally:
+            assert manager.close()
+
+    def test_double_start_rejected(self, probe):
+        manager = HealthManager(["a"], probe, interval=0.05)
+        manager.start()
+        try:
+            with pytest.raises(ClusterError, match="already started"):
+                manager.start()
+        finally:
+            assert manager.close()
+
+    def test_close_is_idempotent_and_joins(self, probe):
+        baseline = threading.active_count()
+        manager = HealthManager(["a"], probe, interval=0.05)
+        manager.start()
+        assert manager.close()
+        assert manager.close()
+        deadline = time.monotonic() + 2.0
+        while threading.active_count() > baseline and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() == baseline

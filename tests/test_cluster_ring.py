@@ -1,0 +1,136 @@
+"""Property tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, _point
+from repro.errors import ClusterError
+
+
+def keys(n):
+    return [f"cache-key-{index}" for index in range(n)]
+
+
+class TestConstruction:
+    def test_nodes_sorted_and_len(self):
+        ring = HashRing(["b:2", "a:1", "c:3"])
+        assert ring.nodes == ["a:1", "b:2", "c:3"]
+        assert len(ring) == 3
+        assert "a:1" in ring and "d:4" not in ring
+
+    def test_duplicate_node_rejected(self):
+        ring = HashRing(["a:1"])
+        with pytest.raises(ClusterError, match="already contains"):
+            ring.add("a:1")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ClusterError, match="non-empty"):
+            HashRing([""])
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ClusterError, match="vnodes"):
+            HashRing(["a:1"], vnodes=0)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ClusterError, match="does not contain"):
+            HashRing(["a:1"]).remove("b:2")
+
+    def test_empty_ring_lookup_rejected(self):
+        with pytest.raises(ClusterError, match="empty"):
+            HashRing().lookup("anything")
+
+
+class TestDeterminism:
+    def test_same_membership_same_ring(self):
+        """Two independently built rings agree on every key — the
+        property that lets any router process compute placements."""
+        one = HashRing(["a:1", "b:2", "c:3"])
+        two = HashRing(["c:3", "a:1", "b:2"])  # insertion order differs
+        for key in keys(500):
+            assert one.lookup(key) == two.lookup(key)
+            assert one.preference(key) == two.preference(key)
+
+    def test_point_is_stable(self):
+        assert _point("x") == _point("x")
+        assert _point("x") != _point("y")
+
+
+class TestBalance:
+    def test_ownership_is_roughly_uniform(self):
+        """With default vnodes, no replica owns more than ~2x its fair
+        share over a large key population."""
+        nodes = [f"10.0.0.{index}:8000" for index in range(5)]
+        ring = HashRing(nodes, vnodes=DEFAULT_VNODES)
+        counts = ring.ownership(keys(5000))
+        fair = 5000 / len(nodes)
+        assert set(counts) == set(nodes)
+        for node, count in counts.items():
+            assert 0.5 * fair < count < 2.0 * fair, (node, count)
+
+    def test_more_vnodes_tightens_spread(self):
+        nodes = ["a:1", "b:2", "c:3", "d:4"]
+        population = keys(4000)
+
+        def spread(vnodes):
+            counts = HashRing(nodes, vnodes=vnodes).ownership(population)
+            return max(counts.values()) - min(counts.values())
+
+        assert spread(128) < spread(2)
+
+
+class TestMinimalMovement:
+    def test_removal_only_moves_the_removed_nodes_keys(self):
+        """The consistent-hashing contract: removing one node reassigns
+        exactly the keys it owned; every other key stays put."""
+        nodes = ["a:1", "b:2", "c:3", "d:4"]
+        ring = HashRing(nodes)
+        population = keys(2000)
+        before = {key: ring.lookup(key) for key in population}
+        ring.remove("b:2")
+        for key in population:
+            after = ring.lookup(key)
+            if before[key] == "b:2":
+                assert after != "b:2"
+            else:
+                assert after == before[key], key
+
+    def test_addition_only_steals_keys_for_the_new_node(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        population = keys(2000)
+        before = {key: ring.lookup(key) for key in population}
+        ring.add("d:4")
+        moved = 0
+        for key in population:
+            after = ring.lookup(key)
+            if after != before[key]:
+                assert after == "d:4", key
+                moved += 1
+        # The new node takes roughly its fair share (1/4), not nothing
+        # and not everything.
+        assert 0.05 * len(population) < moved < 0.5 * len(population)
+
+    def test_preference_matches_removal_inheritance(self):
+        """preference()[1] is exactly where a key lands if its owner is
+        removed — failover order IS the minimal-movement order."""
+        ring = HashRing(["a:1", "b:2", "c:3", "d:4"])
+        for key in keys(300):
+            owner, heir = ring.preference(key, 2)
+            shrunk = HashRing(["a:1", "b:2", "c:3", "d:4"])
+            shrunk.remove(owner)
+            assert shrunk.lookup(key) == heir
+
+
+class TestPreference:
+    def test_preference_is_distinct_and_complete(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        order = ring.preference("some-key")
+        assert sorted(order) == ["a:1", "b:2", "c:3"]
+        assert order[0] == ring.lookup("some-key")
+
+    def test_preference_n_truncates(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        assert len(ring.preference("k", 2)) == 2
+        assert len(ring.preference("k", 99)) == 3
+
+    def test_preference_zero_rejected(self):
+        with pytest.raises(ClusterError, match="preference size"):
+            HashRing(["a:1"]).preference("k", 0)

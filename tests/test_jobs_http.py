@@ -42,6 +42,7 @@ def served_jobs(tmp_path):
     client = ServeClient(port=server.port)
     client.wait_until_ready()
     yield service, server, client
+    client.close()
     server.stop()
     assert service.close(timeout=30.0)
 

@@ -1,0 +1,163 @@
+"""Keep-alive transport tests for :class:`ServeClient`.
+
+These run against a scripted raw-socket stub rather than the real
+server, because the failure mode under test — the server silently
+dropping a pooled connection *between* requests — needs byte-level
+control over when the socket closes.  A polite ``Connection: close``
+header is handled transparently inside ``http.client``; only an abrupt
+close exercises the client's reconnect-and-replay path.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+
+
+def _read_request(connection):
+    """Read one HTTP request head (the client sends no bodies here)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = connection.recv(4096)
+        if not chunk:
+            return None
+        data += chunk
+    return data
+
+
+_RESPONSE = (b"HTTP/1.1 200 OK\r\n"
+             b"Content-Type: application/json\r\n"
+             b"Content-Length: 16\r\n"
+             b"\r\n"
+             b'{"status": "ok"}')
+
+
+class ScriptedServer:
+    """A stub HTTP server whose per-connection behavior is scripted.
+
+    Each script entry governs one accepted connection, in order:
+
+    * ``("serve", n)`` — answer *n* requests with keep-alive 200s, then
+      close the socket abruptly (no ``Connection: close`` header, no
+      FIN-before-response courtesy).
+    * ``("slam",)`` — read the request, then close without responding.
+
+    Connections beyond the script are slammed, so a test that expects
+    two connections fails loudly if the client opens a third.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.accepted = 0
+        self._closing = False
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(5.0)
+        self.port = self._listener.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        try:
+            while True:
+                connection, _address = self._listener.accept()
+                if self._closing:
+                    connection.close()
+                    return
+                behavior = (self.script.pop(0) if self.script
+                            else ("slam",))
+                self.accepted += 1
+                with connection:
+                    if behavior[0] == "serve":
+                        for _ in range(behavior[1]):
+                            if _read_request(connection) is None:
+                                break
+                            connection.sendall(_RESPONSE)
+                    else:  # slam
+                        _read_request(connection)
+        except OSError:
+            return  # listener closed: shutdown
+
+    def close(self):
+        # Closing a listener does not wake a thread blocked in accept();
+        # a throwaway connection does.
+        self._closing = True
+        try:
+            with socket.create_connection(("127.0.0.1", self.port),
+                                          timeout=1.0):
+                pass
+        except OSError:
+            pass
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def client_for():
+    opened = []
+
+    def build(script):
+        server = ScriptedServer(script)
+        client = ServeClient(host="127.0.0.1", port=server.port,
+                             timeout=5.0, retries=0)
+        opened.append((server, client))
+        return server, client
+
+    yield build
+    for server, client in opened:
+        client.close()
+        server.close()
+
+
+class TestConnectionReuse:
+    def test_sequential_requests_share_one_connection(self, client_for):
+        server, client = client_for([("serve", 3)])
+        for _ in range(3):
+            assert client.healthz() == {"status": "ok"}
+        assert server.accepted == 1
+        assert client.reconnects == 0
+
+    def test_close_discards_pool_then_reconnects(self, client_for):
+        server, client = client_for([("serve", 1), ("serve", 1)])
+        client.healthz()
+        client.close()
+        assert client.healthz() == {"status": "ok"}
+        assert server.accepted == 2
+        # The post-close connection is tracked again, so a second
+        # close() can actually reach it.
+        assert len(client._connections) == 1
+        # A deliberate close is not a server-side drop.
+        assert client.reconnects == 0
+
+
+class TestStaleConnectionRecovery:
+    def test_abrupt_server_close_is_replayed_once(self, client_for):
+        """The regression: the server drops the pooled connection
+        between requests; the next call transparently reconnects and
+        succeeds, and the client counts the event."""
+        server, client = client_for([("serve", 1), ("serve", 1)])
+        client.healthz()
+        # The stub closed the socket after the first exchange.  The
+        # next request hits the stale pooled connection first.
+        assert client.healthz() == {"status": "ok"}
+        assert client.reconnects == 1
+        assert server.accepted == 2
+
+    def test_second_drop_surfaces_as_serve_error(self, client_for):
+        server, client = client_for([("serve", 1), ("slam",)])
+        client.healthz()
+        with pytest.raises(ServeError, match="dropped twice"):
+            client.healthz()
+        assert client.reconnects == 1
+        assert server.accepted == 2
+
+    def test_fresh_connection_failure_is_not_retried(self, client_for):
+        """A slam on the *first* request of a fresh connection replays
+        once (indistinguishable from a stale drop) and then surfaces —
+        never a third connection."""
+        server, client = client_for([("slam",), ("slam",)])
+        with pytest.raises(ServeError, match="dropped twice"):
+            client.healthz()
+        assert server.accepted == 2

@@ -22,6 +22,9 @@ def served():
     client = ServeClient(port=server.port)
     client.wait_until_ready()
     yield service, server, client
+    # Close the keep-alive pool first: each pooled connection pins one
+    # server handler thread, and those must exit for a clean teardown.
+    client.close()
     server.stop()
     assert service.close(timeout=10.0)
 
@@ -227,6 +230,9 @@ class TestConcurrentBatching:
         # Identical requests coalesce: far fewer systems solved than served.
         assert metrics["batching"]["solved_systems"] < 32
 
+        # The client's keep-alive pool pins one server handler thread
+        # per connection; closing it is what lets the server quiesce.
+        client.close()
         server.stop()
         assert service.close(timeout=10.0)
         deadline = time.monotonic() + 10.0

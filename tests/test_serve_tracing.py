@@ -41,6 +41,7 @@ def served():
     client = ServeClient(port=server.port)
     client.wait_until_ready()
     yield svc, server, client
+    client.close()
     server.stop()
     assert svc.close(timeout=10.0)
 
