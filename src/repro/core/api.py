@@ -350,9 +350,13 @@ class AnalyzeRequest:
         )).encode("ascii"))
         return digest.hexdigest()
 
-    def run(self) -> "AirfoilAnalysis":
-        """Evaluate this request (batched path, stack of one)."""
-        result = evaluate_requests([self])[0]
+    def run(self, *, kernel=None) -> "AirfoilAnalysis":
+        """Evaluate this request (batched path, stack of one).
+
+        ``kernel`` selects the assembly kernel for this evaluation
+        (``None`` defers to ``REPRO_ASSEMBLY_KERNEL``).
+        """
+        result = evaluate_requests([self], kernel=kernel)[0]
         if isinstance(result, Exception):
             raise result
         return result
@@ -378,7 +382,7 @@ class SolvedSystem:
 
 
 def solve_request_systems(requests: Sequence[AnalyzeRequest], *,
-                          stage_hook=None) -> List:
+                          stage_hook=None, kernel=None) -> List:
     """Assemble and LU-solve many requests (the backend work unit).
 
     Requests are grouped by system size and dtype; each group is
@@ -393,7 +397,9 @@ def solve_request_systems(requests: Sequence[AnalyzeRequest], *,
 
     ``stage_hook`` receives ``(stage, start, end, count)`` stamps:
     ``"assembly"`` once for the whole assemble loop and ``"solve"`` per
-    batched LU call.
+    batched LU call.  ``kernel`` selects the influence-matrix
+    implementation (``reference`` / ``fused`` / ``native``; ``None``
+    defers to ``REPRO_ASSEMBLY_KERNEL`` — see ``docs/kernels.md``).
 
     Returns one entry per request, in order: a :class:`SolvedSystem` on
     success, or the :class:`ReproError` that request raised.
@@ -409,7 +415,7 @@ def solve_request_systems(requests: Sequence[AnalyzeRequest], *,
     for index, request in enumerate(requests):
         try:
             system = assemble(request.build_airfoil(), request.freestream(),
-                              dtype=request.precision.dtype)
+                              dtype=request.precision.dtype, kernel=kernel)
         except ReproError as error:
             results[index] = error
             continue
@@ -442,7 +448,7 @@ def solve_request_systems(requests: Sequence[AnalyzeRequest], *,
 
 
 def evaluate_requests(requests: Sequence[AnalyzeRequest], *,
-                      stage_hook=None, backend=None) -> List:
+                      stage_hook=None, backend=None, kernel=None) -> List:
     """Evaluate many requests through the batched assembly/LU path.
 
     The assembly + batched LU runs on an execution backend (see
@@ -472,7 +478,8 @@ def evaluate_requests(requests: Sequence[AnalyzeRequest], *,
     from repro.parallel import resolve_backend
 
     requests = list(requests)
-    solved = resolve_backend(backend).solve(requests, stage_hook=stage_hook)
+    solved = resolve_backend(backend).solve(requests, stage_hook=stage_hook,
+                                            kernel=kernel)
     results: List = [None] * len(requests)
     post_started = time.monotonic()
     for index, (request, entry) in enumerate(zip(requests, solved)):

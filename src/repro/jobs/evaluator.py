@@ -63,10 +63,14 @@ class BatchedGenerationEvaluator:
     """
 
     def __init__(self, evaluator: FitnessEvaluator, *, backend=None,
-                 stage_hook: Optional[Callable] = None) -> None:
+                 stage_hook: Optional[Callable] = None,
+                 kernel: Optional[str] = None) -> None:
         self.evaluator = evaluator
         self.backend = backend
         self.stage_hook = stage_hook
+        #: Assembly-kernel selection forwarded to the backend (``None``
+        #: defers to ``REPRO_ASSEMBLY_KERNEL``; see ``docs/kernels.md``).
+        self.kernel = kernel
         # The shared backend path assembles with the Kutta closure in
         # the request's precision; an evaluator configured differently
         # must keep the (equally correct) serial stack-of-one path.
@@ -96,7 +100,7 @@ class BatchedGenerationEvaluator:
 
             solved = resolve_backend(self.backend).solve(
                 [request for _, _, request in pending],
-                stage_hook=self.stage_hook,
+                stage_hook=self.stage_hook, kernel=self.kernel,
             )
             for (index, genome, _request), entry in zip(pending, solved):
                 records[index] = self._classify(genome, entry)

@@ -47,6 +47,11 @@ class BatchedLU:
 def batched_lu_factor(matrices: np.ndarray, *, overwrite: bool = False) -> BatchedLU:
     """Factor every matrix in a ``(batch, n, n)`` stack.
 
+    Floating stacks are factored in their own dtype (float32 stays
+    float32); non-floating stacks (integers, the convenient spelling in
+    tests and scripts) are promoted to float64 — the one documented
+    implicit conversion on this path.
+
     Raises :class:`LinalgError` naming the first singular matrix when a
     zero pivot is met.
     """
@@ -54,7 +59,7 @@ def batched_lu_factor(matrices: np.ndarray, *, overwrite: bool = False) -> Batch
     if a.ndim != 3 or a.shape[1] != a.shape[2]:
         raise LinalgError(f"expected a (batch, n, n) stack, got shape {a.shape}")
     if not np.issubdtype(a.dtype, np.floating):
-        a = a.astype(np.float64)
+        a = a.astype(np.float64)  # documented int -> float64 promotion
     batch, n, _ = a.shape
     pivots = np.tile(np.arange(n), (batch, 1))
     rows = np.arange(batch)
@@ -88,9 +93,26 @@ def batched_lu_solve(factors: BatchedLU, rhs: np.ndarray) -> np.ndarray:
 
     ``rhs`` has shape ``(batch, n)`` for one right-hand side per matrix
     or ``(batch, n, k)`` for several; the result matches.
+
+    The right-hand side must share the factors' float dtype: silently
+    casting a float64 RHS against float32 factors (or the reverse)
+    would absorb exactly the precision mismatch the dtype-grouped
+    assembly path is designed to surface, so mixed float dtypes raise
+    :class:`LinalgError` instead.  Non-floating (integer) right-hand
+    sides are promoted to the factors' dtype — the same documented
+    convenience as :func:`batched_lu_factor`'s int promotion.
     """
     lu = factors.lu
-    b = np.asarray(rhs, dtype=lu.dtype)
+    b = np.asarray(rhs)
+    if np.issubdtype(b.dtype, np.floating):
+        if b.dtype != lu.dtype:
+            raise LinalgError(
+                f"rhs dtype {b.dtype} does not match LU dtype {lu.dtype}; "
+                f"mixed-precision solves hide precision bugs — cast "
+                f"explicitly if the widening is intended"
+            )
+    else:
+        b = b.astype(lu.dtype)  # documented int promotion
     vector_input = b.ndim == 2
     if vector_input:
         b = b[:, :, None]

@@ -93,13 +93,16 @@ class PanelSystem:
         return gamma, constant
 
 
-def influence_matrix(airfoil: Airfoil, *, dtype=np.float64) -> np.ndarray:
+def influence_matrix(airfoil: Airfoil, *, dtype=np.float64,
+                     kernel=None) -> np.ndarray:
     """The ``A_ji = -F_i(x_{j+1/2})`` matrix at the control points."""
-    return -stream_influence_matrix(airfoil.control_points, airfoil, dtype=dtype)
+    return -stream_influence_matrix(airfoil.control_points, airfoil,
+                                    dtype=dtype, kernel=kernel)
 
 
 def assemble(airfoil: Airfoil, freestream: Freestream, *,
-             closure=Closure.KUTTA, dtype=np.float64) -> PanelSystem:
+             closure=Closure.KUTTA, dtype=np.float64,
+             kernel=None) -> PanelSystem:
     """Assemble the closed square system for one configuration.
 
     For the Kutta closure the system is ``n x n`` in
@@ -107,12 +110,16 @@ def assemble(airfoil: Airfoil, freestream: Freestream, *,
     trailing-edge elimination, plus the boundary constant).  For the
     zero-circulation closure it is ``(n+1) x (n+1)`` with the
     circulation constraint appended as an extra row.
+
+    *kernel* selects the influence-matrix implementation (see
+    :mod:`repro.panel.kernels`); the right-hand side is computed
+    natively in *dtype* — no float64 detour on the float32 path.
     """
     closure = Closure.parse(closure)
     dtype = np.dtype(dtype)
     n = airfoil.n_panels
-    a = influence_matrix(airfoil, dtype=dtype)
-    rhs_bc = freestream.stream_function(airfoil.control_points).astype(dtype)
+    a = influence_matrix(airfoil, dtype=dtype, kernel=kernel)
+    rhs_bc = freestream.stream_function(airfoil.control_points, dtype=dtype)
 
     if closure is Closure.KUTTA:
         matrix = np.empty((n, n), dtype=dtype)
@@ -138,7 +145,8 @@ def assemble(airfoil: Airfoil, freestream: Freestream, *,
 
 
 def assemble_batch(airfoils, freestream: Freestream, *,
-                   closure=Closure.KUTTA, dtype=np.float64) -> tuple:
+                   closure=Closure.KUTTA, dtype=np.float64,
+                   kernel=None) -> tuple:
     """Assemble many same-size systems into contiguous stacks.
 
     Returns ``(matrices, rhs, systems)`` where ``matrices`` has shape
@@ -157,7 +165,8 @@ def assemble_batch(airfoils, freestream: Freestream, *,
                 f"got {foil.n_panels} != {n}"
             )
     systems = [
-        assemble(foil, freestream, closure=closure, dtype=dtype) for foil in airfoils
+        assemble(foil, freestream, closure=closure, dtype=dtype, kernel=kernel)
+        for foil in airfoils
     ]
     matrices = np.stack([system.matrix for system in systems])
     rhs = np.stack([system.rhs for system in systems])

@@ -53,8 +53,21 @@ class Freestream:
             self.speed * math.sin(self.alpha),
         ])
 
-    def stream_function(self, points: np.ndarray) -> np.ndarray:
-        """``phi_v`` evaluated at ``(n, 2)`` points."""
-        points = np.asarray(points)
-        v1, v2 = self.velocity
-        return v1 * points[..., 1] - v2 * points[..., 0]
+    def stream_function(self, points: np.ndarray, *, dtype=None) -> np.ndarray:
+        """``phi_v`` evaluated at ``(n, 2)`` points.
+
+        With *dtype* given, the points and the velocity components are
+        cast first and the arithmetic runs entirely in that dtype —
+        single-precision assemblies must not take a float64 detour here
+        (they would no longer be single precision end to end).  With
+        ``dtype=None`` the computation follows NumPy promotion from the
+        float64 velocity, preserving the historical behaviour.
+        """
+        if dtype is None:
+            points = np.asarray(points)
+            v1, v2 = self.velocity
+            return v1 * points[..., 1] - v2 * points[..., 0]
+        dtype = np.dtype(dtype)
+        points = np.asarray(points, dtype=dtype)
+        velocity = self.velocity.astype(dtype)
+        return velocity[0] * points[..., 1] - velocity[1] * points[..., 0]

@@ -15,9 +15,15 @@ with ``h_i = x_{i+1} - x_i`` and ``I = <h_i_perp, x - x_i>``.  The
 velocity influence (needed for off-body flow evaluation) follows from
 the same integral differentiated analytically.
 
-This assembly is the paper's "expensive" kernel: per matrix entry it
-evaluates two logarithms and two ``arctan2`` calls, which is why the
-accelerators beat the CPU at it.
+This assembly is the paper's "expensive" kernel: per matrix entry the
+formula above costs two logarithms and two ``arctan2`` calls, which is
+why the accelerators beat the CPU at it.  The implementations live in
+:mod:`repro.panel.kernels` — a readable ``reference``, the default
+``fused`` kernel (shares the per-endpoint logarithms between adjacent
+panels and collapses the ``arctan2`` difference into one call via the
+subtended-angle identity), and an opt-in compiled ``native`` kernel —
+selected per call via ``kernel=`` or globally via the
+``REPRO_ASSEMBLY_KERNEL`` environment variable.
 
 Flop accounting for the hardware model lives in
 :func:`assembly_flops_per_entry`.
@@ -25,16 +31,25 @@ Flop accounting for the hardware model lives in
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.geometry import points as pt
 from repro.geometry.airfoil import Airfoil
+from repro.panel import kernels
+
+# Re-exported for the Hess-Smith solver, which evaluates the same
+# guarded logarithm on its source-panel grids.
+_safe_log_sq = kernels.safe_log_sq
 
 #: Effective floating-point work per matrix entry, used by the hardware
 #: cost model.  Counts the polynomial arithmetic (~30 flops) plus two
 #: ``log`` and two ``arctan2`` evaluations at a conventional 25
 #: flop-equivalents each (vectorized transcendental cost on the
-#: architectures of the paper).
+#: architectures of the paper).  This is the *paper's* kernel cost —
+#: the model constant is kept even though the fused kernel evaluates
+#: roughly half as many transcendentals, because the hardware tables
+#: reproduce the paper's accounting, not ours.
 ASSEMBLY_FLOPS_PER_ENTRY = 130
 
 
@@ -48,20 +63,9 @@ def assembly_flops(n_points: int, n_panels: int) -> int:
     return n_points * n_panels * ASSEMBLY_FLOPS_PER_ENTRY
 
 
-def _safe_log_sq(r_sq: np.ndarray, dtype) -> np.ndarray:
-    """``log(r^2)`` with the convention ``0 * log(0) = 0``.
-
-    At a panel endpoint the prefactor ``<x - x_k, h>`` vanishes, so
-    replacing ``log(0)`` by zero yields the correct limit.
-    """
-    out = np.zeros_like(r_sq)
-    positive = r_sq > 0.0
-    np.log(r_sq, where=positive, out=out)
-    return out.astype(dtype, copy=False)
-
-
 def stream_influence_matrix(points: np.ndarray, airfoil: Airfoil, *,
-                            dtype=np.float64) -> np.ndarray:
+                            dtype=np.float64,
+                            kernel: Optional[str] = None) -> np.ndarray:
     """Stream-function influence of every panel at every point.
 
     Returns ``F`` of shape ``(len(points), n_panels)`` where
@@ -70,46 +74,19 @@ def stream_influence_matrix(points: np.ndarray, airfoil: Airfoil, *,
 
     The computation is fully vectorized over the ``points x panels``
     grid; *dtype* selects single or double precision (the paper runs
-    both).
+    both) and the computation stays in that dtype end to end.
+    *kernel* picks the implementation (``reference`` / ``fused`` /
+    ``native``; ``None`` defers to ``REPRO_ASSEMBLY_KERNEL``, default
+    ``fused``) — see :mod:`repro.panel.kernels` and ``docs/kernels.md``
+    for the parity guarantees between them.
     """
-    target = pt.as_points(points, dtype=dtype)
-    start = np.asarray(airfoil.points[:-1], dtype=dtype)  # x_i
-    end = np.asarray(airfoil.points[1:], dtype=dtype)  # x_{i+1}
-    h = end - start
-    h_perp = pt.perpendicular(h)
-    h_len_sq = pt.dot(h, h)
-    h_len = np.sqrt(h_len_sq)
-
-    # Broadcast to the (points, panels) grid.
-    d_start = target[:, None, :] - start[None, :, :]  # x - x_i
-    d_end = target[:, None, :] - end[None, :, :]  # x - x_{i+1}
-
-    proj_start = pt.dot(d_start, h[None, :, :])  # <x - x_i, h>
-    proj_end = pt.dot(d_end, h[None, :, :])  # <x - x_{i+1}, h>
-    normal = pt.dot(d_start, h_perp[None, :, :])  # I
-
-    r_start_sq = pt.dot(d_start, d_start)
-    r_end_sq = pt.dot(d_end, d_end)
-
-    log_start = _safe_log_sq(r_start_sq, dtype)
-    log_end = _safe_log_sq(r_end_sq, dtype)
-
-    angle_start = np.arctan2(normal, proj_start)
-    angle_end = np.arctan2(normal, proj_end)
-
-    bracket = (
-        0.5 * proj_start * log_start
-        - 0.5 * proj_end * log_end
-        - normal * angle_start
-        + normal * angle_end
-        - h_len_sq[None, :]
-    )
-    two_pi = np.asarray(2.0 * np.pi, dtype=dtype)
-    return (bracket / (two_pi * h_len[None, :])).astype(dtype, copy=False)
+    return kernels.stream_function_for(kernel)(points, airfoil,
+                                               np.dtype(dtype))
 
 
 def velocity_influence(points: np.ndarray, airfoil: Airfoil, *,
-                       dtype=np.float64) -> np.ndarray:
+                       dtype=np.float64,
+                       kernel: Optional[str] = None) -> np.ndarray:
     """Velocity influence of every panel at every point.
 
     Returns an array of shape ``(len(points), n_panels, 2)`` whose entry
@@ -122,38 +99,11 @@ def velocity_influence(points: np.ndarray, airfoil: Airfoil, *,
         u_eta =  log(r_1 / r_2) / (2 pi)
 
     where ``theta_k = arctan2(eta, xi - xi_k)``.  Points exactly on a
-    panel see the principal-value tangential velocity (``+-1/2`` jump
-    resolved to the mean).
+    panel see the principal-value tangential velocity (``+-1/2``
+    depending on the side the signed zero of ``eta`` remembers); at an
+    exact panel endpoint both the angle and the log terms vanish, so
+    the panel's own contribution is zero.  *kernel* selects the
+    implementation exactly as in :func:`stream_influence_matrix`.
     """
-    target = pt.as_points(points, dtype=dtype)
-    start = np.asarray(airfoil.points[:-1], dtype=dtype)
-    end = np.asarray(airfoil.points[1:], dtype=dtype)
-    h = end - start
-    h_len = np.sqrt(pt.dot(h, h))
-    tangent = h / h_len[:, None]
-    # Right-handed local frame: eta along the +90-degree rotation of the
-    # tangent (the *inward* normal for CCW outlines).  A left-handed
-    # frame would silently mirror the induced rotation direction.
-    normal_dir = -pt.perpendicular(tangent)
-
-    d_start = target[:, None, :] - start[None, :, :]
-    d_end = target[:, None, :] - end[None, :, :]
-    xi = pt.dot(d_start, tangent[None, :, :])
-    xi_end = pt.dot(d_end, tangent[None, :, :])
-    eta = pt.dot(d_start, normal_dir[None, :, :])
-
-    r_start_sq = xi**2 + eta**2
-    r_end_sq = xi_end**2 + eta**2
-    theta_start = np.arctan2(eta, xi)
-    theta_end = np.arctan2(eta, xi_end)
-
-    log_ratio = 0.5 * (_safe_log_sq(r_start_sq, dtype) - _safe_log_sq(r_end_sq, dtype))
-    two_pi = np.asarray(2.0 * np.pi, dtype=dtype)
-    u_tangential = -(theta_end - theta_start) / two_pi
-    u_normal = log_ratio / two_pi
-
-    velocity = (
-        u_tangential[..., None] * tangent[None, :, :]
-        + u_normal[..., None] * normal_dir[None, :, :]
-    )
-    return velocity.astype(dtype, copy=False)
+    return kernels.velocity_function_for(kernel)(points, airfoil,
+                                                 np.dtype(dtype))

@@ -87,10 +87,13 @@ class ExecutionBackend:
 
     name = "abstract"
 
-    def solve(self, requests: Sequence, *, stage_hook=None) -> List:
+    def solve(self, requests: Sequence, *, stage_hook=None,
+              kernel=None) -> List:
         """Assemble and solve *requests*; one entry per request, in
         order — a :class:`~repro.core.api.SolvedSystem` or the
-        :class:`~repro.errors.ReproError` that request raised."""
+        :class:`~repro.errors.ReproError` that request raised.
+        ``kernel`` selects the assembly kernel (``None`` defers to
+        ``REPRO_ASSEMBLY_KERNEL``; see ``docs/kernels.md``)."""
         raise NotImplementedError
 
     def stats(self) -> dict:
@@ -112,10 +115,12 @@ class InlineBackend(ExecutionBackend):
 
     name = "inline"
 
-    def solve(self, requests: Sequence, *, stage_hook=None) -> List:
+    def solve(self, requests: Sequence, *, stage_hook=None,
+              kernel=None) -> List:
         from repro.core.api import solve_request_systems
 
-        return solve_request_systems(requests, stage_hook=stage_hook)
+        return solve_request_systems(requests, stage_hook=stage_hook,
+                                     kernel=kernel)
 
     def stats(self) -> dict:
         return {"name": self.name, "procs": 0}
@@ -151,7 +156,8 @@ def _run_shard(task: ShardTask) -> ShardReply:
     outcomes: List[Optional[BaseException]] = []
     try:
         if task.mode == MODE_WORKER:
-            solved = solve_request_systems(task.requests, stage_hook=hook)
+            solved = solve_request_systems(task.requests, stage_hook=hook,
+                                           kernel=task.kernel)
             for request, offset, entry in zip(task.requests, task.offsets,
                                               solved):
                 if isinstance(entry, BaseException):
@@ -169,7 +175,8 @@ def _run_shard(task: ShardTask) -> ShardReply:
                 try:
                     system = assemble(request.build_airfoil(),
                                       request.freestream(),
-                                      dtype=request.precision.dtype)
+                                      dtype=request.precision.dtype,
+                                      kernel=task.kernel)
                 except ReproError as error:
                     outcomes.append(_picklable(error))
                     continue
@@ -428,19 +435,22 @@ class ProcessBackend(ExecutionBackend):
     # Solving
     # ------------------------------------------------------------------
 
-    def _fallback(self, requests: Sequence, stage_hook) -> List:
+    def _fallback(self, requests: Sequence, stage_hook,
+                  kernel=None) -> List:
         from repro.core.api import solve_request_systems
 
         with self._lock:
             self._inline_fallbacks += 1
-        return solve_request_systems(requests, stage_hook=stage_hook)
+        return solve_request_systems(requests, stage_hook=stage_hook,
+                                     kernel=kernel)
 
-    def solve(self, requests: Sequence, *, stage_hook=None) -> List:
+    def solve(self, requests: Sequence, *, stage_hook=None,
+              kernel=None) -> List:
         requests = list(requests)
         if not requests:
             return []
         if self._closed or self._broken:
-            return self._fallback(requests, stage_hook)
+            return self._fallback(requests, stage_hook, kernel)
         with self._lock:
             try:
                 self._ensure_workers_locked()
@@ -448,14 +458,15 @@ class ProcessBackend(ExecutionBackend):
                 self._broken = True
                 self._start_failures += 1
             else:
-                return self._solve_locked(requests, stage_hook)
-        return self._fallback(requests, stage_hook)
+                return self._solve_locked(requests, stage_hook, kernel)
+        return self._fallback(requests, stage_hook, kernel)
 
-    def _solve_locked(self, requests: List, stage_hook) -> List:
+    def _solve_locked(self, requests: List, stage_hook,
+                      kernel=None) -> List:
         shards = [_Shard(index, bounds) for index, bounds in
                   enumerate(plan_shards(len(requests), self.n_procs))]
         try:
-            self._dispatch(shards, requests)
+            self._dispatch(shards, requests, kernel)
             self._collect(shards)
             crashed = [shard for shard in shards if shard.reply is None]
             if crashed:
@@ -470,7 +481,8 @@ class ProcessBackend(ExecutionBackend):
                     from repro.core.api import solve_request_systems
 
                     return solve_request_systems(requests,
-                                                 stage_hook=stage_hook)
+                                                 stage_hook=stage_hook,
+                                                 kernel=kernel)
             if any(shard.reply is not None for shard in shards):
                 self._ever_succeeded = True
             self._shards_dispatched += len(shards)
@@ -482,7 +494,8 @@ class ProcessBackend(ExecutionBackend):
                     shm_transport.destroy_segment(shard.segment)
                     shard.segment = None
 
-    def _dispatch(self, shards: List[_Shard], requests: List) -> None:
+    def _dispatch(self, shards: List[_Shard], requests: List,
+                  kernel=None) -> None:
         for shard in shards:
             start, stop = shard.bounds
             shard_requests = tuple(requests[start:stop])
@@ -492,7 +505,7 @@ class ProcessBackend(ExecutionBackend):
             shard.task = ShardTask(
                 seq=self._seq, shard_index=shard.index, mode=self._mode,
                 requests=shard_requests, shm_name=shard.segment.name,
-                offsets=offsets,
+                offsets=offsets, kernel=kernel,
             )
             worker = self._workers[shard.index]
             try:

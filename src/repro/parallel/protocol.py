@@ -66,6 +66,11 @@ class ShardTask:
         Name of the parent-owned shared-memory segment to write into.
     offsets:
         Per-request byte offset of each slot within the segment.
+    kernel:
+        Assembly-kernel selection forwarded to the child (``None``
+        defers to the child's ``REPRO_ASSEMBLY_KERNEL`` default) — the
+        knob must cross the process boundary explicitly or a parent
+        pinned to one kernel would shard onto children using another.
     """
 
     seq: int
@@ -74,6 +79,7 @@ class ShardTask:
     requests: Tuple
     shm_name: str
     offsets: Tuple[int, ...]
+    kernel: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)

@@ -129,6 +129,13 @@ class AnalysisService:
     exec_procs:
         Worker-process count when *exec_backend* is the name
         ``"process"``; ignored otherwise.
+    assembly_kernel:
+        Influence-matrix kernel the service pins for every evaluation
+        (``"reference"`` / ``"fused"`` / ``"native"``); ``None`` reads
+        ``REPRO_ASSEMBLY_KERNEL`` once at construction (default
+        ``fused``).  The resolved name is exposed in
+        ``metrics_snapshot()["assembly_kernel"]``.  See
+        ``docs/kernels.md``.
     jobs_dir:
         Directory for durable optimization jobs (journal +
         checkpoints); ``None`` (the default) disables the jobs
@@ -147,6 +154,7 @@ class AnalysisService:
                  logger: Optional[StructuredLogger] = None,
                  exec_backend=None,
                  exec_procs: Optional[int] = None,
+                 assembly_kernel: Optional[str] = None,
                  jobs_dir: Optional[str] = None,
                  job_slots: int = 1) -> None:
         self.policy: BatchPolicy = suggested_policy(
@@ -170,6 +178,12 @@ class AnalysisService:
         else:
             self._exec_backend = resolve_backend(exec_backend)
             self._owns_exec_backend = False
+        from repro.panel.kernels import resolve_kernel
+
+        #: The assembly kernel every batch (and job) evaluation uses,
+        #: resolved once so a later env change cannot split the service
+        #: across kernels mid-flight.
+        self.assembly_kernel = resolve_kernel(assembly_kernel)
         self._pool = WorkerPool(
             self._process_batch, self.policy,
             n_workers=n_workers, queue_limit=queue_limit,
@@ -406,7 +420,7 @@ class AnalysisService:
                     job.trace.add_stage(stage, start, end)
         outcomes = evaluate_requests(
             [job.request for job in representatives], stage_hook=stage_hook,
-            backend=self._exec_backend,
+            backend=self._exec_backend, kernel=self.assembly_kernel,
         )
 
         now = time.monotonic()
@@ -510,6 +524,7 @@ class AnalysisService:
         )
         snapshot["stages"] = self.tracer.stages_snapshot()
         snapshot["exec_backend"] = self._exec_backend.stats()
+        snapshot["assembly_kernel"] = self.assembly_kernel
         if self.jobs is not None:
             snapshot["jobs"] = self.jobs.metrics_snapshot()
         return snapshot

@@ -184,6 +184,36 @@ class TestBatched:
         ])
         assert result == pytest.approx(expected, abs=1e-3)
 
+    def test_mixed_precision_rhs_rejected(self, rng):
+        # Regression: a float64 RHS against float32 factors used to be
+        # silently cast, absorbing exactly the precision mismatch the
+        # dtype-grouped assembly path exists to surface.
+        matrices = (rng.standard_normal((2, 5, 5)) + 5 * np.eye(5)).astype(np.float32)
+        factors = batched_lu_factor(matrices)
+        with pytest.raises(LinalgError, match="does not match LU dtype"):
+            batched_lu_solve(factors, rng.standard_normal((2, 5)))
+
+    def test_mixed_precision_rhs_rejected_other_direction(self, rng):
+        matrices = rng.standard_normal((2, 5, 5)) + 5 * np.eye(5)
+        factors = batched_lu_factor(matrices)
+        with pytest.raises(LinalgError, match="float32 does not match"):
+            batched_lu_solve(
+                factors, rng.standard_normal((2, 5)).astype(np.float32)
+            )
+
+    def test_integer_matrices_still_promote(self):
+        matrices = np.array([[[2, 0], [0, 2]], [[3, 0], [0, 3]]])
+        factors = batched_lu_factor(matrices)
+        assert factors.lu.dtype == np.float64
+
+    def test_integer_rhs_still_promotes_to_factor_dtype(self, rng):
+        for dtype in (np.float32, np.float64):
+            matrices = (rng.standard_normal((2, 3, 3))
+                        + 3 * np.eye(3)).astype(dtype)
+            factors = batched_lu_factor(matrices)
+            result = batched_lu_solve(factors, np.ones((2, 3), dtype=np.int64))
+            assert result.dtype == dtype
+
 
 class TestFlopCounts:
     def test_factor_leading_order(self):
