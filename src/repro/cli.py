@@ -111,6 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
                            default="json",
                            help="structured request log on stderr: one line "
                                 "per completion/failure/shed (default json)")
+    sub_serve.add_argument("--slo-latency-ms", type=float, default=250.0,
+                           metavar="MS",
+                           help="latency objective per request; slower "
+                                "successes count against the latency SLO "
+                                "burn rate in /metrics (default 250)")
+    sub_serve.add_argument("--slo-target", type=float, default=0.99,
+                           metavar="FRACTION",
+                           help="availability/latency objective in (0, 1); "
+                                "burn rate 1.0 = burning exactly the error "
+                                "budget (default 0.99)")
     sub_serve.add_argument("--exec-backend", choices=["inline", "process"],
                            default=None,
                            help="where micro-batches are assembled and "
@@ -232,6 +242,31 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_route.add_argument("--timeout", type=float, default=60.0,
                                help="proxy timeout per replica attempt, "
                                     "seconds (default 60)")
+    cluster_route.add_argument("--trace-sample", type=float, default=1.0,
+                               metavar="RATE",
+                               help="fraction of routed requests to trace "
+                                    "cluster-wide; the router's decision "
+                                    "propagates to every hop via the "
+                                    "X-Repro-Trace header (default 1.0)")
+    cluster_route.add_argument("--trace-ring", type=int, default=256,
+                               metavar="N",
+                               help="completed router traces retained for "
+                                    "/debug/trace stitching (default 256)")
+    cluster_route.add_argument("--log-format",
+                               choices=["json", "text", "off"],
+                               default="json",
+                               help="structured cluster event log on stderr: "
+                                    "health transitions, failovers, "
+                                    "migrations (default json)")
+    cluster_route.add_argument("--slo-latency-ms", type=float, default=250.0,
+                               metavar="MS",
+                               help="cluster latency objective measured at "
+                                    "the router, routing and failover "
+                                    "included (default 250)")
+    cluster_route.add_argument("--slo-target", type=float, default=0.99,
+                               metavar="FRACTION",
+                               help="cluster availability/latency objective "
+                                    "in (0, 1) (default 0.99)")
     cluster_sub.add_parser(
         "status", parents=[connection],
         help="print a running router's /cluster/status document",
@@ -264,6 +299,8 @@ def run_serve(arguments) -> int:
         trace_sample=arguments.trace_sample,
         trace_ring=arguments.trace_ring,
         logger=make_logger(arguments.log_format),
+        slo_latency_ms=arguments.slo_latency_ms,
+        slo_target=arguments.slo_target,
         exec_backend=exec_backend, exec_procs=arguments.exec_procs,
         assembly_kernel=arguments.assembly_kernel,
         jobs_dir=arguments.jobs_dir, job_slots=arguments.job_slots,
@@ -360,6 +397,7 @@ def run_cluster(arguments) -> int:
     # route
     from repro.cluster import DEFAULT_VNODES, ClusterRouter, start_cluster_server
     from repro.errors import ClusterError
+    from repro.obs.logging import make_logger
 
     replicas = arguments.replicas or []
     if not replicas:
@@ -379,6 +417,11 @@ def run_cluster(arguments) -> int:
         health_interval=arguments.health_interval_ms / 1e3,
         down_after=arguments.down_after, up_after=arguments.up_after,
         timeout=arguments.timeout,
+        trace_sample=arguments.trace_sample,
+        trace_ring=arguments.trace_ring,
+        logger=make_logger(arguments.log_format),
+        slo_latency_ms=arguments.slo_latency_ms,
+        slo_target=arguments.slo_target,
     )
     router.start()
     server = start_cluster_server(router, host=arguments.host,
@@ -389,7 +432,10 @@ def run_cluster(arguments) -> int:
           f"(replicas=[{names}], vnodes={vnodes}, "
           f"health_interval={arguments.health_interval_ms:g} ms, "
           f"down_after={arguments.down_after}, "
-          f"state_dir={arguments.state_dir or 'none'})", flush=True)
+          f"state_dir={arguments.state_dir or 'none'}, "
+          f"trace_sample={arguments.trace_sample:g}, "
+          f"slo={arguments.slo_latency_ms:g}ms@{arguments.slo_target:g}, "
+          f"log_format={arguments.log_format})", flush=True)
     try:
         while not server.wait(3600.0):
             pass

@@ -4,12 +4,21 @@ The router speaks the *same wire API* as a single ``repro serve``
 process — ``/analyze``, ``/analyze_batch``, ``/jobs``, ``/healthz``,
 ``/metrics`` — so an existing :class:`~repro.serve.client.ServeClient`
 can point at a router instead of a replica without changing a line.
-Two routes are cluster-specific:
+Cluster-specific routes:
 
 * ``GET /cluster/status`` — topology, per-replica health, placements.
 * ``POST /cluster/drain`` — ``{"replica": "host:port", "draining":
   bool}`` toggles the operator draining flag (no new work, no
   migration).
+* ``GET /debug/trace`` — the *stitched* multi-hop Gantt of one
+  distributed trace (router spans plus the serving replica's span
+  tree, re-anchored onto the router's clock); ``?format=json`` for
+  the document, ``?trace_id=...`` to pick a specific trace.
+
+``/analyze`` and ``/analyze_batch`` honour an incoming
+``X-Repro-Trace`` header (trace id, parent span, sampling flag) and
+propagate it downstream, so a client-opened trace spans the whole
+cluster.
 
 Error mapping mirrors :mod:`repro.serve.http`, with one addition: a
 replica rejection proxied through the router keeps its *original*
@@ -35,6 +44,7 @@ from repro.errors import (
     ReproError,
     ServeError,
 )
+from repro.obs.context import TRACE_HEADER, maybe_parse_trace_header
 from repro.obs.ids import REQUEST_ID_HEADER, coerce_request_id
 from repro.obs.prometheus import render_prometheus
 from repro.serve.http import DEADLINE_HEADER, MAX_BODY_BYTES
@@ -124,6 +134,8 @@ class _ClusterHandler(BaseHTTPRequestHandler):
             self._handle_metrics({"format": ["prometheus"]})
         elif route == "/cluster/status":
             self._send_json(200, self.server.router.status())
+        elif route == "/debug/trace":
+            self._handle_debug_trace(query)
         elif route == "/jobs" or route.startswith("/jobs/"):
             self._handle_jobs_get(route, query)
         else:
@@ -162,6 +174,34 @@ class _ClusterHandler(BaseHTTPRequestHandler):
                 "type": "ServeError",
             })
 
+    def _handle_debug_trace(self, query: dict) -> None:
+        """The stitched distributed trace (ASCII Gantt or JSON)."""
+        router = self.server.router
+        trace_id = query.get("trace_id", [None])[-1]
+        fmt = query.get("format", ["ascii"])[-1]
+        try:
+            if fmt == "json":
+                document = router.stitched_trace(trace_id)
+                if document is None:
+                    self._send_json(404, {
+                        "error": "no matching stitched trace",
+                        "type": "TraceNotFound",
+                    })
+                    return
+                self._send_json(200, document)
+            elif fmt == "ascii":
+                body = router.render_stitched(trace_id)
+                self._send_body(200, body.encode("utf-8"),
+                                content_type="text/plain; charset=utf-8")
+            else:
+                self._send_json(400, {
+                    "error": f"unknown trace format {fmt!r} "
+                             "(expected 'ascii' or 'json')",
+                    "type": "ServeError",
+                })
+        except ReproError as error:
+            self._send_error(error, None)
+
     # ------------------------------------------------------------------
     # Analyze proxying
     # ------------------------------------------------------------------
@@ -173,9 +213,11 @@ class _ClusterHandler(BaseHTTPRequestHandler):
         request_id = None
         try:
             request_id = self._header_request_id()
+            trace_context = maybe_parse_trace_header(
+                self.headers.get(TRACE_HEADER))
             raw = self.server.router.analyze_raw(
                 payload, deadline_ms=self._header_deadline_ms(),
-                request_id=request_id)
+                request_id=request_id, trace_context=trace_context)
         except ReproError as error:
             self._send_error(error, request_id)
             return

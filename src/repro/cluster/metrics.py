@@ -23,6 +23,9 @@ from __future__ import annotations
 import threading
 from typing import Dict, Optional
 
+from repro.obs.histogram import is_histogram_snapshot, merge_histogram_snapshots
+from repro.obs.slo import is_slo_snapshot, merge_slo_snapshots
+
 #: Leaves of a replica snapshot that describe identity, not load —
 #: meaningless to sum, so they are dropped from the merged view.
 _IDENTITY_KEYS = frozenset({"started_at", "snapshot_seq", "slots"})
@@ -50,6 +53,9 @@ class RouterMetrics:
         "migration_failures",  # orphans we could not resettle
         "checkpoints_staged",  # checkpoint files copied to survivors
         "health_transitions",  # UP<->DOWN edges observed
+        "trace_pulls",         # replica /debug/trace/<id> fetches tried
+        "trace_pull_failures",  # pulls that errored or missed the ring
+        "traces_stitched",     # multi-hop traces assembled successfully
     )
 
     def __init__(self) -> None:
@@ -84,6 +90,15 @@ def merge_snapshots(snapshots: Dict[str, Optional[dict]]) -> dict:
     return merged
 
 
+def _copy_tree(value):
+    """Deep copy of a JSON-shaped value (dicts/lists/scalars)."""
+    if isinstance(value, dict):
+        return {key: _copy_tree(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_copy_tree(item) for item in value]
+    return value
+
+
 def _scrub_bookkeeping(node: dict) -> None:
     node.pop("_mean_weight", None)
     for value in node.values():
@@ -96,6 +111,24 @@ def _merge_into(target: dict, source: dict, *, in_latency: bool = False) -> None
         if key in _IDENTITY_KEYS:
             continue
         if isinstance(value, dict):
+            if is_histogram_snapshot(value):
+                # Bucket ladders match across replicas (same defaults),
+                # so histogram merge is exact: counts sum per ``le``,
+                # exemplars keep the most recent observation.
+                if key in target and is_histogram_snapshot(target[key]):
+                    merge_histogram_snapshots(target[key], value)
+                else:
+                    target[key] = _copy_tree(value)
+                continue
+            if is_slo_snapshot(value):
+                # Counts sum, rates are recomputed from merged counts,
+                # and the merged objective keeps the *stricter* of the
+                # two (min latency objective, max availability target).
+                if key in target and is_slo_snapshot(target[key]):
+                    merge_slo_snapshots(target[key], value)
+                else:
+                    target[key] = _copy_tree(value)
+                continue
             node = target.setdefault(key, {})
             _merge_into(node, value, in_latency=(key == "latency_ms"))
         elif isinstance(value, bool) or value is None:

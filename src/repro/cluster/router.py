@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import uuid
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -47,7 +48,34 @@ from repro.core.api import AnalyzeRequest, canonical_json, extract_deadline_ms
 from repro.errors import ClusterError, OverloadedError, ReproError, ServeError
 from repro.jobs.model import JobState, validate_job_key
 from repro.jobs.store import CHECKPOINT_DIR, JOURNAL_NAME
+from repro.obs.context import TraceContext, anchor_remote_spans, new_trace_context
+from repro.obs.ids import coerce_request_id
+from repro.obs.logging import StructuredLogger
+from repro.obs.slo import SLOTracker
+from repro.obs.trace import SOLVE_STAGE, Span, Trace
+from repro.pipeline.trace import GanttRow, GanttSegment, GanttTrace, render_ascii
 from repro.serve.client import ServeClient
+from repro.serve.tracing import LIVE_GLYPHS, LIVE_TITLES, Tracer
+
+#: Router-side span vocabulary: candidate selection, the health-table
+#: lookup, and one span per proxy attempt (so failover is visible as
+#: consecutive ``proxy_attempt`` bars in the stitched Gantt).
+SPAN_ROUTE = "route"
+SPAN_HEALTH_LOOKUP = "health_lookup"
+SPAN_PROXY_ATTEMPT = "proxy_attempt"
+
+#: Gantt glyphs/titles for the stitched cluster rendering: the replica
+#: stages keep their single-node glyphs, router spans get their own.
+CLUSTER_GLYPHS = dict(LIVE_GLYPHS, **{
+    SPAN_ROUTE: "r",
+    SPAN_HEALTH_LOOKUP: "k",
+    SPAN_PROXY_ATTEMPT: "x",
+})
+CLUSTER_TITLES = dict(LIVE_TITLES, **{
+    SPAN_ROUTE: "route (ring lookup)",
+    SPAN_HEALTH_LOOKUP: "health lookup",
+    SPAN_PROXY_ATTEMPT: "proxy attempt",
+})
 
 
 def parse_replica(spec: str) -> Tuple[str, int, Optional[str]]:
@@ -133,6 +161,17 @@ class ClusterRouter:
         :class:`~repro.cluster.health.HealthManager`).
     timeout:
         Proxy-request timeout per replica attempt, seconds.
+    trace_sample, trace_ring:
+        Distributed-trace sampling rate (the *head* decision: sampled
+        requests are traced on every hop downstream) and the number of
+        completed router traces retained for stitching.
+    logger:
+        Structured logger for cluster lifecycle events (health
+        transitions, failovers, migrations); ``None`` logs nothing.
+    slo_latency_ms, slo_target:
+        Cluster-level service objectives (client-observed, measured at
+        the router — includes routing and failover time the per-replica
+        SLOs cannot see).
     """
 
     def __init__(self, replicas: Sequence[str], *,
@@ -140,7 +179,11 @@ class ClusterRouter:
                  state_dir: Optional[str] = None,
                  health_interval: float = 0.5,
                  down_after: int = 3, up_after: int = 1,
-                 timeout: float = 60.0, seed: int = 0) -> None:
+                 timeout: float = 60.0, seed: int = 0,
+                 trace_sample: float = 1.0, trace_ring: int = 256,
+                 logger: Optional[StructuredLogger] = None,
+                 slo_latency_ms: float = 250.0,
+                 slo_target: float = 0.99) -> None:
         if not replicas:
             raise ClusterError("a cluster needs at least one --replica")
         self.replicas: Dict[str, Replica] = {}
@@ -152,6 +195,9 @@ class ClusterRouter:
             self.replicas[replica.name] = replica
         self.ring = HashRing(self.replicas, vnodes=vnodes)
         self.metrics = RouterMetrics()
+        self.tracer = Tracer(sample_rate=trace_sample, ring_size=trace_ring)
+        self.slo = SLOTracker(latency_ms=slo_latency_ms, target=slo_target)
+        self.logger = logger if logger is not None else StructuredLogger("off")
         self.journal = PlacementJournal(state_dir)
         self.placer = JobPlacer(self._jobs_section)
         self.health = HealthManager(
@@ -210,6 +256,8 @@ class ClusterRouter:
 
     def _on_health_change(self, name: str, old: str, new: str) -> None:
         self.metrics.increment("health_transitions")
+        self.logger.event("health_transition", replica=name,
+                          old=old, new=new)
         if new == DOWN and not self._closed:
             thread = threading.Thread(
                 target=self._migrate_from, args=(name,),
@@ -218,16 +266,25 @@ class ClusterRouter:
             self._migrations.append(thread)
             thread.start()
 
-    def _candidates(self, key: str) -> List[str]:
+    def _candidates(self, key: str,
+                    trace: Optional[Trace] = None) -> List[str]:
         """Ring preference order filtered to routable replicas.
 
         When health marks *everything* unroutable the unfiltered order
         is returned as a last-ditch attempt — trying and failing gives
         the caller a truthful error, refusing outright could mask a
-        probe false-negative.
+        probe false-negative.  A sampled *trace* gets one ``route``
+        span (the ring walk) and one ``health_lookup`` span (the
+        health-table read).
         """
+        route_started = time.monotonic()
         preference = self.ring.preference(key)
+        route_ended = time.monotonic()
         routable = set(self.health.routable())
+        health_ended = time.monotonic()
+        if trace is not None:
+            trace.add_stage(SPAN_ROUTE, route_started, route_ended)
+            trace.add_stage(SPAN_HEALTH_LOOKUP, route_ended, health_ended)
         ordered = [name for name in preference if name in routable]
         return ordered or preference
 
@@ -249,38 +306,90 @@ class ClusterRouter:
 
     def analyze_raw(self, payload: dict, *,
                     deadline_ms: Optional[float] = None,
-                    request_id: Optional[str] = None) -> str:
-        """Proxy one ``/analyze`` payload; returns the canonical body."""
+                    request_id: Optional[str] = None,
+                    trace_context: Optional[TraceContext] = None) -> str:
+        """Proxy one ``/analyze`` payload; returns the canonical body.
+
+        Tracing: an incoming *trace_context* (the caller already opened
+        the trace) is obeyed; otherwise the router is the trace root
+        and decides sampling here — the *head-based* decision every
+        downstream hop inherits through the forwarded ``X-Repro-Trace``
+        header.  Sampled requests record ``route``, ``health_lookup``,
+        and one ``proxy_attempt`` span per failover try; the successful
+        attempt's bounds are what the replica's span tree is later
+        re-anchored into (:meth:`stitched_trace`).
+        """
+        started = time.monotonic()
         payload, body_deadline = extract_deadline_ms(payload)
         if body_deadline is not None:
             deadline_ms = body_deadline
+        if trace_context is not None:
+            context = trace_context
+            trace = self.tracer.start(context.trace_id,
+                                      sampled=context.sampled)
+        else:
+            trace_id = coerce_request_id(request_id)
+            trace = self.tracer.start(trace_id)
+            context = new_trace_context(trace_id, sampled=trace is not None)
         key = self._routing_key(payload)
         last_error: Optional[ServeError] = None
-        for attempt, name in enumerate(self._candidates(key)):
+        for attempt, name in enumerate(self._candidates(key, trace=trace)):
             if attempt:
                 self.metrics.increment("failovers")
+                self.logger.event(
+                    "failover", trace_id=context.trace_id,
+                    request_id=request_id, attempt=attempt, replica=name,
+                    last_error=str(last_error) if last_error else None,
+                )
             client = self.replicas[name].client
+            proxy_index = None if trace is None else len(trace.spans)
+            send_started = time.monotonic()
             try:
                 raw = client.analyze_raw(payload, deadline_ms=deadline_ms,
-                                         request_id=request_id)
+                                         request_id=request_id,
+                                         trace_context=context.child())
             except ServeError as error:
+                if trace is not None:
+                    trace.add_stage(SPAN_PROXY_ATTEMPT, send_started,
+                                    time.monotonic())
                 if getattr(error, "status", None) in (None, 503):
                     last_error = error
                     continue
                 self.metrics.increment("proxy_errors")
+                self.slo.record(False, 1e3 * (time.monotonic() - started))
+                if trace is not None:
+                    trace.annotate(replica=name)
+                    self.tracer.finish(trace, "failed")
                 raise
+            recv_ended = time.monotonic()
+            if trace is not None:
+                trace.add_stage(SPAN_PROXY_ATTEMPT, send_started, recv_ended)
+                trace.annotate(replica=name, proxy_span=proxy_index,
+                               attempts=attempt + 1)
+                self.tracer.finish(trace, "completed")
             self.metrics.increment("routed")
             self.last_request_id = client.last_request_id
+            self.slo.record(True, 1e3 * (recv_ended - started))
             return raw
         self.metrics.increment("exhausted")
+        self.slo.record(False, 1e3 * (time.monotonic() - started))
+        if trace is not None:
+            self.tracer.finish(trace, "exhausted")
+        self.logger.event(
+            "routing_exhausted", trace_id=context.trace_id,
+            request_id=request_id,
+            last_error=str(last_error) if last_error else None,
+        )
         raise OverloadedError(
             f"no replica could serve the request (last error: {last_error})"
         )
 
     def analyze(self, payload: dict, *, deadline_ms: Optional[float] = None,
-                request_id: Optional[str] = None) -> dict:
+                request_id: Optional[str] = None,
+                trace_context: Optional[TraceContext] = None) -> dict:
         return json.loads(self.analyze_raw(payload, deadline_ms=deadline_ms,
-                                           request_id=request_id))
+                                           request_id=request_id,
+                                           trace_context=trace_context))
 
     def analyze_batch(self, items: Sequence[dict], *,
                       deadline_ms: Optional[float] = None,
@@ -392,6 +501,9 @@ class ClusterRouter:
                 raise
             self.journal.record_placed(job_key, record["id"], name, payload)
             self.metrics.increment("jobs_placed")
+            self.logger.event("job_placed", job_key=job_key,
+                              job_id=record["id"], replica=name,
+                              request_id=request_id)
             return dict(record, replica=name)
 
     def _locate(self, job_id: str) -> Optional[Placement]:
@@ -508,20 +620,33 @@ class ClusterRouter:
             try:
                 plan = self.placer.plan_migration(
                     [placement.job_key for placement in pending], survivors)
-            except ClusterError:
+            except ClusterError as error:
                 self.metrics.increment("migration_failures", len(pending))
+                self.logger.event("migration_failed", replica=dead,
+                                  jobs=len(pending), error=str(error))
                 return
             for placement in pending:
                 target = plan.get(placement.job_key)
                 if target is None:
                     self.metrics.increment("migration_failures")
+                    self.logger.event("migration_failed", replica=dead,
+                                      job_key=placement.job_key,
+                                      job_id=placement.job_id,
+                                      error="no surviving target")
                     continue
                 try:
                     self._migrate_one(placement, dead_dir, target)
-                except (ReproError, OSError):
+                except (ReproError, OSError) as error:
                     self.metrics.increment("migration_failures")
+                    self.logger.event("migration_failed", replica=dead,
+                                      job_key=placement.job_key,
+                                      job_id=placement.job_id, target=target,
+                                      error=str(error))
                 else:
                     self.metrics.increment("jobs_migrated")
+                    self.logger.event("job_migrated", job_key=placement.job_key,
+                                      job_id=placement.job_id,
+                                      source=dead, target=target)
 
     def _migrate_one(self, placement: Placement, dead_dir: Optional[str],
                      target: str) -> None:
@@ -560,6 +685,156 @@ class ClusterRouter:
         self.journal.record_migrated(placement.job_key, target)
 
     # ------------------------------------------------------------------
+    # Distributed-trace stitching
+    # ------------------------------------------------------------------
+
+    def _pull_replica_trace(self, name: str,
+                            trace_id: str) -> Optional[List[Span]]:
+        """Fetch and revive the replica's half of *trace_id*, or None."""
+        self.metrics.increment("trace_pulls")
+        try:
+            pulled = self.replicas[name].client.debug_trace_by_id(trace_id)
+        except ServeError:
+            self.metrics.increment("trace_pull_failures")
+            return None
+        spans = []
+        for entry in pulled.get("trace", {}).get("spans", []):
+            spans.append(Span(name=str(entry.get("name", "?")),
+                              start=float(entry.get("start", 0.0)),
+                              end=(None if entry.get("end") is None
+                                   else float(entry["end"])),
+                              parent=entry.get("parent")))
+        return spans or None
+
+    def stitched_trace(self, trace_id: Optional[str] = None) -> Optional[dict]:
+        """One distributed trace as a JSON-ready multi-hop document.
+
+        *trace_id* defaults to the most recently completed router
+        trace.  The router's own span tree is the anchor; the serving
+        replica's tree is pulled live over ``GET /debug/trace/<id>``
+        and re-anchored into the successful ``proxy_attempt`` span's
+        bounds (:func:`repro.obs.context.anchor_remote_spans`), so
+        every hop shares the router's monotonic clock.  Worker-shard
+        spans (``*_shard``) become their own hop.  Each hop carries the
+        W/A/L/O reduction with ``O = W - L`` by construction.
+        """
+        if trace_id is None:
+            recent = self.tracer.recent(1)
+            if not recent:
+                return None
+            trace = recent[-1]
+        else:
+            trace = self.tracer.find(trace_id)
+        if trace is None:
+            return None
+        origin = trace.root.start
+        hops = [{
+            "hop": "router",
+            "spans": [self._span_dict(span, origin)
+                      for span in trace.spans],
+            "walo": self._hop_walo(trace.spans),
+        }]
+        replica_name = trace.annotations.get("replica")
+        proxy_index = trace.annotations.get("proxy_span")
+        anchored: List[Span] = []
+        if (replica_name in self.replicas and isinstance(proxy_index, int)
+                and 0 < proxy_index < len(trace.spans)):
+            proxy = trace.spans[proxy_index]
+            remote = self._pull_replica_trace(replica_name, trace.trace_id)
+            if remote and proxy.end is not None:
+                anchored = anchor_remote_spans(remote, proxy.start, proxy.end)
+                self.metrics.increment("traces_stitched")
+        if anchored:
+            shard = [span for span in anchored[1:]
+                     if span.name.endswith("_shard")]
+            local = [span for span in anchored
+                     if not span.name.endswith("_shard")]
+            hops.append({
+                "hop": f"replica {replica_name}",
+                "spans": [self._span_dict(span, origin) for span in local],
+                "walo": self._hop_walo(local),
+            })
+            if shard:
+                hops.append({
+                    "hop": f"workers {replica_name}",
+                    "spans": [self._span_dict(span, origin)
+                              for span in shard],
+                    "walo": self._hop_walo(shard),
+                })
+        return {
+            "trace_id": trace.trace_id,
+            "outcome": trace.outcome,
+            "annotations": dict(trace.annotations),
+            "stitched": bool(anchored),
+            "hops": hops,
+        }
+
+    @staticmethod
+    def _span_dict(span: Span, origin: float) -> dict:
+        """A span re-based to the trace origin (JSON-ready)."""
+        return {
+            "name": span.name,
+            "start": None if span.start is None else span.start - origin,
+            "end": None if span.end is None else span.end - origin,
+            "duration": span.duration,
+            "parent": span.parent,
+        }
+
+    @staticmethod
+    def _hop_walo(spans: Sequence[Span]) -> dict:
+        """The W/A/L/O identity for one hop's span list (root first)."""
+        if not spans:
+            return {"wall_seconds": 0.0, "assembly_seconds": 0.0,
+                    "solve_seconds": 0.0, "overhead_seconds": 0.0}
+        wall = spans[0].duration
+        assembly = sum(span.duration for span in spans[1:]
+                       if span.name.startswith("assembly"))
+        solve = sum(span.duration for span in spans[1:]
+                    if span.name == SOLVE_STAGE)
+        return {
+            "wall_seconds": wall,
+            "assembly_seconds": assembly,
+            "solve_seconds": solve,
+            "overhead_seconds": wall - solve,
+        }
+
+    def render_stitched(self, trace_id: Optional[str] = None, *,
+                        width: int = 78) -> str:
+        """ASCII Gantt of one stitched trace, one row per hop."""
+        document = self.stitched_trace(trace_id)
+        if document is None:
+            return ("no stitched trace available yet; "
+                    "send some sampled traffic first")
+        makespan = max(
+            [0.0] + [span["end"] for hop in document["hops"]
+                     for span in hop["spans"] if span["end"] is not None]
+        )
+        rows = []
+        for hop in document["hops"]:
+            segments = [
+                GanttSegment(start=span["start"], end=span["end"],
+                             kind=span["name"], label=span["name"])
+                for span in hop["spans"][1:]
+                if span["end"] is not None and span["end"] > span["start"]
+            ]
+            # The worker hop has no root span of its own: every span is
+            # a shard segment.
+            if hop["hop"].startswith("workers"):
+                segments = [
+                    GanttSegment(start=span["start"], end=span["end"],
+                                 kind=span["name"], label=span["name"])
+                    for span in hop["spans"]
+                    if span["end"] is not None and span["end"] > span["start"]
+                ]
+            rows.append(GanttRow(resource=hop["hop"], segments=segments))
+        chart = GanttTrace(
+            name=f"trace {document['trace_id'][:12]} ({document['outcome']})",
+            rows=rows, makespan=makespan,
+        )
+        return render_ascii(chart, width=width, glyphs=CLUSTER_GLYPHS,
+                            titles=CLUSTER_TITLES)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -576,6 +851,9 @@ class ClusterRouter:
         """The three-floor cluster ``/metrics`` document."""
         router = dict(self.metrics.snapshot())
         router["health"] = self.health.snapshot()
+        router["slo"] = self.slo.snapshot()
+        router["stages"] = self.tracer.stages_snapshot()
+        router["stages_hist_ms"] = self.tracer.stage_histograms.snapshot()
         placements = self.journal.list()
         router["placements"] = {
             "total": len(placements),

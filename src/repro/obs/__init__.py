@@ -7,6 +7,12 @@ small toolkit to explain where a request's time went:
   and the reduction to the paper's W/A/L/O stage vocabulary;
 * :mod:`repro.obs.ids` — request-ID generation and validation
   (the ``X-Repro-Request-Id`` currency);
+* :mod:`repro.obs.context` — cross-process trace context
+  (the ``X-Repro-Trace`` currency) and remote-span clock stitching;
+* :mod:`repro.obs.histogram` — log-bucketed latency histograms with
+  per-bucket exemplar trace ids;
+* :mod:`repro.obs.slo` — availability/latency objectives with
+  multi-window burn-rate tracking;
 * :mod:`repro.obs.logging` — structured one-line-per-event logging
   (JSON or key=value text);
 * :mod:`repro.obs.prometheus` — text-format exposition of the nested
@@ -17,18 +23,41 @@ pipeline simulator, the CLI, and the service can all share it without
 cycles.
 """
 
+from repro.obs.context import (
+    TRACE_HEADER,
+    TraceContext,
+    anchor_remote_spans,
+    maybe_parse_trace_header,
+    new_span_id,
+    new_trace_context,
+    parse_trace_header,
+    validate_span_id,
+)
+from repro.obs.histogram import LatencyHistogram, StageHistograms
 from repro.obs.ids import REQUEST_ID_HEADER, new_request_id, validate_request_id
 from repro.obs.logging import StructuredLogger
 from repro.obs.prometheus import render_prometheus
+from repro.obs.slo import SLOTracker
 from repro.obs.trace import Span, Trace, walo_summary
 
 __all__ = [
+    "LatencyHistogram",
     "REQUEST_ID_HEADER",
+    "SLOTracker",
     "Span",
+    "StageHistograms",
     "StructuredLogger",
+    "TRACE_HEADER",
     "Trace",
+    "TraceContext",
+    "anchor_remote_spans",
+    "maybe_parse_trace_header",
     "new_request_id",
+    "new_span_id",
+    "new_trace_context",
+    "parse_trace_header",
     "render_prometheus",
     "validate_request_id",
+    "validate_span_id",
     "walo_summary",
 ]

@@ -1,0 +1,230 @@
+"""Service-level objectives with multi-window burn-rate tracking.
+
+An SLO turns raw counters into a judgment: "99% of requests complete,
+and complete within 250 ms".  The *burn rate* is how fast the error
+budget is being spent — ``error_rate / (1 - target)`` — so a burn
+rate of 1.0 exactly exhausts the budget over the objective period,
+and a burn rate of 14 means a page-worthy incident.  Tracking the
+rate over *multiple* windows (5 m / 30 m / 1 h / 6 h by default) is
+the standard multi-window multi-burn-rate alerting setup: the short
+window catches a sudden outage fast, the long window catches a slow
+bleed, and requiring both to fire suppresses flappy alerts.
+
+Two dimensions are tracked per request outcome:
+
+* **availability** — did the request complete successfully at all;
+* **latency** — did it complete *within* the latency objective
+  (a failed request also misses the latency objective).
+
+The tracker buckets events into coarse time cells (~10 s) on an
+injectable clock, so memory is O(windows) and tests can drive time
+by hand.  Snapshots are JSON-ready and flow into both the ``/metrics``
+JSON document and the Prometheus exposition (as ``slo_*`` gauges and
+counters) on replica and router alike.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ServeError
+
+#: Default burn-rate windows in seconds: 5 m, 30 m, 1 h, 6 h.
+DEFAULT_WINDOWS = (300, 1800, 3600, 21600)
+
+#: Width of one accounting cell in seconds.  Coarse on purpose: burn
+#: rates are alerting signals, not billing records.
+BUCKET_SECONDS = 10.0
+
+#: The two tracked objective dimensions.
+DIMENSIONS = ("availability", "latency")
+
+
+def _window_label(seconds: int) -> str:
+    """``300 -> "5m"``, ``3600 -> "1h"`` — human labels for snapshots."""
+    if seconds % 3600 == 0:
+        return f"{seconds // 3600}h"
+    if seconds % 60 == 0:
+        return f"{seconds // 60}m"
+    return f"{seconds}s"
+
+
+class SLOTracker:
+    """Multi-window burn-rate accounting for one service.
+
+    Parameters
+    ----------
+    latency_ms:
+        The latency objective: a request is "good" on the latency
+        dimension when it completes within this many milliseconds.
+    target:
+        The objective target in (0, 1), e.g. ``0.99`` — shared by both
+        dimensions (separate targets have never earned their keep).
+    windows:
+        Burn-rate window lengths in seconds, ascending.
+    clock:
+        Monotonic-enough time source; injectable for tests.
+    """
+
+    def __init__(self, latency_ms: float = 250.0, target: float = 0.99,
+                 windows: Sequence[int] = DEFAULT_WINDOWS, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        latency_ms = float(latency_ms)
+        if latency_ms <= 0.0:
+            raise ServeError("SLO latency objective must be positive")
+        target = float(target)
+        if not 0.0 < target < 1.0:
+            raise ServeError("SLO target must be strictly between 0 and 1")
+        windows = tuple(int(window) for window in windows)
+        if not windows or any(window <= 0 for window in windows):
+            raise ServeError("SLO windows must be positive")
+        if list(windows) != sorted(set(windows)):
+            raise ServeError("SLO windows must be ascending and unique")
+        self.latency_ms = latency_ms
+        self.target = target
+        self.windows = windows
+        self._clock = clock
+        self._lock = threading.Lock()
+        # cell index -> {dimension: [good, bad]}.  Cells older than the
+        # longest window are pruned on write.
+        self._cells: Dict[int, Dict[str, list]] = {}
+        self._totals = {dimension: [0, 0] for dimension in DIMENSIONS}
+
+    def record(self, ok: bool, latency_ms: Optional[float] = None) -> None:
+        """Fold one finished request into the accounting.
+
+        *ok* is the availability verdict; *latency_ms* the end-to-end
+        latency (``None`` when unknown, which counts as a latency miss
+        unless the request failed anyway — an unmeasured success is a
+        measurement bug worth surfacing in the burn rate, not hiding).
+        """
+        latency_good = bool(ok) and latency_ms is not None \
+            and float(latency_ms) <= self.latency_ms
+        now = self._clock()
+        cell = int(now // BUCKET_SECONDS)
+        horizon = cell - int(self.windows[-1] // BUCKET_SECONDS) - 1
+        with self._lock:
+            slot = self._cells.get(cell)
+            if slot is None:
+                slot = self._cells[cell] = {
+                    dimension: [0, 0] for dimension in DIMENSIONS
+                }
+                for stale in [key for key in self._cells if key < horizon]:
+                    del self._cells[stale]
+            for dimension, good in (("availability", bool(ok)),
+                                    ("latency", latency_good)):
+                index = 0 if good else 1
+                slot[dimension][index] += 1
+                self._totals[dimension][index] += 1
+
+    def _window_counts(self, window_seconds: int,
+                       now: float) -> Dict[str, Tuple[int, int]]:
+        oldest = int(now // BUCKET_SECONDS) \
+            - int(window_seconds // BUCKET_SECONDS)
+        counts = {dimension: [0, 0] for dimension in DIMENSIONS}
+        for cell, slot in self._cells.items():
+            if cell < oldest:
+                continue
+            for dimension in DIMENSIONS:
+                counts[dimension][0] += slot[dimension][0]
+                counts[dimension][1] += slot[dimension][1]
+        return {dimension: (good, bad)
+                for dimension, (good, bad) in counts.items()}
+
+    def burn_rate(self, error_rate: float) -> float:
+        """``error_rate`` scaled by the error budget ``1 - target``."""
+        return error_rate / (1.0 - self.target)
+
+    def snapshot(self) -> dict:
+        """JSON-ready objectives + lifetime totals + per-window rates."""
+        now = self._clock()
+        with self._lock:
+            totals = {dimension: tuple(self._totals[dimension])
+                      for dimension in DIMENSIONS}
+            per_window = {window: self._window_counts(window, now)
+                          for window in self.windows}
+        document = {
+            "objectives": {
+                "latency_ms": self.latency_ms,
+                "target": self.target,
+            },
+            "windows": {},
+        }
+        for dimension in DIMENSIONS:
+            good, bad = totals[dimension]
+            document[f"{dimension}_good"] = good
+            document[f"{dimension}_bad"] = bad
+        for window in self.windows:
+            label = _window_label(window)
+            entry = {}
+            for dimension in DIMENSIONS:
+                good, bad = per_window[window][dimension]
+                total = good + bad
+                error_rate = (bad / total) if total else 0.0
+                entry[dimension] = {
+                    "good": good,
+                    "bad": bad,
+                    "error_rate": round(error_rate, 6),
+                    "burn_rate": round(self.burn_rate(error_rate), 6),
+                }
+            document["windows"][label] = entry
+        return document
+
+
+def is_slo_snapshot(value) -> bool:
+    """True when *value* looks like an :meth:`SLOTracker.snapshot`."""
+    return (isinstance(value, dict)
+            and isinstance(value.get("objectives"), dict)
+            and isinstance(value.get("windows"), dict))
+
+
+def merge_slo_snapshots(target: dict, source: dict) -> dict:
+    """Merge *source* into *target* in place for cluster aggregation.
+
+    Good/bad counts sum exactly; per-window ``error_rate`` and
+    ``burn_rate`` are *recomputed from the merged counts* (summing
+    rates would be meaningless).  Objectives keep the stricter value —
+    the cluster meets an SLO only if configured at least as tight
+    everywhere.
+    """
+    if not target:
+        target.update(_copy_slo(source))
+        return target
+    ours, theirs = target["objectives"], source.get("objectives", {})
+    if "latency_ms" in theirs:
+        ours["latency_ms"] = min(ours["latency_ms"], theirs["latency_ms"])
+    if "target" in theirs:
+        ours["target"] = max(ours["target"], theirs["target"])
+    for dimension in DIMENSIONS:
+        for suffix in ("good", "bad"):
+            key = f"{dimension}_{suffix}"
+            target[key] = target.get(key, 0) + source.get(key, 0)
+    budget = 1.0 - ours["target"]
+    for label, entry in source.get("windows", {}).items():
+        mine = target["windows"].setdefault(label, {})
+        for dimension, counts in entry.items():
+            slot = mine.setdefault(dimension, {"good": 0, "bad": 0})
+            slot["good"] = slot.get("good", 0) + counts.get("good", 0)
+            slot["bad"] = slot.get("bad", 0) + counts.get("bad", 0)
+    for entry in target["windows"].values():
+        for slot in entry.values():
+            total = slot.get("good", 0) + slot.get("bad", 0)
+            error_rate = (slot.get("bad", 0) / total) if total else 0.0
+            slot["error_rate"] = round(error_rate, 6)
+            slot["burn_rate"] = round(
+                error_rate / budget if budget > 0.0 else 0.0, 6
+            )
+    return target
+
+
+def _copy_slo(snapshot: dict) -> dict:
+    copied = {key: value for key, value in snapshot.items()
+              if key not in ("objectives", "windows")}
+    copied["objectives"] = dict(snapshot.get("objectives", {}))
+    copied["windows"] = {
+        label: {dimension: dict(slot) for dimension, slot in entry.items()}
+        for label, entry in snapshot.get("windows", {}).items()
+    }
+    return copied

@@ -48,6 +48,7 @@ from typing import List, Optional, Sequence, Union
 
 from repro.core.api import AnalyzeRequest, canonical_json
 from repro.errors import DeadlineExceededError, OverloadedError, ServeError
+from repro.obs.context import TRACE_HEADER, TraceContext
 from repro.obs.ids import REQUEST_ID_HEADER, coerce_request_id
 
 RequestLike = Union[AnalyzeRequest, dict]
@@ -109,31 +110,41 @@ class ServeClient:
 
     def analyze(self, airfoil: Union[str, RequestLike], alpha_degrees: float = 0.0,
                 *, deadline_ms: Optional[float] = None,
-                request_id: Optional[str] = None, **kwargs) -> dict:
+                request_id: Optional[str] = None,
+                trace_context: Optional[TraceContext] = None,
+                **kwargs) -> dict:
         """``POST /analyze``; accepts a designation plus keywords, an
         :class:`AnalyzeRequest`, or a raw wire-format dict."""
         return json.loads(self.analyze_raw(airfoil, alpha_degrees,
                                            deadline_ms=deadline_ms,
-                                           request_id=request_id, **kwargs))
+                                           request_id=request_id,
+                                           trace_context=trace_context,
+                                           **kwargs))
 
     def analyze_raw(self, airfoil: Union[str, RequestLike],
                     alpha_degrees: float = 0.0, *,
                     deadline_ms: Optional[float] = None,
-                    request_id: Optional[str] = None, **kwargs) -> str:
+                    request_id: Optional[str] = None,
+                    trace_context: Optional[TraceContext] = None,
+                    **kwargs) -> str:
         """Like :meth:`analyze` but returns the raw (canonical) body —
         the bytes the byte-identity contract with the CLI is about.
 
         ``request_id`` (validated client-side, generated when omitted)
         is sent as the ``X-Repro-Request-Id`` header; the server's echo
-        lands in :attr:`last_request_id`.
+        lands in :attr:`last_request_id`.  ``trace_context`` (a
+        :class:`~repro.obs.context.TraceContext`) opens or continues a
+        distributed trace via the ``X-Repro-Trace`` header.
         """
         payload = _as_payload(airfoil, alpha_degrees, kwargs)
         return self._post("/analyze", payload, deadline_ms=deadline_ms,
-                          request_id=request_id)
+                          request_id=request_id,
+                          trace_context=trace_context)
 
     def analyze_batch(self, requests: Sequence[RequestLike], *,
                       deadline_ms: Optional[float] = None,
-                      request_id: Optional[str] = None) -> List[dict]:
+                      request_id: Optional[str] = None,
+                      trace_context: Optional[TraceContext] = None) -> List[dict]:
         """``POST /analyze_batch``; one record or error object per item.
 
         ``deadline_ms`` applies to every item; an item dict carrying
@@ -144,7 +155,8 @@ class ServeClient:
                                 for request in requests]}
         return json.loads(self._post("/analyze_batch", payload,
                                      deadline_ms=deadline_ms,
-                                     request_id=request_id))["results"]
+                                     request_id=request_id,
+                                     trace_context=trace_context))["results"]
 
     def metrics(self) -> dict:
         """``GET /metrics``."""
@@ -162,6 +174,12 @@ class ServeClient:
         """
         raw = self._get(f"/debug/trace?n={int(n)}&format={fmt}")
         return json.loads(raw) if fmt == "json" else raw
+
+    def debug_trace_by_id(self, trace_id: str) -> dict:
+        """``GET /debug/trace/<trace_id>`` — one retained span tree
+        (``{"trace": ..., "monotonic_now": ...}``); raises
+        :class:`~repro.errors.ServeError` when the id is unknown."""
+        return json.loads(self._get(f"/debug/trace/{trace_id}"))
 
     def healthz(self) -> dict:
         """``GET /healthz``."""
@@ -245,12 +263,15 @@ class ServeClient:
 
     def _post(self, path: str, payload: dict, *,
               deadline_ms: Optional[float] = None,
-              request_id: Optional[str] = None) -> str:
+              request_id: Optional[str] = None,
+              trace_context: Optional[TraceContext] = None) -> str:
         headers = {"Content-Type": "application/json"}
         if deadline_ms is not None:
             headers[DEADLINE_HEADER] = repr(float(deadline_ms))
         if request_id is not None:
             headers[REQUEST_ID_HEADER] = coerce_request_id(request_id)
+        if trace_context is not None:
+            headers[TRACE_HEADER] = trace_context.header_value()
         body = canonical_json(payload).encode("utf-8")
         attempt = 0
         while True:

@@ -14,13 +14,19 @@ Endpoints:
   ``/metrics/prometheus`` alias return text exposition format instead.
 * ``GET /debug/trace?n=K`` — ASCII Gantt of the last ``K`` completed
   request traces (``?format=json`` for span trees).
+* ``GET /debug/trace/<trace_id>`` — one retained span tree by id (the
+  lookup the cluster router stitches distributed traces from).
 
 Every request gets a request ID — accepted via ``X-Repro-Request-Id``
 or generated — which is echoed in the ``X-Repro-Request-Id`` response
 header, in error bodies, and in the ``/analyze_batch`` wrapper.  The
 *successful* ``/analyze`` body never carries it: that body is the
 canonical analysis record, and staying byte-identical to the CLI's
-``--json`` output (and to the untraced path) is a contract.
+``--json`` output (and to the untraced path) is a contract.  An
+``X-Repro-Trace`` header (see :mod:`repro.obs.context`) propagates a
+distributed trace: its head-based sampling decision overrides the
+local sampler and the span tree is recorded under the propagated
+trace id — never changing a single response byte.
 
 Requests may carry a deadline: an ``X-Repro-Deadline-Ms`` header, or a
 ``deadline_ms`` field in the body (most specific wins — the body field
@@ -42,6 +48,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -54,6 +61,7 @@ from repro.errors import (
     ReproError,
     ServeError,
 )
+from repro.obs.context import TRACE_HEADER, maybe_parse_trace_header
 from repro.obs.ids import REQUEST_ID_HEADER, coerce_request_id
 from repro.obs.prometheus import render_prometheus
 from repro.serve.service import AnalysisService
@@ -163,6 +171,8 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             self._handle_metrics({"format": ["prometheus"]})
         elif route == "/debug/trace":
             self._handle_debug_trace(query)
+        elif route.startswith("/debug/trace/"):
+            self._handle_debug_trace_lookup(route)
         elif route == "/jobs" or route.startswith("/jobs/"):
             self._handle_jobs_get(route, query)
         else:
@@ -222,6 +232,25 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
                          "(expected 'ascii' or 'json')",
                 "type": "ServeError",
             })
+
+    def _handle_debug_trace_lookup(self, route: str) -> None:
+        """``GET /debug/trace/<trace_id>`` — one retained span tree.
+
+        The cluster router pulls a replica's half of a distributed
+        trace through this route and stitches it into the cluster-wide
+        tree; ``monotonic_now`` lets the puller re-anchor the trace's
+        monotonic timestamps against its own clock.
+        """
+        trace_id = route[len("/debug/trace/"):]
+        trace = self.server.service.find_trace(trace_id)
+        if trace is None:
+            self._send_json(404, {
+                "error": f"no retained trace with id {trace_id!r}",
+                "type": "TraceNotFound",
+            })
+            return
+        self._send_json(200, {"trace": trace.to_dict(),
+                              "monotonic_now": time.monotonic()})
 
     # ------------------------------------------------------------------
     # Jobs routes
@@ -345,6 +374,10 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
         """The validated ``X-Repro-Request-Id`` header, or a fresh ID."""
         return coerce_request_id(self.headers.get(REQUEST_ID_HEADER))
 
+    def _header_trace_context(self):
+        """The validated ``X-Repro-Trace`` header, or ``None``."""
+        return maybe_parse_trace_header(self.headers.get(TRACE_HEADER))
+
     def _handle_analyze(self) -> None:
         payload = self._read_json()
         if payload is None:
@@ -353,12 +386,14 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
         request_id = None
         try:
             request_id = self._header_request_id()
+            trace_context = self._header_trace_context()
             payload, deadline_ms = extract_deadline_ms(payload)
             if deadline_ms is None:
                 deadline_ms = self._header_deadline_ms()
             result = service.analyze(payload, timeout=self.server.request_timeout,
                                      deadline_ms=deadline_ms,
-                                     request_id=request_id)
+                                     request_id=request_id,
+                                     trace_context=trace_context)
         except DeadlineExceededError as error:
             self._send_json(504, _error_body(error, request_id),
                             request_id=request_id)
@@ -391,6 +426,7 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
         service = self.server.service
         try:
             request_id = self._header_request_id()
+            trace_context = self._header_trace_context()
             header_deadline = self._header_deadline_ms()
         except ServeError as error:
             self._send_json(400, _error_body(error))
@@ -404,7 +440,7 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             try:
                 pendings.append(
                     self._submit_item(service, item, header_deadline,
-                                      request_id))
+                                      request_id, trace_context))
             except ReproError as error:
                 pendings.append(error)
         results = []
@@ -422,7 +458,7 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
 
     @staticmethod
     def _submit_item(service, item, header_deadline: Optional[float],
-                     request_id: str):
+                     request_id: str, trace_context=None):
         """Submit one batch item; a per-item ``deadline_ms`` field
         overrides the header deadline."""
         if header_deadline is not None and isinstance(item, dict):
@@ -430,7 +466,8 @@ class _AnalysisHandler(BaseHTTPRequestHandler):
             if item_deadline is not None:
                 header_deadline = item_deadline
         return service.submit(item, deadline_ms=header_deadline,
-                              request_id=request_id)
+                              request_id=request_id,
+                              trace_context=trace_context)
 
     # ------------------------------------------------------------------
     # Plumbing

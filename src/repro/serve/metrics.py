@@ -15,6 +15,8 @@ import time
 from collections import Counter, deque
 from typing import Optional
 
+from repro.obs.histogram import LatencyHistogram
+
 
 def percentile(sorted_values, fraction: float) -> Optional[float]:
     """Nearest-rank percentile of an ascending sequence (None if empty).
@@ -61,6 +63,9 @@ class ServiceMetrics:
         self._batch_sizes: Counter = Counter()
         self._stack_sizes: Counter = Counter()
         self._latencies: deque = deque(maxlen=int(latency_window))
+        # Log-bucketed tail shape with exemplar trace ids — the point
+        # quantiles above answer "how slow", this answers "show me one".
+        self.latency_histogram = LatencyHistogram()
 
     # ------------------------------------------------------------------
     # Recording
@@ -76,17 +81,21 @@ class ServiceMetrics:
         with self._lock:
             self._shed += 1
 
-    def record_completed(self, latency_seconds: float) -> None:
+    def record_completed(self, latency_seconds: float,
+                         trace_id: Optional[str] = None) -> None:
         """One request resolved successfully."""
         with self._lock:
             self._completed += 1
             self._latencies.append(float(latency_seconds))
+        self.latency_histogram.observe(1e3 * float(latency_seconds), trace_id)
 
-    def record_failed(self, latency_seconds: float) -> None:
+    def record_failed(self, latency_seconds: float,
+                      trace_id: Optional[str] = None) -> None:
         """One request resolved with an error."""
         with self._lock:
             self._failed += 1
             self._latencies.append(float(latency_seconds))
+        self.latency_histogram.observe(1e3 * float(latency_seconds), trace_id)
 
     def record_expired(self) -> None:
         """One admitted request dropped because its deadline passed.
@@ -199,6 +208,7 @@ class ServiceMetrics:
                     "p99": _ms(percentile(latencies, 0.99)),
                     "max": _ms(latencies[-1] if latencies else None),
                 },
+                "latency_hist_ms": self.latency_histogram.snapshot(),
             }
         if cache_stats is not None:
             snapshot["cache"] = dict(cache_stats)

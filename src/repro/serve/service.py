@@ -42,8 +42,10 @@ from repro.core.api import (
     validate_deadline_ms,
 )
 from repro.errors import DeadlineExceededError, ServeError
+from repro.obs.context import TraceContext
 from repro.obs.ids import coerce_request_id
 from repro.obs.logging import StructuredLogger
+from repro.obs.slo import SLOTracker
 from repro.obs.trace import Trace, walo_summary
 from repro.serve.batcher import BatchPolicy, suggested_policy
 from repro.serve.cache import ResultCache
@@ -143,6 +145,12 @@ class AnalysisService:
         directory resume immediately.  See ``docs/jobs.md``.
     job_slots:
         Concurrent job slots when *jobs_dir* is set (default 1).
+    slo_latency_ms, slo_target:
+        The service-level objectives tracked by the ``slo`` section of
+        ``/metrics``: a request is "good" when it completes within
+        ``slo_latency_ms`` milliseconds, and the burn rate measures the
+        error budget ``1 - slo_target`` being spent.  See
+        ``docs/observability.md``.
     """
 
     def __init__(self, *, max_batch: Optional[int] = None,
@@ -156,7 +164,9 @@ class AnalysisService:
                  exec_procs: Optional[int] = None,
                  assembly_kernel: Optional[str] = None,
                  jobs_dir: Optional[str] = None,
-                 job_slots: int = 1) -> None:
+                 job_slots: int = 1,
+                 slo_latency_ms: float = 250.0,
+                 slo_target: float = 0.99) -> None:
         self.policy: BatchPolicy = suggested_policy(
             n_panels_hint, max_batch=max_batch, max_wait=max_wait
         )
@@ -167,6 +177,7 @@ class AnalysisService:
         self.cache = ResultCache(cache_size)
         self.metrics = ServiceMetrics()
         self.tracer = Tracer(sample_rate=trace_sample, ring_size=trace_ring)
+        self.slo = SLOTracker(latency_ms=slo_latency_ms, target=slo_target)
         self.logger = logger if logger is not None else StructuredLogger("off")
         from repro.parallel import make_backend, resolve_backend
 
@@ -215,7 +226,8 @@ class AnalysisService:
 
     def submit(self, request: RequestLike, *,
                deadline_ms: Optional[float] = None,
-               request_id: Optional[str] = None) -> PendingResult:
+               request_id: Optional[str] = None,
+               trace_context: Optional[TraceContext] = None) -> PendingResult:
         """Admit one request; returns the waiter for its response dict.
 
         ``deadline_ms`` is the relative budget this request may spend
@@ -224,7 +236,13 @@ class AnalysisService:
         the service's ``default_deadline_ms``).  ``request_id`` is the
         caller-supplied trace identity (validated); one is generated
         when absent and exposed on the returned waiter's
-        ``request_id`` attribute either way.  Raises
+        ``request_id`` attribute either way.  ``trace_context`` is a
+        propagated :class:`~repro.obs.context.TraceContext` from an
+        upstream hop (the cluster router, or a client opening a
+        distributed trace): its head-based sampling decision overrides
+        the local stride sampler, and the span tree is recorded under
+        the *propagated* trace id so the upstream hop can pull it back
+        by id and stitch it into the cluster-wide tree.  Raises
         :class:`ServeError` for malformed requests or after
         :meth:`close`, and :class:`~repro.errors.OverloadedError` when
         admission control sheds the request.
@@ -246,7 +264,11 @@ class AnalysisService:
             deadline_ms = self.default_deadline_ms
         else:
             deadline_ms = validate_deadline_ms(deadline_ms)
-        trace = self.tracer.start(request_id)
+        if trace_context is not None:
+            trace = self.tracer.start(trace_context.trace_id,
+                                      sampled=trace_context.sampled)
+        else:
+            trace = self.tracer.start(request_id)
         key = request.cache_key()
         pending = PendingResult()
         pending.request_id = request_id
@@ -255,7 +277,11 @@ class AnalysisService:
         if cached is not None:
             now = time.monotonic()
             self.metrics.record_admitted()
-            self.metrics.record_completed(now - lookup_started)
+            self.metrics.record_completed(
+                now - lookup_started,
+                trace.trace_id if trace is not None else None,
+            )
+            self.slo.record(True, 1e3 * (now - lookup_started))
             pending.resolve(cached)
             if trace is not None:
                 trace.add_stage(STAGE_CACHE_LOOKUP, lookup_started, now)
@@ -276,6 +302,7 @@ class AnalysisService:
             self._pool.submit(job)
         except ServeError:
             self.metrics.record_shed()
+            self.slo.record(False)
             if trace is not None:
                 self.tracer.finish(trace, "shed")
             self._log_request(request_id, "shed", trace=trace)
@@ -305,16 +332,19 @@ class AnalysisService:
     def analyze(self, request: RequestLike, *,
                 timeout: Optional[float] = 60.0,
                 deadline_ms: Optional[float] = None,
-                request_id: Optional[str] = None) -> dict:
+                request_id: Optional[str] = None,
+                trace_context: Optional[TraceContext] = None) -> dict:
         """Submit and block for the wire-format response dict."""
         return self._await(self.submit(request, deadline_ms=deadline_ms,
-                                       request_id=request_id),
+                                       request_id=request_id,
+                                       trace_context=trace_context),
                            timeout)
 
     def analyze_batch(self, requests: Sequence[RequestLike], *,
                       timeout: Optional[float] = 60.0,
                       deadline_ms: Optional[float] = None,
-                      request_id: Optional[str] = None) -> List[dict]:
+                      request_id: Optional[str] = None,
+                      trace_context: Optional[TraceContext] = None) -> List[dict]:
         """Submit many requests together and block for all responses.
 
         Submitting before waiting lets the batcher coalesce the whole
@@ -322,7 +352,8 @@ class AnalysisService:
         ``request_id`` tags every item of the batch in traces and logs.
         """
         pendings = [self.submit(request, deadline_ms=deadline_ms,
-                                request_id=request_id)
+                                request_id=request_id,
+                                trace_context=trace_context)
                     for request in requests]
         return [self._await(pending, timeout) for pending in pendings]
 
@@ -360,6 +391,7 @@ class AnalysisService:
             ))
             if delivered:
                 self.metrics.record_expired()
+                self.slo.record(False)
                 self._finish_job(job, "expired")
             else:
                 self.metrics.record_cancelled()
@@ -461,7 +493,11 @@ class AnalysisService:
     def _complete_job(self, job: _Job, payload: dict, now: float) -> None:
         """Deliver a result; a detached waiter counts as cancelled."""
         if job.pending.resolve(payload):
-            self.metrics.record_completed(now - job.enqueued)
+            latency = now - job.enqueued
+            self.metrics.record_completed(
+                latency, job.trace.trace_id if job.trace is not None else None
+            )
+            self.slo.record(True, 1e3 * latency)
             self._finish_job(job, "completed")
         else:
             self.metrics.record_cancelled()
@@ -470,7 +506,11 @@ class AnalysisService:
     def _fail_job(self, job: _Job, error: BaseException, now: float) -> None:
         """Deliver a failure; a detached waiter counts as cancelled."""
         if job.pending.fail(error):
-            self.metrics.record_failed(now - job.enqueued)
+            latency = now - job.enqueued
+            self.metrics.record_failed(
+                latency, job.trace.trace_id if job.trace is not None else None
+            )
+            self.slo.record(False, 1e3 * latency)
             self._finish_job(job, "failed", error=error)
         else:
             self.metrics.record_cancelled()
@@ -523,6 +563,8 @@ class AnalysisService:
             queue_depth=self.queue_depth, cache_stats=self.cache.stats()
         )
         snapshot["stages"] = self.tracer.stages_snapshot()
+        snapshot["stages_hist_ms"] = self.tracer.stage_histograms.snapshot()
+        snapshot["slo"] = self.slo.snapshot()
         snapshot["exec_backend"] = self._exec_backend.stats()
         snapshot["assembly_kernel"] = self.assembly_kernel
         if self.jobs is not None:
@@ -532,6 +574,12 @@ class AnalysisService:
     def recent_traces(self, n: Optional[int] = None) -> List[Trace]:
         """The most recent completed request traces, oldest first."""
         return self.tracer.recent(n)
+
+    def find_trace(self, trace_id: str) -> Optional[Trace]:
+        """The most recent retained trace with *trace_id*, or None
+        (the ``GET /debug/trace/<trace_id>`` lookup the cluster router
+        stitches from)."""
+        return self.tracer.find(trace_id)
 
     def render_trace(self, n: int = 16, *, width: int = 78) -> str:
         """ASCII Gantt of the last *n* completed requests

@@ -26,6 +26,7 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ServeError
+from repro.obs.histogram import StageHistograms
 from repro.obs.trace import Trace, walo_summary
 from repro.pipeline.trace import GanttRow, GanttSegment, GanttTrace, render_ascii
 
@@ -113,13 +114,23 @@ class Tracer:
         self._evicted = 0
         self._wall = 0.0
         self._stage_seconds: Dict[str, float] = {}
+        self.stage_histograms = StageHistograms()
 
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
 
-    def start(self, trace_id: str) -> Optional[Trace]:
-        """A new :class:`Trace` when this request is sampled, else None."""
+    def start(self, trace_id: str,
+              sampled: Optional[bool] = None) -> Optional[Trace]:
+        """A new :class:`Trace` when this request is sampled, else None.
+
+        *sampled* overrides the local stride decision: a propagated
+        trace context's head-based verdict (True forces a trace, False
+        forces none) without consuming the stride accumulator, so
+        forwarded traffic does not perturb local sampling determinism.
+        """
+        if sampled is not None:
+            return Trace(trace_id) if sampled else None
         if self.sample_rate <= 0.0:
             return None
         with self._lock:
@@ -148,6 +159,9 @@ class Tracer:
                 if len(self._ring) == self.ring_size:
                     self._evicted += 1
                 self._ring.append(trace)
+        for name, seconds in stages.items():
+            self.stage_histograms.observe(name, seconds * 1000.0,
+                                          trace.trace_id)
         return trace
 
     # ------------------------------------------------------------------
@@ -161,6 +175,14 @@ class Tracer:
         if n is not None and n >= 0:
             traces = traces[-n:] if n else []
         return traces
+
+    def find(self, trace_id: str) -> Optional[Trace]:
+        """The most recent retained trace with *trace_id*, or None."""
+        with self._lock:
+            for trace in reversed(self._ring):
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
 
     def stages_snapshot(self) -> dict:
         """The live W/A/L/O aggregate for the ``/metrics`` document.

@@ -200,20 +200,26 @@ class TestStructuredLogger:
 
 def parse_prometheus(text):
     """Parse exposition text into {(name, labels) -> value}; every line
-    must be a comment or a well-formed sample."""
+    must be a comment or a well-formed sample (optionally carrying an
+    OpenMetrics ``# {...}`` exemplar suffix)."""
     samples = {}
     types = {}
+    exemplars = {}
     for line in text.splitlines():
         assert line.strip() == line and line, f"ragged line: {line!r}"
         if line.startswith("# HELP "):
             continue
         if line.startswith("# TYPE "):
             _, _, name, mtype = line.split(" ", 3)
-            assert mtype in {"counter", "gauge", "summary"}, line
+            assert mtype in {"counter", "gauge", "summary", "histogram"}, line
             assert name not in types, f"duplicate TYPE for {name}"
             types[name] = mtype
             continue
         assert not line.startswith("#"), f"unknown comment: {line!r}"
+        exemplar = None
+        if " # {" in line:
+            line, _, exemplar = line.partition(" # ")
+            assert exemplar.startswith("{"), exemplar
         metric, value = line.rsplit(" ", 1)
         float(value)  # every sample value must be numeric
         if "{" in metric:
@@ -224,7 +230,9 @@ def parse_prometheus(text):
         key = (name, labels)
         assert key not in samples, f"duplicate sample: {key}"
         samples[key] = float(value)
-    return samples, types
+        if exemplar is not None:
+            exemplars[key] = exemplar
+    return samples, types, exemplars
 
 
 SNAPSHOT = {
@@ -249,11 +257,11 @@ SNAPSHOT = {
 
 class TestPrometheus:
     def test_every_line_parses_with_zero_duplicates(self):
-        samples, types = parse_prometheus(render_prometheus(SNAPSHOT))
+        samples, types, _ = parse_prometheus(render_prometheus(SNAPSHOT))
         assert samples and types
 
     def test_nested_paths_flatten_with_prefix(self):
-        samples, types = parse_prometheus(render_prometheus(SNAPSHOT))
+        samples, types, _ = parse_prometheus(render_prometheus(SNAPSHOT))
         assert samples[("repro_requests_admitted", "")] == 10
         assert types["repro_requests_admitted"] == "counter"
         assert samples[("repro_queue_depth", "")] == 2
@@ -261,12 +269,12 @@ class TestPrometheus:
         assert samples[("repro_stages_overhead_seconds", "")] == 0.3
 
     def test_histograms_become_bucket_labelled_families(self):
-        samples, _ = parse_prometheus(render_prometheus(SNAPSHOT))
+        samples, _, _ = parse_prometheus(render_prometheus(SNAPSHOT))
         assert samples[("repro_batching_batch_size", 'bucket="8"')] == 1
         assert samples[("repro_batching_batch_size", 'bucket="32"')] == 1
 
     def test_latency_becomes_a_quantile_summary(self):
-        samples, types = parse_prometheus(render_prometheus(SNAPSHOT))
+        samples, types, _ = parse_prometheus(render_prometheus(SNAPSHOT))
         assert types["repro_latency_ms"] == "summary"
         assert samples[("repro_latency_ms", 'quantile="0.5"')] == 3.0
         assert samples[("repro_latency_ms", 'quantile="0.9"')] == 8.0
@@ -276,7 +284,7 @@ class TestPrometheus:
 
     def test_none_and_strings_are_skipped_not_emitted(self):
         text = render_prometheus({"a": None, "b": "string", "c": 1})
-        samples, _ = parse_prometheus(text)
+        samples, _, _ = parse_prometheus(text)
         assert list(samples) == [("repro_c", "")]
 
     def test_duplicate_samples_raise_instead_of_corrupting(self):

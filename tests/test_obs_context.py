@@ -1,0 +1,170 @@
+"""Trace-context propagation and cross-clock span stitching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServeError
+from repro.obs.context import (MAX_SPAN_ID_LENGTH, TRACE_HEADER,
+                               TraceContext, anchor_remote_spans,
+                               maybe_parse_trace_header, new_span_id,
+                               new_trace_context, parse_trace_header,
+                               validate_span_id)
+from repro.obs.trace import Span
+
+
+class TestSpanIds:
+    def test_new_span_ids_are_short_unique_hex(self):
+        first, second = new_span_id(), new_span_id()
+        assert first != second
+        assert len(first) == 16
+        int(first, 16)
+
+    @pytest.mark.parametrize("bad", [
+        "", "A" * 8, "g" * 8, "a" * (MAX_SPAN_ID_LENGTH + 1), 42, None,
+        "ab cd", "ab;cd",
+    ])
+    def test_validate_rejects_non_hex(self, bad):
+        with pytest.raises(ServeError):
+            validate_span_id(bad)
+
+    def test_validate_accepts_full_uuid_hex(self):
+        value = "0123456789abcdef" * 2
+        assert validate_span_id(value) == value
+
+
+class TestTraceContext:
+    def test_header_round_trips(self):
+        context = new_trace_context("trace-1", sampled=True)
+        parsed = parse_trace_header(context.header_value())
+        assert parsed == context
+
+    def test_unsampled_round_trips(self):
+        context = new_trace_context(sampled=False)
+        assert context.header_value().endswith(";0")
+        assert parse_trace_header(context.header_value()).sampled is False
+
+    def test_child_keeps_trace_and_sampling_reparents(self):
+        context = new_trace_context("trace-2", sampled=False)
+        child = context.child()
+        assert child.trace_id == context.trace_id
+        assert child.sampled is context.sampled
+        assert child.parent_span_id != context.parent_span_id
+
+    def test_maybe_parse_passes_none_through(self):
+        assert maybe_parse_trace_header(None) is None
+
+    @pytest.mark.parametrize("bad", [
+        "",                       # no fields at all
+        "only-trace-id",          # one field
+        "a;b",                    # two fields
+        "a;b;1;extra",            # four fields
+        "a;b;2",                  # flag out of alphabet
+        "a;b;true",               # flag must be literal 0/1
+        "bad id;abcd;1",          # trace id fails request-id rules
+        "trace;NOTHEX;1",         # span id fails hex rules
+        "trace;;1",               # empty span id
+        42,                       # not a string
+    ])
+    def test_hostile_headers_rejected(self, bad):
+        with pytest.raises(ServeError):
+            parse_trace_header(bad)
+
+    def test_separator_cannot_appear_in_valid_ids(self):
+        # The ';' separator is excluded from the request-ID alphabet,
+        # so a validated trace id can never forge extra fields.
+        with pytest.raises(ServeError):
+            parse_trace_header("tr;ace;abcd;1")
+
+    def test_header_name_is_stable_wire_contract(self):
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+
+def _spans(*triples):
+    return [Span(name=name, start=start, end=end, parent=0 if i else None)
+            for i, (name, start, end) in enumerate(triples)]
+
+
+class TestAnchorRemoteSpans:
+    def test_plain_offset_when_clocks_agree(self):
+        # Remote did 1s of work inside a 1.5s caller window: the whole
+        # tree lands flush against recv_end, offset intact.
+        remote = _spans(("request", 100.0, 101.0), ("solve", 100.2, 100.7))
+        anchored = anchor_remote_spans(remote, 10.0, 11.5)
+        assert anchored[0].start == pytest.approx(10.5)
+        assert anchored[0].end == pytest.approx(11.5)
+        assert anchored[1].start == pytest.approx(10.7)
+        assert anchored[1].duration == pytest.approx(0.5)
+
+    def test_compression_when_remote_exceeds_window(self):
+        # Remote measured 2s but the caller only saw 1s: compress 2x.
+        remote = _spans(("request", 50.0, 52.0), ("solve", 50.5, 51.5))
+        anchored = anchor_remote_spans(remote, 20.0, 21.0)
+        assert anchored[0].start == pytest.approx(20.0)
+        assert anchored[0].end == pytest.approx(21.0)
+        assert anchored[1].start == pytest.approx(20.25)
+        assert anchored[1].end == pytest.approx(20.75)
+
+    def test_open_spans_close_at_remote_root_end(self):
+        remote = [Span(name="request", start=0.0, end=4.0),
+                  Span(name="solve", start=1.0, end=None, parent=0)]
+        anchored = anchor_remote_spans(remote, 100.0, 104.0)
+        assert anchored[1].end == anchored[0].end
+
+    def test_parents_survive_by_index(self):
+        remote = _spans(("request", 0.0, 1.0), ("assembly", 0.1, 0.4),
+                        ("solve", 0.4, 0.9))
+        anchored = anchor_remote_spans(remote, 0.0, 1.0)
+        assert [span.parent for span in anchored] == [None, 0, 0]
+        assert [span.name for span in anchored] == ["request", "assembly",
+                                                    "solve"]
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ServeError, match="inverted"):
+            anchor_remote_spans(_spans(("request", 0.0, 1.0)), 5.0, 4.0)
+
+    def test_empty_input_is_empty_output(self):
+        assert anchor_remote_spans([], 0.0, 1.0) == []
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        window=st.floats(min_value=1e-3, max_value=1e3),
+        send_start=st.floats(min_value=-1e6, max_value=1e6),
+        remote_start=st.floats(min_value=-1e6, max_value=1e6),
+        # Child offsets/durations as fractions of the remote elapsed
+        # time, so children always sit inside their root.
+        children=st.lists(
+            st.tuples(st.floats(min_value=0.0, max_value=1.0),
+                      st.floats(min_value=0.0, max_value=1.0)),
+            max_size=6),
+        elapsed=st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_containment_and_monotonicity_under_any_skew(
+            self, window, send_start, remote_start, children, elapsed):
+        """Stitched spans always land inside the proxy bounds and keep
+        their relative order, whatever the remote clock did."""
+        recv_end = send_start + window
+        remote = [Span(name="request", start=remote_start,
+                       end=remote_start + elapsed)]
+        for offset_frac, length_frac in children:
+            start = remote_start + offset_frac * elapsed
+            end = min(start + length_frac * elapsed, remote_start + elapsed)
+            remote.append(Span(name="stage", start=start, end=end, parent=0))
+        anchored = anchor_remote_spans(remote, send_start, recv_end)
+        for span in anchored:
+            assert send_start <= span.start <= recv_end
+            assert send_start <= span.end <= recv_end
+            assert span.end >= span.start  # monotone within a span
+        # Relative order of starts is preserved (positive affine map).
+        original = [span.start for span in remote]
+        mapped = [span.start for span in anchored]
+        for i in range(len(original)):
+            for j in range(len(original)):
+                if original[i] < original[j]:
+                    assert mapped[i] <= mapped[j]
+
+    def test_context_header_is_ascii_safe_for_http(self):
+        context = new_trace_context()
+        value = context.header_value()
+        assert value.isascii()
+        assert "\n" not in value and "\r" not in value

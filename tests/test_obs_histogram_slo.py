@@ -1,0 +1,294 @@
+"""Latency histograms with exemplars, SLO burn rates, and their
+Prometheus exposition (including the data-driven quantile mapping)."""
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs.histogram import (DEFAULT_BUCKET_BOUNDS_MS, INF_LE,
+                                 LatencyHistogram, StageHistograms,
+                                 format_le, is_histogram_snapshot,
+                                 merge_histogram_snapshots)
+from repro.obs.prometheus import quantile_label, render_prometheus
+from repro.obs.slo import (BUCKET_SECONDS, DEFAULT_WINDOWS, SLOTracker,
+                           is_slo_snapshot, merge_slo_snapshots)
+from tests.test_obs import parse_prometheus
+
+
+class ManualClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Latency histograms
+# ----------------------------------------------------------------------
+
+class TestLatencyHistogram:
+    def test_default_ladder_doubles_per_rung(self):
+        for earlier, later in zip(DEFAULT_BUCKET_BOUNDS_MS,
+                                  DEFAULT_BUCKET_BOUNDS_MS[1:]):
+            assert later == pytest.approx(2 * earlier)
+
+    def test_counts_are_cumulative_le(self):
+        histogram = LatencyHistogram((1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0, 5000.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        counts = {bucket["le"]: bucket["count"]
+                  for bucket in snapshot["buckets"]}
+        assert counts == {"1": 1, "10": 3, "100": 4, INF_LE: 5}
+        assert snapshot["count"] == 5
+        assert snapshot["sum_ms"] == pytest.approx(5060.5)
+
+    def test_exemplar_keeps_latest_trace_per_bucket(self):
+        clock = ManualClock()
+        histogram = LatencyHistogram((1.0, 10.0), clock=clock)
+        histogram.observe(5.0, "trace-old")
+        clock.advance(1.0)
+        histogram.observe(6.0, "trace-new")
+        histogram.observe(0.5)  # no trace id: exemplar stays absent
+        snapshot = histogram.snapshot()
+        by_le = {bucket["le"]: bucket for bucket in snapshot["buckets"]}
+        assert by_le["10"]["exemplar"]["trace_id"] == "trace-new"
+        assert by_le["10"]["exemplar"]["value_ms"] == pytest.approx(6.0)
+        assert "exemplar" not in by_le["1"]
+
+    def test_negative_and_non_finite_clamp_to_zero(self):
+        histogram = LatencyHistogram((1.0,))
+        histogram.observe(-5.0)
+        histogram.observe(float("nan"))
+        histogram.observe(float("inf"))
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"][0]["count"] == 3
+        assert snapshot["sum_ms"] == 0.0
+
+    @pytest.mark.parametrize("bounds", [(), (1.0, 1.0), (2.0, 1.0),
+                                        (1.0, float("inf"))])
+    def test_bad_bounds_rejected(self, bounds):
+        with pytest.raises(ServeError):
+            LatencyHistogram(bounds)
+
+    def test_format_le_is_canonical(self):
+        assert format_le(0.25) == "0.25"
+        assert format_le(16.0) == "16"
+        assert format_le(float("inf")) == INF_LE
+
+    def test_snapshot_shape_detector(self):
+        assert is_histogram_snapshot(LatencyHistogram((1.0,)).snapshot())
+        assert not is_histogram_snapshot({"buckets": "nope"})
+        assert not is_histogram_snapshot({"count": 3})
+        assert not is_histogram_snapshot(None)
+
+    def test_merge_sums_counts_and_keeps_newer_exemplar(self):
+        older, newer = ManualClock(10.0), ManualClock(20.0)
+        left = LatencyHistogram((1.0, 10.0), clock=older)
+        right = LatencyHistogram((1.0, 10.0), clock=newer)
+        left.observe(5.0, "trace-left")
+        right.observe(5.0, "trace-right")
+        right.observe(0.5)
+        merged = left.snapshot()
+        merge_histogram_snapshots(merged, right.snapshot())
+        by_le = {bucket["le"]: bucket for bucket in merged["buckets"]}
+        assert by_le["1"]["count"] == 1
+        assert by_le["10"]["count"] == 3  # cumulative: 1 + 2
+        assert by_le["10"]["exemplar"]["trace_id"] == "trace-right"
+        assert merged["count"] == 3
+
+    def test_merge_rejects_mismatched_ladders(self):
+        left = LatencyHistogram((1.0, 10.0)).snapshot()
+        right = LatencyHistogram((1.0, 100.0)).snapshot()
+        with pytest.raises(ServeError, match="bucket bounds"):
+            merge_histogram_snapshots(left, right)
+
+    def test_merge_into_empty_target_copies(self):
+        source = LatencyHistogram((1.0,))
+        source.observe(0.5, "trace-a")
+        target = {}
+        merge_histogram_snapshots(target, source.snapshot())
+        assert target["count"] == 1
+
+    def test_stage_histograms_create_lazily_and_sort(self):
+        stages = StageHistograms((1.0, 10.0))
+        stages.observe("solve", 5.0, "trace-s")
+        stages.observe("assembly", 0.5)
+        snapshot = stages.snapshot()
+        assert list(snapshot) == ["assembly", "solve"]
+        assert snapshot["solve"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# SLO burn rates
+# ----------------------------------------------------------------------
+
+class TestSLOTracker:
+    def test_burn_rate_is_error_rate_over_budget(self):
+        clock = ManualClock()
+        tracker = SLOTracker(latency_ms=100.0, target=0.9, clock=clock)
+        for _ in range(9):
+            tracker.record(True, 50.0)
+        tracker.record(False)
+        snapshot = tracker.snapshot()
+        window = snapshot["windows"]["5m"]["availability"]
+        assert window["good"] == 9 and window["bad"] == 1
+        assert window["error_rate"] == pytest.approx(0.1)
+        # 10% errors against a 10% budget: burning at exactly 1x.
+        assert window["burn_rate"] == pytest.approx(1.0)
+
+    def test_slow_success_misses_latency_but_not_availability(self):
+        tracker = SLOTracker(latency_ms=100.0, target=0.99,
+                             clock=ManualClock())
+        tracker.record(True, 500.0)
+        snapshot = tracker.snapshot()
+        assert snapshot["availability_bad"] == 0
+        assert snapshot["latency_bad"] == 1
+
+    def test_unmeasured_success_counts_as_latency_miss(self):
+        tracker = SLOTracker(clock=ManualClock())
+        tracker.record(True, None)
+        assert tracker.snapshot()["latency_bad"] == 1
+
+    def test_short_window_forgets_old_errors_totals_do_not(self):
+        clock = ManualClock()
+        tracker = SLOTracker(target=0.99, windows=(300, 3600), clock=clock)
+        tracker.record(False)
+        clock.advance(600.0)  # past the 5m window, inside the 1h window
+        tracker.record(True, 1.0)
+        snapshot = tracker.snapshot()
+        assert snapshot["windows"]["5m"]["availability"]["bad"] == 0
+        assert snapshot["windows"]["1h"]["availability"]["bad"] == 1
+        assert snapshot["availability_bad"] == 1
+
+    def test_cells_prune_past_longest_window(self):
+        clock = ManualClock()
+        tracker = SLOTracker(windows=(300,), clock=clock)
+        tracker.record(True, 1.0)
+        clock.advance(10 * 300.0)
+        tracker.record(True, 1.0)
+        assert len(tracker._cells) == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"latency_ms": 0.0}, {"latency_ms": -1.0},
+        {"target": 0.0}, {"target": 1.0}, {"target": 1.5},
+        {"windows": ()}, {"windows": (0,)}, {"windows": (600, 300)},
+        {"windows": (300, 300)},
+    ])
+    def test_bad_objectives_rejected(self, kwargs):
+        with pytest.raises(ServeError):
+            SLOTracker(**kwargs)
+
+    def test_default_windows_are_the_multiwindow_setup(self):
+        assert DEFAULT_WINDOWS == (300, 1800, 3600, 21600)
+        assert BUCKET_SECONDS == 10.0
+
+    def test_snapshot_shape_detector(self):
+        assert is_slo_snapshot(SLOTracker(clock=ManualClock()).snapshot())
+        assert not is_slo_snapshot({"windows": {}})
+        assert not is_slo_snapshot(None)
+
+    def test_merge_sums_counts_recomputes_rates_keeps_stricter(self):
+        lenient = SLOTracker(latency_ms=500.0, target=0.9,
+                             clock=ManualClock())
+        strict = SLOTracker(latency_ms=100.0, target=0.99,
+                            clock=ManualClock())
+        lenient.record(False)
+        strict.record(True, 50.0)
+        merged = lenient.snapshot()
+        merge_slo_snapshots(merged, strict.snapshot())
+        assert merged["objectives"] == {"latency_ms": 100.0, "target": 0.99}
+        window = merged["windows"]["5m"]["availability"]
+        assert (window["good"], window["bad"]) == (1, 1)
+        assert window["error_rate"] == pytest.approx(0.5)
+        # Recomputed against the merged (stricter) 1% budget.
+        assert window["burn_rate"] == pytest.approx(50.0)
+
+    def test_merge_into_empty_target_copies(self):
+        source = SLOTracker(clock=ManualClock())
+        source.record(True, 1.0)
+        target = {}
+        merge_slo_snapshots(target, source.snapshot())
+        assert target["availability_good"] == 1
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition: quantile mapping + histogram families
+# ----------------------------------------------------------------------
+
+class TestQuantileMapping:
+    @pytest.mark.parametrize("stat,label", [
+        ("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"),
+        ("p999", "0.999"), ("p10", "0.1"), ("p9999", "0.9999"),
+    ])
+    def test_pxx_keys_map_data_driven(self, stat, label):
+        assert quantile_label(stat) == label
+
+    @pytest.mark.parametrize("stat", ["count", "mean", "max", "min", "sum"])
+    def test_plain_stats_are_not_quantiles(self, stat):
+        assert quantile_label(stat) is None
+
+    @pytest.mark.parametrize("stat", ["p5", "p", "p12345", "pabc"])
+    def test_unmappable_p_keys_raise_instead_of_vanishing(self, stat):
+        with pytest.raises(ServeError, match="quantile"):
+            quantile_label(stat)
+
+    def test_new_quantile_key_round_trips_through_exposition(self):
+        # Regression for the hardcoded-quantile bug: a latency block
+        # carrying p95 (not in the old hardcoded set) must appear in
+        # the scrape rather than silently vanish.
+        text = render_prometheus(
+            {"latency_ms": {"count": 4, "p50": 1.0, "p95": 2.0, "p99": 3.0}})
+        samples, _, _ = parse_prometheus(text)
+        assert samples[("repro_latency_ms", 'quantile="0.95"')] == 2.0
+
+    def test_malformed_quantile_key_fails_the_render(self):
+        with pytest.raises(ServeError, match="quantile"):
+            render_prometheus({"latency_ms": {"p5": 1.0}})
+
+
+class TestHistogramExposition:
+    def _scrape(self):
+        histogram = LatencyHistogram((1.0, 10.0), clock=ManualClock())
+        histogram.observe(5.0, "trace-slow")
+        histogram.observe(0.5)
+        return render_prometheus({"latency_hist_ms": histogram.snapshot()})
+
+    def test_bucket_family_with_le_labels_and_inf(self):
+        samples, types, _ = parse_prometheus(self._scrape())
+        assert types["repro_latency_hist_ms_bucket"] == "histogram"
+        assert samples[("repro_latency_hist_ms_bucket", 'le="1"')] == 1
+        assert samples[("repro_latency_hist_ms_bucket", 'le="10"')] == 2
+        assert samples[("repro_latency_hist_ms_bucket", 'le="+Inf"')] == 2
+        assert samples[("repro_latency_hist_ms_count", "")] == 2
+        assert samples[("repro_latency_hist_ms_sum", "")] == 5.5
+
+    def test_exemplar_rides_the_bucket_line(self):
+        _, _, exemplars = parse_prometheus(self._scrape())
+        exemplar = exemplars[("repro_latency_hist_ms_bucket", 'le="10"')]
+        assert exemplar == '{trace_id="trace-slow"} 5'
+
+    def test_slo_snapshot_renders_with_burn_rate_gauges(self):
+        tracker = SLOTracker(target=0.9, clock=ManualClock())
+        tracker.record(False)
+        text = render_prometheus({"slo": tracker.snapshot()})
+        samples, types, _ = parse_prometheus(text)
+        assert types["repro_slo_availability_bad"] == "counter"
+        assert samples[("repro_slo_availability_bad", "")] == 1
+        key = ("repro_slo_windows_5m_availability_burn_rate", "")
+        assert samples[key] == pytest.approx(10.0)
+
+    def test_document_round_trips_through_json(self):
+        # The same snapshot must be renderable from its JSON form (the
+        # cluster aggregator works on JSON documents, not objects).
+        histogram = LatencyHistogram((1.0,))
+        histogram.observe(0.5, "trace-x")
+        document = json.loads(json.dumps(
+            {"latency_hist_ms": histogram.snapshot()}))
+        samples, _, _ = parse_prometheus(render_prometheus(document))
+        assert samples[("repro_latency_hist_ms_bucket", 'le="1"')] == 1

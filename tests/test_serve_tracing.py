@@ -265,7 +265,7 @@ class TestHTTPObservability:
         _, server, client = served
         client.analyze(REQUEST)
         text = client.metrics_prometheus()
-        samples, types = parse_prometheus(text)
+        samples, types, _ = parse_prometheus(text)
         assert samples[("repro_requests_completed", "")] >= 1
         assert ("repro_stages_solve_seconds", "") in samples
         assert types["repro_requests_completed"] == "counter"
@@ -275,7 +275,7 @@ class TestHTTPObservability:
                 f"http://127.0.0.1:{server.port}/metrics?format=prometheus",
                 timeout=10) as response:
             assert response.headers["Content-Type"].startswith("text/plain")
-            alt, _ = parse_prometheus(response.read().decode())
+            alt, _, _ = parse_prometheus(response.read().decode())
         assert set(samples) == set(alt)
 
     def test_metrics_json_remains_the_default(self, served):
