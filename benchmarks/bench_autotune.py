@@ -1,0 +1,212 @@
+"""Benchmark: online autotuning against hand-tuned serving knobs.
+
+Three rows, one story:
+
+* ``bad-knobs`` — the service with ``max_batch=1, max_wait=0`` under
+  steady closed-loop load: every request is its own LU call, the queue
+  stands, and throughput is whatever unbatched dispatch can do.
+* ``autotuned`` — the *same* live service after ``--autotune apply``
+  control cycles: the controller calibrates the stage model from the
+  ``/metrics`` window, sweeps the policy grid, and swaps the
+  :class:`~repro.serve.batcher.BatchPolicy` in place.  The row records
+  the decision journal's predicted-vs-realized deltas alongside the
+  measured throughput.
+* ``hand-tuned`` — a fresh service started with the knobs a careful
+  operator would pick (``max_batch=8, max_wait=2ms``), the target the
+  autotuner should approach without a human in the loop.
+
+The sweep asserts the autotuned throughput reaches at least 1.3x the
+bad-knob baseline — the acceptance gate for the control loop — and
+writes the machine-readable ``BENCH_autotune.json`` artifact via
+:func:`conftest.write_bench_json` (honouring ``BENCH_OUTPUT_DIR``).
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py [--smoke]
+        [--output BENCH_autotune.json]
+"""
+
+import argparse
+import json
+import threading
+import time
+
+from repro.serve import AnalysisService
+
+#: Default artifact filename (see ``conftest.write_bench_json``).
+OUTPUT_FILENAME = "BENCH_autotune.json"
+
+#: Closed-loop client threads driving each service.
+N_CLIENTS = 6
+SMOKE_CLIENTS = 4
+
+#: Problem size per request (dense LU at serving scale).
+N_PANELS = 64
+
+#: Measurement window per row, seconds.
+WINDOW_S = 5.0
+SMOKE_WINDOW_S = 2.5
+
+#: Warm-up before the first measurement, seconds.
+WARMUP_S = 2.0
+
+#: The acceptance gate: autotuned throughput over the bad-knob baseline.
+MIN_GAIN = 1.3
+
+HAND_TUNED = {"max_batch": 8, "max_wait": 0.002}
+
+
+def _load(service, n_clients):
+    """Closed-loop load: counts completions, returns (throughput, stop)."""
+    stop = threading.Event()
+    completed = [0]
+    lock = threading.Lock()
+
+    def run():
+        while not stop.is_set():
+            service.analyze({"airfoil": "0012", "alpha_degrees": 2.0,
+                             "n_panels": N_PANELS})
+            with lock:
+                completed[0] += 1
+
+    pool = [threading.Thread(target=run, daemon=True)
+            for _ in range(n_clients)]
+    for thread in pool:
+        thread.start()
+
+    def throughput(seconds):
+        with lock:
+            before = completed[0]
+        start = time.monotonic()
+        time.sleep(seconds)
+        with lock:
+            after = completed[0]
+        return (after - before) / (time.monotonic() - start)
+
+    def shutdown():
+        stop.set()
+        for thread in pool:
+            thread.join(timeout=5.0)
+
+    return throughput, shutdown
+
+
+def _policy_dict(policy):
+    return {"max_batch": policy.max_batch,
+            "max_wait_ms": round(1e3 * policy.max_wait, 3)}
+
+
+def run_sweep(*, smoke=False):
+    n_clients = SMOKE_CLIENTS if smoke else N_CLIENTS
+    window = SMOKE_WINDOW_S if smoke else WINDOW_S
+    rows = []
+
+    # --- bad knobs, then the autotuner closes the loop on the same
+    # live service -----------------------------------------------------
+    service = AnalysisService(max_batch=1, max_wait=0.0, cache_size=0,
+                              n_workers=1, queue_limit=512,
+                              trace_sample=1.0, autotune="apply",
+                              autotune_interval=3600.0,
+                              autotune_min_improvement=0.05)
+    throughput, shutdown = _load(service, n_clients)
+    try:
+        time.sleep(WARMUP_S)
+        baseline_rps = throughput(window)
+        rows.append({"config": "bad-knobs", "autotuned": False,
+                     "policy": _policy_dict(service.policy),
+                     "throughput_rps": round(baseline_rps, 1)})
+
+        first = service.autotuner.run_cycle()
+        tuned_rps = throughput(window)
+        service.autotuner.run_cycle()  # realizes the applied delta
+        journal = service.autotuner.journal()
+        applied = next((entry for entry in journal
+                        if entry["action"] == "applied"), None)
+        rows.append({
+            "config": "autotuned", "autotuned": True,
+            "policy": _policy_dict(service.policy),
+            "throughput_rps": round(tuned_rps, 1),
+            "gain_over_bad_knobs": round(tuned_rps / baseline_rps, 2),
+            "first_action": first["action"],
+            "predicted_improvement": (applied or {}).get(
+                "predicted_improvement"),
+            "realized_improvement": (applied or {}).get(
+                "realized_improvement"),
+            "realized_throughput_gain": (applied or {}).get(
+                "realized_throughput_gain"),
+        })
+    finally:
+        shutdown()
+        service.close(timeout=30.0)
+
+    # --- the operator's hand-tuned target -----------------------------
+    service = AnalysisService(cache_size=0, n_workers=1, queue_limit=512,
+                              trace_sample=1.0, **HAND_TUNED)
+    throughput, shutdown = _load(service, n_clients)
+    try:
+        time.sleep(WARMUP_S)
+        hand_rps = throughput(window)
+        rows.append({"config": "hand-tuned", "autotuned": False,
+                     "policy": _policy_dict(service.policy),
+                     "throughput_rps": round(hand_rps, 1)})
+    finally:
+        shutdown()
+        service.close(timeout=30.0)
+    return rows
+
+
+def check_rows(rows):
+    """Invariants every sweep must satisfy (shared by pytest and CLI)."""
+    bad, tuned, hand = rows
+    assert bad["config"] == "bad-knobs"
+    assert tuned["config"] == "autotuned"
+    # The controller acted: the policy moved off max_batch=1 and the
+    # measured gain clears the acceptance gate.
+    assert tuned["policy"]["max_batch"] > 1, tuned
+    assert tuned["gain_over_bad_knobs"] >= MIN_GAIN, (
+        f"autotuned gain {tuned['gain_over_bad_knobs']}x is below the "
+        f"{MIN_GAIN}x acceptance gate")
+    # The journal carries the promise and the delivery.
+    assert tuned["predicted_improvement"] is not None, tuned
+    assert tuned["realized_throughput_gain"] is not None, tuned
+    # And it lands in the neighbourhood of the hand-tuned target (wide
+    # band: both sides are noisy single-machine measurements).
+    assert tuned["throughput_rps"] >= 0.5 * hand["throughput_rps"], rows
+
+
+def _artifact(rows, *, smoke):
+    return {"benchmark": "autotune", "smoke": smoke, "rows": rows}
+
+
+def test_autotune_closes_the_loop(benchmark):
+    from conftest import run_once, write_bench_json
+
+    rows = run_once(benchmark, run_sweep)
+    print("\n" + json.dumps(rows, indent=2))
+    check_rows(rows)
+    path = write_bench_json(OUTPUT_FILENAME, _artifact(rows, smoke=False))
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    parser.add_argument("--output", default=OUTPUT_FILENAME, metavar="FILE",
+                        help="artifact filename (relative paths land in "
+                             "$BENCH_OUTPUT_DIR when set; default "
+                             f"{OUTPUT_FILENAME})")
+    arguments = parser.parse_args()
+    sweep_rows = run_sweep(smoke=arguments.smoke)
+    print(json.dumps(sweep_rows, indent=2))
+    check_rows(sweep_rows)
+    artifact_path = write_bench_json(arguments.output,
+                                     _artifact(sweep_rows,
+                                               smoke=arguments.smoke))
+    print(f"wrote {artifact_path}")

@@ -40,14 +40,52 @@ class TuneResult:
         return self.best_metrics.wall_time
 
 
+def _validated_slice_grid(candidates: Iterable[int], batch: int) -> List[int]:
+    """Dedupe, sort, and range-check a slice-count grid.
+
+    An automated tuner feeds grids straight from config; a silent skip
+    of every candidate used to surface as an unrelated empty-sweep
+    error, so every rejection names the offending grid.
+    """
+    grid = list(candidates)
+    if not grid:
+        raise ScheduleError("no feasible slice counts to tune over: empty grid")
+    for value in grid:
+        if value != int(value) or int(value) <= 0:
+            raise ScheduleError(
+                f"invalid slice count {value!r} in grid {tuple(grid)}: "
+                "slice counts must be positive integers"
+            )
+    unique = sorted({int(value) for value in grid})
+    feasible = [value for value in unique if value <= batch]
+    if not feasible:
+        raise ScheduleError(
+            f"every slice count in grid {tuple(unique)} exceeds the "
+            f"workload batch {batch}; nothing to tune over"
+        )
+    return feasible
+
+
+def _validated_distribution_grid(candidates: Iterable[float]) -> List[float]:
+    """Dedupe, sort, and range-check a work-distribution grid."""
+    grid = list(candidates)
+    if not grid:
+        raise ScheduleError("no feasible distributions to tune over: empty grid")
+    for value in grid:
+        if not (0.0 < float(value) <= 1.0):
+            raise ScheduleError(
+                f"invalid distribution {value!r} in grid {tuple(grid)}: "
+                "distributions must lie in (0, 1]"
+            )
+    return sorted({float(value) for value in grid})
+
+
 def tune_slices(workload: Workload, workstation: Workstation, *,
                 candidates: Iterable[int] = DEFAULT_SLICE_GRID,
-                stages: int = None) -> TuneResult:
+                stages: Optional[int] = None) -> TuneResult:
     """Find the slice count minimizing the hybrid wall time."""
     sweep: List[Tuple[float, HybridMetrics]] = []
-    for n_slices in candidates:
-        if n_slices > workload.batch:
-            continue
+    for n_slices in _validated_slice_grid(candidates, workload.batch):
         timeline = simulate(hybrid(workload, workstation, n_slices, stages=stages))
         sweep.append((float(n_slices), evaluate(timeline)))
     return _pick_best(sweep, "slice counts")
@@ -58,7 +96,7 @@ def tune_distribution(workload: Workload, workstation: Workstation, *,
                       candidates: Iterable[float] = DEFAULT_DISTRIBUTION_GRID) -> TuneResult:
     """Find the dual-GPU work distribution minimizing wall time."""
     sweep: List[Tuple[float, HybridMetrics]] = []
-    for distribution in candidates:
+    for distribution in _validated_distribution_grid(candidates):
         timeline = simulate(
             dual_accelerator(workload, workstation, distribution, n_slices)
         )

@@ -17,6 +17,7 @@ import dataclasses
 import math
 from typing import Optional
 
+from repro.errors import ScheduleError
 from repro.pipeline.engine import Timeline
 from repro.pipeline.task import TaskKind
 
@@ -38,6 +39,11 @@ class HybridMetrics:
         """``W_baseline / W`` when a baseline was supplied."""
         if self.baseline_wall_time is None:
             return None
+        if self.wall_time <= 0.0:
+            raise ScheduleError(
+                f"cannot compute speedup of {self.name!r}: "
+                f"degenerate wall time {self.wall_time!r}"
+            )
         return self.baseline_wall_time / self.wall_time
 
     def with_baseline(self, baseline_wall_time: float) -> "HybridMetrics":
@@ -45,7 +51,8 @@ class HybridMetrics:
         return dataclasses.replace(self, baseline_wall_time=baseline_wall_time)
 
 
-def evaluate(timeline: Timeline, *, baseline_wall_time: float = None) -> HybridMetrics:
+def evaluate(timeline: Timeline, *,
+             baseline_wall_time: Optional[float] = None) -> HybridMetrics:
     """Extract the table metrics from a simulated timeline."""
     schedule = timeline.schedule
     wall = timeline.makespan
@@ -81,5 +88,8 @@ def lower_bound_gap(metrics: HybridMetrics) -> float:
     value."
     """
     if metrics.solve_busy <= 0.0:
-        return math.inf
+        raise ScheduleError(
+            f"cannot compute lower-bound gap of {metrics.name!r}: "
+            f"degenerate solve busy time {metrics.solve_busy!r}"
+        )
     return metrics.wall_time / metrics.solve_busy - 1.0

@@ -18,6 +18,8 @@ Four schemes are modelled:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import ScheduleError
 from repro.hardware.device import SimulatedDevice
 from repro.hardware.host import Workstation
@@ -72,7 +74,8 @@ def sequential_offload(workload: Workload, workstation: Workstation) -> Schedule
 
 
 def hybrid(workload: Workload, workstation: Workstation, n_slices: int, *,
-           stages: int = None, cpu_solve_fraction: float = 1.0) -> Schedule:
+           stages: Optional[int] = None,
+           cpu_solve_fraction: float = 1.0) -> Schedule:
     """The communication-hiding interleave of Figures 3 and 4.
 
     Parameters

@@ -28,6 +28,8 @@ from __future__ import annotations
 import dataclasses
 import math
 
+from typing import Optional
+
 from repro.errors import ScheduleError
 from repro.hardware.host import Workstation
 from repro.pipeline.schedules import default_stages
@@ -86,7 +88,7 @@ def predict_wall_time(times: StageTimes, *, stages: int) -> float:
 
 
 def predict_hybrid(workload: Workload, workstation: Workstation,
-                   n_slices: int, *, stages: int = None) -> float:
+                   n_slices: int, *, stages: Optional[int] = None) -> float:
     """Closed-form wall time for a workstation's hybrid configuration."""
     if stages is None:
         stages = default_stages(workstation.accelerator)

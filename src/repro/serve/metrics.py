@@ -26,7 +26,17 @@ def percentile(sorted_values, fraction: float) -> Optional[float]:
     sample, never an interpolation, so ``p100`` is the max and ``p50``
     of a single sample is that sample.  This matches what scrapers see
     in ``/metrics`` (``latency_ms.p50/p90/p99``).
+
+    ``fraction`` must lie in ``[0.0, 1.0]``; ``0.0`` returns the true
+    minimum and ``1.0`` the true maximum.  Out-of-range fractions raise
+    :class:`ValueError` instead of silently clamping — the autotuner
+    sweeps quantile grids and a typo'd ``1.5`` must not masquerade as
+    the max.
     """
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError(
+            f"percentile fraction must be in [0.0, 1.0], got {fraction!r}"
+        )
     if not sorted_values:
         return None
     rank = max(0, math.ceil(fraction * len(sorted_values)) - 1)
@@ -62,6 +72,8 @@ class ServiceMetrics:
         self._solved_systems = 0
         self._batch_sizes: Counter = Counter()
         self._stack_sizes: Counter = Counter()
+        self._n_panels_hist: Counter = Counter()
+        self._precision_hist: Counter = Counter()
         self._latencies: deque = deque(maxlen=int(latency_window))
         # Log-bucketed tail shape with exemplar trace ids — the point
         # quantiles above answer "how slow", this answers "show me one".
@@ -111,6 +123,12 @@ class ServiceMetrics:
         """One admitted request whose submitter detached before delivery."""
         with self._lock:
             self._cancelled += 1
+
+    def record_workload(self, n_panels: int, precision: str) -> None:
+        """One admitted request's problem shape (autotuner calibration input)."""
+        with self._lock:
+            self._n_panels_hist[int(n_panels)] += 1
+            self._precision_hist[str(precision)] += 1
 
     def record_flush(self, n_requests: int) -> None:
         """One micro-batch handed to a worker (size = coalesced requests)."""
@@ -197,6 +215,16 @@ class ServiceMetrics:
                     "stack_size_histogram": {
                         str(size): count
                         for size, count in sorted(self._stack_sizes.items())
+                    },
+                },
+                "workload": {
+                    "n_panels_histogram": {
+                        str(size): count
+                        for size, count in sorted(self._n_panels_hist.items())
+                    },
+                    "precision_histogram": {
+                        name: count
+                        for name, count in sorted(self._precision_hist.items())
                     },
                 },
                 "latency_ms": {

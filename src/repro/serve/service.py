@@ -151,6 +151,16 @@ class AnalysisService:
         ``slo_latency_ms`` milliseconds, and the burn rate measures the
         error budget ``1 - slo_target`` being spent.  See
         ``docs/observability.md``.
+    autotune:
+        Online autotuning mode: ``"off"`` (no controller),
+        ``"advise"`` (calibrate + recommend, journal only), or
+        ``"apply"`` (additionally swap the live batching policy).
+        ``None`` reads ``REPRO_AUTOTUNE`` once at construction
+        (default off).  See ``docs/autotune.md``.
+    autotune_interval, autotune_min_improvement:
+        Control-loop period in seconds and the hysteresis threshold
+        (minimum predicted fractional improvement before the
+        controller advises or applies anything).
     """
 
     def __init__(self, *, max_batch: Optional[int] = None,
@@ -166,7 +176,10 @@ class AnalysisService:
                  jobs_dir: Optional[str] = None,
                  job_slots: int = 1,
                  slo_latency_ms: float = 250.0,
-                 slo_target: float = 0.99) -> None:
+                 slo_target: float = 0.99,
+                 autotune: Optional[str] = None,
+                 autotune_interval: float = 30.0,
+                 autotune_min_improvement: float = 0.10) -> None:
         self.policy: BatchPolicy = suggested_policy(
             n_panels_hint, max_batch=max_batch, max_wait=max_wait
         )
@@ -213,6 +226,19 @@ class AnalysisService:
                 store, slots=job_slots, exec_backend=self._exec_backend,
                 tracer=self.tracer,
             ).start()
+        #: The :class:`~repro.tune.AutotuneController` when autotuning
+        #: is enabled, else ``None`` (the HTTP layer 404s its route).
+        self.autotuner = None
+        from repro.tune.controller import AutotuneConfig, resolve_mode
+
+        mode = resolve_mode(autotune)
+        if mode != "off":
+            from repro.tune.controller import AutotuneController
+
+            self.autotuner = AutotuneController(self, AutotuneConfig(
+                mode=mode, interval=autotune_interval,
+                min_improvement=autotune_min_improvement,
+            ))
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -223,6 +249,31 @@ class AnalysisService:
     def queue_depth(self) -> int:
         """Approximate number of requests waiting for a worker."""
         return self._pool.queue_depth
+
+    @property
+    def n_workers(self) -> int:
+        """Worker threads coalescing and solving micro-batches."""
+        return self._pool.n_workers
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown has begun (the autotuner must not act)."""
+        return self._closed or self._pool.draining
+
+    @property
+    def execution_backend(self):
+        """The backend micro-batches run on (borrowed; do not close)."""
+        return self._exec_backend
+
+    def apply_policy(self, policy: BatchPolicy) -> None:
+        """Swap the live batching policy (the autotuner's apply path).
+
+        Atomic at batch granularity (see
+        :meth:`~repro.serve.workers.WorkerPool.set_policy`); refused
+        while the service is draining.
+        """
+        self._pool.set_policy(policy)
+        self.policy = policy
 
     def submit(self, request: RequestLike, *,
                deadline_ms: Optional[float] = None,
@@ -277,6 +328,8 @@ class AnalysisService:
         if cached is not None:
             now = time.monotonic()
             self.metrics.record_admitted()
+            self.metrics.record_workload(request.n_panels,
+                                         str(request.precision))
             self.metrics.record_completed(
                 now - lookup_started,
                 trace.trace_id if trace is not None else None,
@@ -308,6 +361,7 @@ class AnalysisService:
             self._log_request(request_id, "shed", trace=trace)
             raise
         self.metrics.record_admitted()
+        self.metrics.record_workload(request.n_panels, str(request.precision))
         return pending
 
     def _await(self, pending: PendingResult,
@@ -569,6 +623,8 @@ class AnalysisService:
         snapshot["assembly_kernel"] = self.assembly_kernel
         if self.jobs is not None:
             snapshot["jobs"] = self.jobs.metrics_snapshot()
+        if self.autotuner is not None:
+            snapshot["autotune"] = self.autotuner.snapshot()
         return snapshot
 
     def recent_traces(self, n: Optional[int] = None) -> List[Trace]:
@@ -595,13 +651,16 @@ class AnalysisService:
     def close(self, timeout: float = 10.0) -> bool:
         """Drain accepted work and stop the workers (idempotent).
 
-        The job runner stops first (running jobs checkpoint and stay
+        The autotuner stops first (a retune must never race a drain),
+        then the job runner (running jobs checkpoint and stay
         resumable); a service-owned execution backend is closed only
         after the thread pool drains, so in-flight micro-batches keep
         their worker processes until the last solve lands.
         """
         self._closed = True
         drained = True
+        if self.autotuner is not None:
+            self.autotuner.close()
         if self.jobs is not None:
             drained = self.jobs.close(timeout=timeout) and drained
             self.jobs.store.close()
